@@ -1,0 +1,166 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "base/file_util.h"
+#include "base/stopwatch.h"
+#include "base/string_util.h"
+#include "core/pipeline.h"
+#include "darknet/model_zoo.h"
+#include "data/food_classes.h"
+
+namespace thali {
+namespace bench {
+
+namespace {
+
+constexpr char kCacheDir[] = "thali_cache";
+constexpr char kKeyFile[] = "thali_cache/cache_key.txt";
+constexpr char kWeights[] = "thali_cache/main.weights";
+constexpr char kBackbone[] = "thali_cache/thali_backbone.weights";
+constexpr char kTable2[] = "thali_cache/table2.csv";
+constexpr int kPretrainIterations = 250;
+
+std::string CacheKey() {
+  // Any change to the recipe invalidates the cache.
+  return StrFormat("v4 classes=10 size=%d images=%d iters=%d div=%d",
+                   StandardSpec().width, StandardSpec().num_images,
+                   kPaperMaxIteration / kIterationDivisor, kIterationDivisor);
+}
+
+bool CacheIsFresh() {
+  if (!PathExists(kWeights) || !PathExists(kTable2) || !PathExists(kKeyFile)) {
+    return false;
+  }
+  auto key = ReadFileToString(kKeyFile);
+  return key.ok() && *key == CacheKey();
+}
+
+std::vector<CheckpointMetric> LoadTable2() {
+  std::vector<CheckpointMetric> rows;
+  auto lines = ReadLines(kTable2);
+  if (!lines.ok()) return rows;
+  for (const std::string& line : *lines) {
+    const auto f = Split(line, ',');
+    if (f.size() != 4) continue;
+    CheckpointMetric m;
+    m.paper_iteration = *ParseInt(f[0]);
+    m.our_iteration = *ParseInt(f[1]);
+    m.map = *ParseFloat(f[2]);
+    m.f1 = *ParseFloat(f[3]);
+    rows.push_back(m);
+  }
+  return rows;
+}
+
+}  // namespace
+
+DatasetSpec StandardSpec() {
+  DatasetSpec spec;
+  spec.num_images = 1000;
+  spec.width = 96;
+  spec.height = 96;
+  spec.seed = 20220131;
+  return spec;
+}
+
+FoodDataset StandardDataset() {
+  return FoodDataset::Generate(IndianFood10(), StandardSpec());
+}
+
+std::string StandardCfg() {
+  YoloThaliOptions o;
+  o.classes = 10;
+  o.width = StandardSpec().width;
+  o.height = StandardSpec().height;
+  o.max_batches = kPaperMaxIteration / kIterationDivisor;
+  return YoloThaliCfg(o);
+}
+
+SharedModel EnsureTrainedModel(bool log) {
+  SharedModel model;
+  model.cfg_text = StandardCfg();
+  model.weights_path = kWeights;
+  model.backbone_path = kBackbone;
+
+  if (CacheIsFresh()) {
+    model.table2 = LoadTable2();
+    for (const CheckpointMetric& m : model.table2) {
+      if (m.map > model.best_map) {
+        model.best_map = m.map;
+        model.best_paper_iteration = m.paper_iteration;
+      }
+    }
+    if (log) {
+      std::printf("[cache] reusing trained model (best mAP %.2f%% at paper "
+                  "iteration %d); delete ./thali_cache to retrain\n",
+                  model.best_map * 100, model.best_paper_iteration);
+    }
+    return model;
+  }
+
+  THALI_CHECK_OK(MakeDirs(kCacheDir));
+  if (log) {
+    std::printf(
+        "[cache] no trained model found; running the full fine-tuning "
+        "experiment once (several minutes on one CPU core)...\n");
+  }
+  Stopwatch total;
+
+  // Stage 1: simulated "COCO" pretraining of the backbone.
+  auto backbone = PretrainBackbone(kCacheDir, kPretrainIterations,
+                                   StandardSpec().width, /*seed=*/91,
+                                   log ? 100 : 0);
+  THALI_CHECK(backbone.ok()) << backbone.status().ToString();
+
+  // Stage 2: fine-tune on IndianFood10 with Table II checkpointing.
+  FoodDataset dataset = StandardDataset();
+  TransferTrainer::Options topts;
+  topts.cfg_text = model.cfg_text;
+  topts.pretrained_weights = *backbone;
+  topts.transfer_cutoff = kYoloThaliBackboneCutoff;
+  topts.seed = 20220131;
+  topts.log_every = log ? 200 : 0;
+  auto trainer_or = TransferTrainer::Create(topts);
+  THALI_CHECK(trainer_or.ok()) << trainer_or.status().ToString();
+  TransferTrainer trainer = std::move(trainer_or).value();
+
+  const int eval_every = kPaperEvalStep / kIterationDivisor;
+  const int eval_start = kPaperEvalStart / kIterationDivisor;
+  std::string csv;
+  THALI_CHECK_OK(trainer.Train(
+      dataset, /*iterations=*/0, eval_every, [&](int iter) {
+        if (iter < eval_start) return;
+        EvalResult r = trainer.Evaluate(dataset, dataset.val_indices());
+        CheckpointMetric m;
+        m.our_iteration = iter;
+        m.paper_iteration = iter * kIterationDivisor;
+        m.map = r.map;
+        m.f1 = r.f1;
+        model.table2.push_back(m);
+        csv += StrFormat("%d,%d,%.6f,%.6f\n", m.paper_iteration,
+                         m.our_iteration, m.map, m.f1);
+        if (log) {
+          std::printf("[checkpoint] paper-iter %5d  mAP=%.2f%%  F1=%.3f\n",
+                      m.paper_iteration, m.map * 100, m.f1);
+        }
+        if (m.map > model.best_map) {
+          model.best_map = m.map;
+          model.best_paper_iteration = m.paper_iteration;
+          THALI_CHECK_OK(trainer.SaveWeightsTo(kWeights));
+        }
+      }));
+
+  THALI_CHECK_OK(WriteStringToFile(kTable2, csv));
+  THALI_CHECK_OK(WriteStringToFile(kKeyFile, CacheKey()));
+  if (log) {
+    std::printf("[cache] training done in %.0fs; best mAP %.2f%% at paper "
+                "iteration %d\n",
+                total.ElapsedSeconds(), model.best_map * 100,
+                model.best_paper_iteration);
+  }
+  return model;
+}
+
+}  // namespace bench
+}  // namespace thali

@@ -1,0 +1,61 @@
+#ifndef THALI_BENCH_BENCH_COMMON_H_
+#define THALI_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+
+namespace thali {
+namespace bench {
+
+// All paper-reproduction benches share one trained model and dataset so
+// the (minutes-long) CPU training cost is paid once. Artifacts live in
+// ./thali_cache; delete the directory to retrain from scratch.
+//
+// Scale mapping (see DESIGN.md / ReproScale): the paper fine-tunes for
+// 20,000 iterations evaluating every 1,000 (Table II rows 7000..20000);
+// we divide by kIterationDivisor.
+inline constexpr int kIterationDivisor = 5;
+inline constexpr int kPaperMaxIteration = 20000;
+inline constexpr int kPaperEvalStart = 7000;
+inline constexpr int kPaperEvalStep = 1000;
+
+// One Table II row measured during the shared training run.
+struct CheckpointMetric {
+  int paper_iteration = 0;  // 7000..20000
+  int our_iteration = 0;    // scaled
+  float map = 0.0f;
+  float f1 = 0.0f;
+};
+
+struct SharedModel {
+  std::string cfg_text;          // the yolov4-thali cfg that was trained
+  std::string weights_path;      // best-mAP checkpoint
+  std::string backbone_path;     // pretrained transfer artifact
+  std::vector<CheckpointMetric> table2;
+  int best_paper_iteration = 0;
+  float best_map = 0.0f;
+};
+
+// The standard benchmark dataset: deterministic synthetic IndianFood10
+// with the paper's composition statistics.
+FoodDataset StandardDataset();
+
+// Returns the standard dataset's spec (for benches that need geometry
+// without generating images).
+DatasetSpec StandardSpec();
+
+// The standard detector cfg used across benches.
+std::string StandardCfg();
+
+// Trains (or loads from thali_cache) the shared model; `log` enables
+// training progress output. Aborts the process on unrecoverable errors —
+// benches have no error channel to propagate through.
+SharedModel EnsureTrainedModel(bool log = true);
+
+}  // namespace bench
+}  // namespace thali
+
+#endif  // THALI_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,72 @@
+// End-to-end inference benchmark: the paper's framing of YOLO as "a fast
+// one-stage object detector". Measures full Detector::Detect latency
+// (forward + decode + NMS) on the yolov4-thali network, with and without
+// batch-norm folding, plus the letterboxed path for off-size inputs.
+//
+// Uses randomly initialized weights: inference cost is independent of the
+// weight values, so this bench never needs the trained-model cache.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/detector.h"
+#include "data/food_classes.h"
+#include "data/renderer.h"
+
+namespace thali {
+namespace {
+
+Image BenchImage(int size) {
+  PlatterRenderer::Options ro;
+  ro.width = size;
+  ro.height = size;
+  PlatterRenderer renderer(IndianFood10(), ro);
+  Rng rng(4242);
+  return renderer.RenderRandomPlatter(3, rng).image;
+}
+
+void BM_DetectorForward(benchmark::State& state) {
+  auto det_or = Detector::FromCfg(bench::StandardCfg());
+  THALI_CHECK(det_or.ok());
+  Detector det = std::move(det_or).value();
+  Image img = BenchImage(96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.Detect(img, 0.25f, 0.45f));
+  }
+  state.counters["fps"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DetectorForward)->Unit(benchmark::kMillisecond);
+
+void BM_DetectorForwardFusedBn(benchmark::State& state) {
+  auto det_or = Detector::FromCfg(bench::StandardCfg());
+  THALI_CHECK(det_or.ok());
+  Detector det = std::move(det_or).value();
+  det.FuseBatchNorm();
+  Image img = BenchImage(96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.Detect(img, 0.25f, 0.45f));
+  }
+  state.counters["fps"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DetectorForwardFusedBn)->Unit(benchmark::kMillisecond);
+
+void BM_DetectorLetterboxedInput(benchmark::State& state) {
+  // Off-size input exercises letterboxing + box re-mapping.
+  auto det_or = Detector::FromCfg(bench::StandardCfg());
+  THALI_CHECK(det_or.ok());
+  Detector det = std::move(det_or).value();
+  Image img = BenchImage(160);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.Detect(img, 0.25f, 0.45f));
+  }
+}
+BENCHMARK(BM_DetectorLetterboxedInput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace thali
+
+BENCHMARK_MAIN();

@@ -1,0 +1,205 @@
+// Micro-benchmarks (google-benchmark) for the compute kernels behind the
+// detector: GEMM, im2col, convolution forward/backward, the YOLO loss,
+// NMS, IoU and the synthetic renderer / mosaic augmentation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "data/augment.h"
+#include "data/food_classes.h"
+#include "data/renderer.h"
+#include "eval/box.h"
+#include "eval/detection.h"
+#include "nn/conv_layer.h"
+#include "nn/network.h"
+#include "nn/yolo_layer.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+
+namespace thali {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(static_cast<size_t>(n) * n), b(a.size()), c(a.size());
+  for (auto& v : a) v = rng.NextGaussian();
+  for (auto& v : b) v = rng.NextGaussian();
+  for (auto _ : state) {
+    Gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+         c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2Col(benchmark::State& state) {
+  const int c = 32, h = 24, w = 24, k = 3;
+  Rng rng(2);
+  std::vector<float> im(static_cast<size_t>(c) * h * w);
+  for (auto& v : im) v = rng.NextGaussian();
+  std::vector<float> col(static_cast<size_t>(c) * k * k * h * w);
+  for (auto _ : state) {
+    Im2Col(im.data(), c, h, w, k, 1, 1, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_ConvForward(benchmark::State& state) {
+  const int channels = static_cast<int>(state.range(0));
+  Network net(24, 24, channels, 1);
+  ConvLayer::Options o;
+  o.filters = channels;
+  o.ksize = 3;
+  o.stride = 1;
+  o.pad = 1;
+  o.batch_normalize = true;
+  o.activation = Activation::kMish;
+  net.Add(std::make_unique<ConvLayer>(o));
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(3);
+  static_cast<ConvLayer&>(net.layer(0)).InitWeights(rng);
+  Tensor input(net.input_shape());
+  for (int64_t i = 0; i < input.size(); ++i) input[i] = rng.NextGaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(input).data());
+  }
+}
+BENCHMARK(BM_ConvForward)->Arg(16)->Arg(64);
+
+void BM_ConvTrainStep(benchmark::State& state) {
+  Network net(24, 24, 16, 2);
+  ConvLayer::Options o;
+  o.filters = 32;
+  o.ksize = 3;
+  o.stride = 1;
+  o.pad = 1;
+  o.batch_normalize = true;
+  o.activation = Activation::kLeaky;
+  net.Add(std::make_unique<ConvLayer>(o));
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(4);
+  static_cast<ConvLayer&>(net.layer(0)).InitWeights(rng);
+  Tensor input(net.input_shape());
+  for (int64_t i = 0; i < input.size(); ++i) input[i] = rng.NextGaussian();
+  for (auto _ : state) {
+    net.Forward(input, /*train=*/true);
+    net.layer(0).delta().Fill(0.01f);
+    net.Backward(input);
+    net.ZeroGrads();
+  }
+}
+BENCHMARK(BM_ConvTrainStep);
+
+void BM_YoloLoss(benchmark::State& state) {
+  YoloLayer::Options yo;
+  yo.anchors = {{10, 10}, {26, 26}, {55, 55}};
+  yo.mask = {0, 1, 2};
+  yo.classes = 10;
+  Network net(12, 12, 45, 4);
+  net.Add(std::make_unique<YoloLayer>(yo));
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(5);
+  Tensor input(net.input_shape());
+  for (int64_t i = 0; i < input.size(); ++i) input[i] = rng.NextGaussian();
+  net.Forward(input, true);
+  TruthBatch truths(4);
+  for (auto& t : truths) {
+    t.push_back({Box{0.5f, 0.5f, 0.4f, 0.4f}, 3});
+    t.push_back({Box{0.2f, 0.7f, 0.2f, 0.25f}, 7});
+  }
+  auto* yolo = static_cast<YoloLayer*>(&net.layer(0));
+  for (auto _ : state) {
+    net.ZeroDeltas();
+    benchmark::DoNotOptimize(yolo->ComputeLoss(truths, 96, 96));
+  }
+}
+BENCHMARK(BM_YoloLoss);
+
+void BM_Iou(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<Box> boxes(1000);
+  for (auto& b : boxes) {
+    b = Box{rng.NextFloat(), rng.NextFloat(), rng.NextFloat(0.05f, 0.4f),
+            rng.NextFloat(0.05f, 0.4f)};
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Iou(boxes[i % 1000], boxes[(i * 7 + 13) % 1000]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Iou);
+
+void BM_CiouGrad(benchmark::State& state) {
+  Box p{0.5f, 0.5f, 0.3f, 0.25f};
+  Box t{0.55f, 0.45f, 0.28f, 0.3f};
+  float g[4];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CiouGrad(p, t, g));
+  }
+}
+BENCHMARK(BM_CiouGrad);
+
+void BM_Nms(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<Detection> dets(static_cast<size_t>(n));
+  for (auto& d : dets) {
+    d.box = Box{rng.NextFloat(), rng.NextFloat(), rng.NextFloat(0.05f, 0.3f),
+                rng.NextFloat(0.05f, 0.3f)};
+    d.class_id = rng.NextInt(0, 9);
+    d.confidence = rng.NextFloat();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Nms(dets, 0.45f));
+  }
+}
+BENCHMARK(BM_Nms)->Arg(100)->Arg(1000);
+
+void BM_RenderSingleDish(benchmark::State& state) {
+  PlatterRenderer renderer(IndianFood10(), PlatterRenderer::Options{});
+  Rng rng(8);
+  int cls = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        renderer.RenderSingleDish(cls++ % 10, rng).image.data());
+  }
+}
+BENCHMARK(BM_RenderSingleDish);
+
+void BM_RenderPlatter(benchmark::State& state) {
+  PlatterRenderer renderer(IndianFood10(), PlatterRenderer::Options{});
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        renderer.RenderRandomPlatter(3, rng).image.data());
+  }
+}
+BENCHMARK(BM_RenderPlatter);
+
+void BM_MosaicAugment(benchmark::State& state) {
+  PlatterRenderer renderer(IndianFood10(), PlatterRenderer::Options{});
+  Rng rng(10);
+  std::array<Sample, 4> parts;
+  for (int i = 0; i < 4; ++i) {
+    RenderedScene s = renderer.RenderSingleDish(i, rng);
+    parts[static_cast<size_t>(i)] = Sample{s.image, s.truths};
+  }
+  AugmentOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MosaicCombine(parts, opts, rng).image.data());
+  }
+}
+BENCHMARK(BM_MosaicAugment);
+
+}  // namespace
+}  // namespace thali
+
+BENCHMARK_MAIN();

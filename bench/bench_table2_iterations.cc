@@ -1,0 +1,77 @@
+// Reproduces Table II — mean Average Precision at each training
+// checkpoint (paper iterations 7000..20000, every 1000; our schedule is
+// the same divided by kIterationDivisor).
+//
+// The shape to reproduce: mAP rises quickly, plateaus around its maximum
+// well before the end of training, and the best checkpoint is *not* the
+// last one (the paper's best is 91.76% at iteration 10000).
+
+#include <cstdio>
+
+#include "base/string_util.h"
+#include "base/table_printer.h"
+#include "bench_common.h"
+
+namespace {
+
+struct PaperRow {
+  int iterations;
+  float map;
+  float f1;
+};
+
+// Table II of the paper.
+constexpr PaperRow kPaper[] = {
+    {7000, 90.49f, 0.89f},  {8000, 91.57f, 0.90f},  {9000, 90.75f, 0.89f},
+    {10000, 91.76f, 0.90f}, {11000, 90.99f, 0.90f}, {12000, 90.80f, 0.90f},
+    {13000, 91.03f, 0.90f}, {14000, 90.41f, 0.90f}, {15000, 90.26f, 0.90f},
+    {16000, 90.28f, 0.90f}, {17000, 90.83f, 0.91f}, {18000, 89.89f, 0.90f},
+    {19000, 90.16f, 0.91f}, {20000, 90.83f, 0.91f},
+};
+
+}  // namespace
+
+int main() {
+  using namespace thali;
+  using namespace thali::bench;
+
+  SharedModel model = EnsureTrainedModel();
+
+  TablePrinter table(
+      "TABLE II — Mean Average Precision for each iterations checkpoint");
+  table.SetHeader({"Paper iter", "Ours iter", "mAP paper (%)", "mAP ours (%)",
+                   "F1 paper", "F1 ours"});
+  for (const PaperRow& p : kPaper) {
+    const CheckpointMetric* ours = nullptr;
+    for (const CheckpointMetric& m : model.table2) {
+      if (m.paper_iteration == p.iterations) ours = &m;
+    }
+    table.AddRow({std::to_string(p.iterations),
+                  ours ? std::to_string(ours->our_iteration) : "-",
+                  StrFormat("%.2f", p.map),
+                  ours ? StrFormat("%.2f", ours->map * 100) : "-",
+                  StrFormat("%.2f", p.f1),
+                  ours ? StrFormat("%.2f", ours->f1) : "-"});
+  }
+  table.Print();
+
+  // Shape statistics: plateau spread and best-checkpoint position.
+  float min_map = 1.0f, max_map = 0.0f;
+  for (const CheckpointMetric& m : model.table2) {
+    min_map = std::min(min_map, m.map);
+    max_map = std::max(max_map, m.map);
+  }
+  std::printf(
+      "Best checkpoint: paper iteration %d (mAP %.2f%%). Paper's best: "
+      "10000 (91.76%%).\n",
+      model.best_paper_iteration, model.best_map * 100);
+  std::printf(
+      "Plateau spread across checkpoints: ours %.2f points (paper: "
+      "%.2f points, 89.89..91.76).\n",
+      (max_map - min_map) * 100, 91.76f - 89.89f);
+  std::printf(
+      "Shape check: best checkpoint precedes the final iteration in both "
+      "(paper 10000 < 20000; ours %d < %d).\n",
+      model.best_paper_iteration, kPaperMaxIteration);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Quickstart: generate a small synthetic IndianFood10 dataset, fine-tune
+// the yolov4-thali detector, and detect dishes on a fresh platter image.
+//
+// Run from anywhere; artifacts (weights) are cached in ./thali_cache so a
+// second run skips training.
+
+#include <cstdio>
+
+#include "base/file_util.h"
+#include "base/logging.h"
+#include "base/stopwatch.h"
+#include "base/string_util.h"
+#include "core/detector.h"
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "darknet/model_zoo.h"
+#include "data/food_classes.h"
+#include "data/renderer.h"
+#include "image/image_io.h"
+
+namespace {
+
+constexpr char kCacheDir[] = "thali_cache";
+constexpr char kWeights[] = "thali_cache/quickstart.weights";
+constexpr char kBenchWeights[] = "thali_cache/main.weights";
+
+}  // namespace
+
+int main() {
+  using namespace thali;
+
+  const auto& classes = IndianFood10();
+  const std::vector<std::string> names = ClassDisplayNames(classes);
+
+  YoloThaliOptions yopts;
+  yopts.classes = static_cast<int>(classes.size());
+  yopts.max_batches = 600;
+  const std::string cfg = YoloThaliCfg(yopts);
+
+  THALI_CHECK_OK(MakeDirs(kCacheDir));
+
+  // Prefer the fully-trained benchmark model when present (built by any
+  // bench_table* binary); otherwise quick-train a small one.
+  const char* weights_path = PathExists(kBenchWeights) ? kBenchWeights
+                                                       : kWeights;
+  if (!PathExists(weights_path)) {
+    std::printf("== No cached model; training yolov4-thali from scratch ==\n");
+    DatasetSpec spec;
+    spec.num_images = 600;
+    FoodDataset dataset = FoodDataset::Generate(classes, spec);
+    const DatasetStats stats = dataset.ComputeStats();
+    std::printf("dataset: %d images, %d platters, %d annotations\n",
+                stats.num_images, stats.num_platters, stats.num_annotations);
+
+    TransferTrainer::Options topts;
+    topts.cfg_text = cfg;
+    topts.log_every = 50;
+    auto trainer_or = TransferTrainer::Create(topts);
+    THALI_CHECK(trainer_or.ok()) << trainer_or.status().ToString();
+    TransferTrainer trainer = std::move(trainer_or).value();
+
+    Stopwatch sw;
+    THALI_CHECK_OK(trainer.Train(dataset));
+    std::printf("trained %d iterations in %.1fs\n",
+                trainer.trained_iterations(), sw.ElapsedSeconds());
+
+    EvalResult eval = trainer.Evaluate(dataset, dataset.val_indices());
+    std::printf("validation mAP@0.5 = %.2f%%   F1 = %.2f\n", eval.map * 100,
+                eval.f1);
+    THALI_CHECK_OK(trainer.SaveWeightsTo(kWeights));
+    std::printf("saved weights to %s\n", kWeights);
+  }
+
+  std::printf("== Loading detector from %s ==\n", weights_path);
+  auto det_or = Detector::FromFiles(cfg, weights_path);
+  THALI_CHECK(det_or.ok()) << det_or.status().ToString();
+  Detector detector = std::move(det_or).value();
+
+  // Render a fresh 3-dish thali the model has never seen and detect.
+  PlatterRenderer::Options ropts;
+  PlatterRenderer renderer(classes, ropts);
+  Rng rng(424242);
+  RenderedScene scene = renderer.RenderRandomPlatter(3, rng);
+
+  std::printf("\nGround truth:\n");
+  for (const TruthBox& t : scene.truths) {
+    std::printf("  %-14s at %s\n",
+                names[static_cast<size_t>(t.class_id)].c_str(),
+                t.box.ToString().c_str());
+  }
+
+  std::vector<Detection> dets = detector.Detect(scene.image);
+  std::printf("\nDetections:\n");
+  for (const Detection& d : dets) {
+    std::printf("  %-14s conf=%.2f at %s\n",
+                names[static_cast<size_t>(d.class_id)].c_str(), d.confidence,
+                d.box.ToString().c_str());
+  }
+
+  THALI_CHECK_OK(WritePpm(scene.image, "thali_cache/quickstart_platter.ppm"));
+  std::printf("\nPlatter image written to thali_cache/quickstart_platter.ppm\n");
+  std::printf("%s\n", AsciiArt(scene.image, 56).c_str());
+  return 0;
+}

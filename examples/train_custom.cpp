@@ -1,0 +1,135 @@
+// train_custom: command-line fine-tuning harness over the public API.
+// Mirrors the `darknet detector train` entry point: pick a class set,
+// dataset size and schedule, optionally transfer from a pretrained
+// backbone, train, and report mAP/F1 on the held-out split.
+//
+// Usage (all flags optional):
+//   train_custom [--classes10|--classes20] [--images N] [--iters N]
+//                [--lr F] [--iou-norm F] [--batch N] [--size N]
+//                [--pretrain N] [--freeze N] [--no-mosaic] [--seed N]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "base/file_util.h"
+#include "base/stopwatch.h"
+#include "base/string_util.h"
+#include "base/table_printer.h"
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "darknet/model_zoo.h"
+#include "data/food_classes.h"
+
+namespace {
+
+float ArgF(int argc, char** argv, const char* name, float def) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::strtof(argv[i + 1], nullptr);
+  }
+  return def;
+}
+int ArgI(int argc, char** argv, const char* name, int def) {
+  return static_cast<int>(ArgF(argc, argv, name, static_cast<float>(def)));
+}
+bool ArgB(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace thali;
+
+  const bool use20 = ArgB(argc, argv, "--classes20");
+  const auto& classes = use20 ? IndianFood20() : IndianFood10();
+
+  DatasetSpec spec;
+  spec.num_images = ArgI(argc, argv, "--images", 800);
+  spec.width = spec.height = ArgI(argc, argv, "--size", 96);
+  spec.seed = static_cast<uint64_t>(ArgI(argc, argv, "--seed", 20220131));
+
+  YoloThaliOptions yopts;
+  yopts.classes = static_cast<int>(classes.size());
+  yopts.width = spec.width;
+  yopts.height = spec.height;
+  yopts.batch = ArgI(argc, argv, "--batch", 4);
+  yopts.max_batches = ArgI(argc, argv, "--iters", 400);
+  yopts.learning_rate = ArgF(argc, argv, "--lr", 2e-3f);
+  yopts.mosaic = !ArgB(argc, argv, "--no-mosaic");
+  if (ArgB(argc, argv, "--no-aug")) {
+    yopts.mosaic = false;
+    yopts.saturation = 1.0f;
+    yopts.exposure = 1.0f;
+    yopts.hue = 0.0f;
+    yopts.jitter = 0.0f;
+    yopts.flip = false;
+  }
+  const std::string cfg_base = YoloThaliCfg(yopts);
+
+  // Optional override of the CIoU loss weight (ablation knob).
+  std::string cfg = cfg_base;
+  const float iou_norm = ArgF(argc, argv, "--iou-norm", -1.0f);
+  if (iou_norm > 0) {
+    std::string needle = "iou_normalizer=0.07";
+    for (size_t pos = cfg.find(needle); pos != std::string::npos;
+         pos = cfg.find(needle, pos)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "iou_normalizer=%.3f", iou_norm);
+      cfg.replace(pos, needle.size(), buf);
+      pos += std::strlen(buf);
+    }
+  }
+
+  std::printf("generating %d-image dataset (%d classes, %dx%d)...\n",
+              spec.num_images, static_cast<int>(classes.size()), spec.width,
+              spec.height);
+  FoodDataset dataset = FoodDataset::Generate(classes, spec);
+
+  TransferTrainer::Options topts;
+  topts.cfg_text = cfg;
+  topts.seed = static_cast<uint64_t>(ArgI(argc, argv, "--seed", 20220131)) + 3;
+  topts.log_every = ArgI(argc, argv, "--log-every", 50);
+
+  const int pretrain_iters = ArgI(argc, argv, "--pretrain", 0);
+  if (pretrain_iters > 0) {
+    std::printf("pretraining backbone for %d iterations...\n", pretrain_iters);
+    auto backbone = PretrainBackbone("thali_cache", pretrain_iters, spec.width,
+                                     topts.seed + 11, topts.log_every);
+    THALI_CHECK(backbone.ok()) << backbone.status().ToString();
+    topts.pretrained_weights = *backbone;
+    topts.transfer_cutoff = kYoloThaliBackboneCutoff;
+    topts.freeze_cutoff = ArgI(argc, argv, "--freeze", 0);
+  }
+
+  auto trainer_or = TransferTrainer::Create(topts);
+  THALI_CHECK(trainer_or.ok()) << trainer_or.status().ToString();
+  TransferTrainer trainer = std::move(trainer_or).value();
+
+  Stopwatch sw;
+  THALI_CHECK_OK(trainer.Train(dataset));
+  std::printf("trained %d iterations in %.1fs\n", trainer.trained_iterations(),
+              sw.ElapsedSeconds());
+
+  EvalResult eval = trainer.Evaluate(dataset, dataset.val_indices());
+  TablePrinter table("Per-class AP on the 20% validation split");
+  table.SetHeader({"Class", "AP (%)", "truths", "TP", "FP"});
+  for (const ClassMetrics& cm : eval.per_class) {
+    table.AddRow({classes[static_cast<size_t>(cm.class_id)].display_name,
+                  StrFormat("%.1f", cm.ap * 100),
+                  std::to_string(cm.num_truths),
+                  std::to_string(cm.true_positives),
+                  std::to_string(cm.false_positives)});
+  }
+  table.Print();
+  std::printf("mAP@0.5 = %.2f%%   precision=%.2f recall=%.2f F1=%.2f\n",
+              eval.map * 100, eval.precision, eval.recall, eval.f1);
+
+  THALI_CHECK_OK(MakeDirs("thali_cache"));
+  THALI_CHECK_OK(trainer.SaveWeightsTo("thali_cache/custom.weights"));
+  std::printf("weights saved to thali_cache/custom.weights\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "base/file_util.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace thali {
+
+namespace fs = std::filesystem;
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> ReadLines(const std::string& path) {
+  THALI_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  std::vector<std::string> lines;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      size_t len = i - start;
+      if (len > 0 && text[start + len - 1] == '\r') --len;
+      lines.emplace_back(text.substr(start, len));
+      start = i + 1;
+    }
+  }
+  // A trailing newline creates one empty final entry; drop it.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+bool PathExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Status MakeDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IOError("mkdir -p " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+std::string JoinPath(std::string_view a, std::string_view b) {
+  if (a.empty()) return std::string(b);
+  if (b.empty()) return std::string(a);
+  std::string out(a);
+  if (out.back() != '/') out += '/';
+  size_t skip = 0;
+  while (skip < b.size() && b[skip] == '/') ++skip;
+  out += b.substr(skip);
+  return out;
+}
+
+}  // namespace thali

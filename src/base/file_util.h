@@ -1,0 +1,31 @@
+#ifndef THALI_BASE_FILE_UTIL_H_
+#define THALI_BASE_FILE_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+
+namespace thali {
+
+// Reads the whole file into a string (binary-safe).
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Writes `contents` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+// Reads a text file and returns its lines (without trailing newlines).
+StatusOr<std::vector<std::string>> ReadLines(const std::string& path);
+
+// True if a file or directory exists at `path`.
+bool PathExists(const std::string& path);
+
+// Recursively creates `path` as a directory (like mkdir -p).
+Status MakeDirs(const std::string& path);
+
+// Joins two path fragments with exactly one '/'.
+std::string JoinPath(std::string_view a, std::string_view b);
+
+}  // namespace thali
+
+#endif  // THALI_BASE_FILE_UTIL_H_

@@ -1,0 +1,52 @@
+#include "base/logging.h"
+
+#include <cstring>
+
+namespace thali {
+
+namespace {
+LogSeverity g_min_level = LogSeverity::kInfo;
+
+const char* SeverityTag(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+LogSeverity MinLogLevel() { return g_min_level; }
+void SetMinLogLevel(LogSeverity severity) { g_min_level = severity; }
+
+namespace internal {
+
+LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
+    : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << Basename(file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_level || severity_ == LogSeverity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+
+}  // namespace thali

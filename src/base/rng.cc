@@ -1,0 +1,102 @@
+#include "base/rng.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace thali {
+
+namespace {
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextU64Below(uint64_t n) {
+  THALI_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int Rng::NextInt(int lo, int hi) {
+  THALI_CHECK_LE(lo, hi);
+  return lo + static_cast<int>(NextU64Below(
+                  static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1));
+}
+
+float Rng::NextFloat() {
+  // 24 high bits -> [0, 1) float with full mantissa coverage.
+  return static_cast<float>(NextU64() >> 40) * (1.0f / 16777216.0f);
+}
+
+float Rng::NextFloat(float lo, float hi) {
+  return lo + (hi - lo) * NextFloat();
+}
+
+float Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  float u1 = NextFloat();
+  float u2 = NextFloat();
+  // Avoid log(0).
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  const float mag = std::sqrt(-2.0f * std::log(u1));
+  spare_gaussian_ = mag * std::sin(6.28318530718f * u2);
+  has_spare_gaussian_ = true;
+  return mag * std::cos(6.28318530718f * u2);
+}
+
+float Rng::NextGaussian(float mean, float stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+bool Rng::NextBool(float p) { return NextFloat() < p; }
+
+int Rng::NextWeighted(const std::vector<double>& weights) {
+  THALI_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w > 0 ? w : 0;
+  if (total <= 0.0) {
+    return static_cast<int>(NextU64Below(weights.size()));
+  }
+  double pick = NextFloat() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0;
+    if (pick < w) return static_cast<int>(i);
+    pick -= w;
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace thali

@@ -1,0 +1,73 @@
+#ifndef THALI_BASE_STATUSOR_H_
+#define THALI_BASE_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "base/logging.h"
+#include "base/status.h"
+
+namespace thali {
+
+// StatusOr<T> holds either a value of type T or a non-OK Status explaining
+// why the value is absent. Accessing the value of a non-OK StatusOr is a
+// CHECK failure (programmer error), never undefined behaviour.
+template <typename T>
+class StatusOr {
+ public:
+  // Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    THALI_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  // Constructs from a value; the resulting StatusOr is OK.
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    THALI_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    THALI_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    THALI_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Assigns the value of a StatusOr expression to `lhs`, or returns its
+// status from the enclosing function on error.
+#define THALI_ASSIGN_OR_RETURN(lhs, expr)                \
+  THALI_ASSIGN_OR_RETURN_IMPL_(                          \
+      THALI_STATUS_CONCAT_(_statusor_, __LINE__), lhs, expr)
+
+#define THALI_STATUS_CONCAT_INNER_(a, b) a##b
+#define THALI_STATUS_CONCAT_(a, b) THALI_STATUS_CONCAT_INNER_(a, b)
+
+#define THALI_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+}  // namespace thali
+
+#endif  // THALI_BASE_STATUSOR_H_

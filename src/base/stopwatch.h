@@ -1,0 +1,30 @@
+#ifndef THALI_BASE_STOPWATCH_H_
+#define THALI_BASE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace thali {
+
+// Wall-clock stopwatch for harnesses and benches. Library code proper never
+// depends on time; this exists only for reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace thali
+
+#endif  // THALI_BASE_STOPWATCH_H_

@@ -1,0 +1,41 @@
+#ifndef THALI_BASE_STRING_UTIL_H_
+#define THALI_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/statusor.h"
+
+namespace thali {
+
+// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Splits `s` on any whitespace run, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// True if `s` begins with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Lowercases ASCII characters.
+std::string ToLower(std::string_view s);
+
+// Strict numeric parsing: the whole string must be consumed.
+StatusOr<int> ParseInt(std::string_view s);
+StatusOr<float> ParseFloat(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace thali
+
+#endif  // THALI_BASE_STRING_UTIL_H_

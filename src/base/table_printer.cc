@@ -1,0 +1,56 @@
+#include "base/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace thali {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  THALI_CHECK(rows_.empty()) << "SetHeader must precede AddRow";
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  THALI_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << " " << cells[c];
+      for (size_t p = cells[c].size(); p < width[c]; ++p) os << ' ';
+      os << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  size_t total = 1;
+  for (size_t w : width) total += w + 3;
+
+  os << title_ << "\n";
+  os << std::string(total, '-') << "\n";
+  os << render_row(header_);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) os << render_row(row);
+  os << std::string(total, '-') << "\n";
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace thali

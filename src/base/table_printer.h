@@ -1,0 +1,38 @@
+#ifndef THALI_BASE_TABLE_PRINTER_H_
+#define THALI_BASE_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace thali {
+
+// Renders paper-style ASCII tables: the bench harnesses use this to print
+// rows in the same layout as the paper's Tables I-IV so the reproduction
+// can be eyeballed against the original.
+class TablePrinter {
+ public:
+  // `title` is printed above the table (e.g. "TABLE I — Average Precision
+  // for each class").
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  // Sets the column headers. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  // Appends one row; the number of cells must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the full table.
+  std::string ToString() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace thali
+
+#endif  // THALI_BASE_TABLE_PRINTER_H_

@@ -1,0 +1,81 @@
+#include "baseline/ssd_detector.h"
+
+#include "nn/conv_layer.h"
+#include "nn/maxpool_layer.h"
+
+namespace thali {
+
+namespace {
+
+std::unique_ptr<ConvLayer> Conv(int filters, int ksize, int stride,
+                                Activation act, bool bn = true) {
+  ConvLayer::Options o;
+  o.filters = filters;
+  o.ksize = ksize;
+  o.stride = stride;
+  o.pad = ksize / 2;
+  o.batch_normalize = bn;
+  o.activation = act;
+  return std::make_unique<ConvLayer>(o);
+}
+
+}  // namespace
+
+StatusOr<SsdBaseline> BuildSsdBaseline(int classes, int width, int height,
+                                       int batch, BaselineTier tier,
+                                       Rng& rng) {
+  if (width % 16 != 0 || height % 16 != 0) {
+    return Status::InvalidArgument("baseline input must be divisible by 16");
+  }
+  SsdBaseline out;
+  out.width = width;
+  out.height = height;
+  out.net = std::make_unique<Network>(width, height, 3, batch);
+  Network& net = *out.net;
+
+  const bool legacy = tier == BaselineTier::kLegacy;
+  const int base = legacy ? 6 : 12;
+
+  // Plain VGG-style feature extractor down to stride 16; single scale.
+  net.Add(Conv(base, 3, 2, Activation::kLeaky));       // /2
+  net.Add(Conv(base * 2, 3, 2, Activation::kLeaky));   // /4
+  net.Add(Conv(base * 2, 3, 1, Activation::kLeaky));
+  net.Add(std::make_unique<MaxPoolLayer>(MaxPoolLayer::Options{2, 2, -1}));
+  net.Add(Conv(base * 4, 3, 1, Activation::kLeaky));   // /8
+  net.Add(std::make_unique<MaxPoolLayer>(MaxPoolLayer::Options{2, 2, -1}));
+  net.Add(Conv(base * 4, 3, 1, Activation::kLeaky));   // /16
+  if (!legacy) {
+    net.Add(Conv(base * 8, 3, 1, Activation::kLeaky));
+    net.Add(Conv(base * 4, 1, 1, Activation::kLeaky));
+  }
+
+  SsdHeadLayer::Options ho;
+  ho.classes = classes;
+  const float ax = width / 96.0f;
+  const float ay = height / 96.0f;
+  if (legacy) {
+    ho.anchors = {{48 * ax, 48 * ay}};
+  } else {
+    ho.anchors = {{16 * ax, 16 * ay},
+                  {32 * ax, 32 * ay},
+                  {48 * ax, 40 * ay},
+                  {64 * ax, 64 * ay},
+                  {84 * ax, 72 * ay}};
+  }
+  const int head_channels =
+      static_cast<int>(ho.anchors.size()) * (5 + classes);
+  net.Add(Conv(head_channels, 1, 1, Activation::kLinear, /*bn=*/false));
+  auto head = std::make_unique<SsdHeadLayer>(ho);
+  out.head = head.get();
+  net.Add(std::move(head));
+
+  THALI_RETURN_IF_ERROR(net.Finalize());
+  for (int i = 0; i < net.num_layers(); ++i) {
+    if (std::string_view(net.layer(i).kind()) == "convolutional") {
+      static_cast<ConvLayer&>(net.layer(i)).InitWeights(rng);
+    }
+  }
+  return out;
+}
+
+}  // namespace thali

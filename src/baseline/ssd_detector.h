@@ -1,0 +1,34 @@
+#ifndef THALI_BASELINE_SSD_DETECTOR_H_
+#define THALI_BASELINE_SSD_DETECTOR_H_
+
+#include <memory>
+
+#include "base/rng.h"
+#include "base/statusor.h"
+#include "baseline/ssd_head_layer.h"
+#include "nn/network.h"
+
+namespace thali {
+
+// Builder for the Table III comparison baselines. `kModern` is an
+// SSD-style single-scale detector with a plain (non-CSP) backbone;
+// `kLegacy` narrows the backbone and uses a single anchor — standing in
+// for the older/weaker pipeline whose published number (67.7%) trails the
+// SSD one (76.9%).
+enum class BaselineTier { kLegacy, kModern };
+
+struct SsdBaseline {
+  std::unique_ptr<Network> net;
+  SsdHeadLayer* head = nullptr;  // owned by net
+  int width = 96;
+  int height = 96;
+};
+
+// Builds a single-scale baseline detector for `classes` classes at
+// (width x height x 3) input with the given batch size.
+StatusOr<SsdBaseline> BuildSsdBaseline(int classes, int width, int height,
+                                       int batch, BaselineTier tier, Rng& rng);
+
+}  // namespace thali
+
+#endif  // THALI_BASELINE_SSD_DETECTOR_H_

@@ -1,0 +1,105 @@
+#include "core/detector.h"
+
+#include <algorithm>
+
+#include "darknet/weights_io.h"
+#include "nn/conv_layer.h"
+
+namespace thali {
+
+StatusOr<Detector> Detector::FromCfg(const std::string& cfg_text,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  THALI_ASSIGN_OR_RETURN(BuiltNetwork built,
+                         BuildNetworkFromCfg(cfg_text, /*batch_override=*/1,
+                                             rng));
+  std::vector<DetectionHead*> heads(built.yolo_layers.begin(),
+                                    built.yolo_layers.end());
+  return Detector(std::move(built.net), std::move(heads));
+}
+
+StatusOr<Detector> Detector::FromFiles(const std::string& cfg_text,
+                                       const std::string& weights_path,
+                                       uint64_t seed) {
+  THALI_ASSIGN_OR_RETURN(Detector det, FromCfg(cfg_text, seed));
+  THALI_ASSIGN_OR_RETURN(int loaded,
+                         LoadWeights(det.network(), weights_path));
+  if (loaded == 0) return Status::Corruption("no layers loaded");
+  return det;
+}
+
+Detector::Detector(std::unique_ptr<Network> net,
+                   std::vector<DetectionHead*> heads, Options options)
+    : net_(std::move(net)), heads_(std::move(heads)), opts_(options) {
+  THALI_CHECK(net_ != nullptr);
+  THALI_CHECK(!heads_.empty()) << "network has no detection heads";
+  THALI_CHECK_EQ(net_->batch(), 1) << "Detector requires a batch-1 network";
+}
+
+std::vector<Detection> CollectDetections(
+    const std::vector<DetectionHead*>& heads, int b, float conf_threshold,
+    float nms_threshold, int net_w, int net_h) {
+  std::vector<Detection> all;
+  for (DetectionHead* head : heads) {
+    std::vector<Detection> dets =
+        head->GetDetections(b, conf_threshold, net_w, net_h);
+    all.insert(all.end(), dets.begin(), dets.end());
+  }
+  return Nms(std::move(all), nms_threshold);
+}
+
+std::vector<Detection> Detector::Detect(const Image& image) const {
+  return Detect(image, opts_.conf_threshold, opts_.nms_threshold);
+}
+
+std::vector<Detection> Detector::Detect(const Image& image,
+                                        float conf_threshold,
+                                        float nms_threshold) const {
+  const int nw = net_->input_width();
+  const int nh = net_->input_height();
+
+  // Letterbox when the image geometry differs from the network.
+  const bool direct = image.width() == nw && image.height() == nh;
+  float scale = 1.0f;
+  int pad_x = 0, pad_y = 0;
+  const Image* net_input = &image;
+  Letterbox lb;
+  if (!direct) {
+    lb = LetterboxImage(image, nw, nh);
+    scale = lb.scale;
+    pad_x = lb.pad_x;
+    pad_y = lb.pad_y;
+    net_input = &lb.image;
+  }
+
+  Tensor input(Shape({1, 3, nh, nw}));
+  std::copy(net_input->data(), net_input->data() + net_input->size(),
+            input.data());
+  net_->Forward(input, /*train=*/false);
+
+  std::vector<Detection> dets = CollectDetections(
+      heads_, 0, conf_threshold, nms_threshold, nw, nh);
+
+  if (!direct) {
+    // Map boxes from network frame back into image-normalized frame.
+    for (Detection& d : dets) {
+      const float px = d.box.x * nw - pad_x;
+      const float py = d.box.y * nh - pad_y;
+      d.box.x = px / scale / image.width();
+      d.box.y = py / scale / image.height();
+      d.box.w = d.box.w * nw / scale / image.width();
+      d.box.h = d.box.h * nh / scale / image.height();
+    }
+  }
+  return dets;
+}
+
+void Detector::FuseBatchNorm() {
+  for (int i = 0; i < net_->num_layers(); ++i) {
+    if (std::string_view(net_->layer(i).kind()) == "convolutional") {
+      static_cast<ConvLayer&>(net_->layer(i)).FoldBatchNorm();
+    }
+  }
+}
+
+}  // namespace thali

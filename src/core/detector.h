@@ -1,0 +1,79 @@
+#ifndef THALI_CORE_DETECTOR_H_
+#define THALI_CORE_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "darknet/cfg.h"
+#include "eval/detection.h"
+#include "image/image.h"
+#include "nn/detection_head.h"
+#include "nn/network.h"
+
+namespace thali {
+
+// The public inference API: owns a network plus its detection heads and
+// turns an Image into a list of Detections (boxes normalized to [0,1] of
+// the *input image*, so callers never see network coordinates).
+class Detector {
+ public:
+  struct Options {
+    float conf_threshold = 0.25f;
+    float nms_threshold = 0.45f;
+  };
+
+  // Builds from cfg text with random weights (callers then LoadFromFile
+  // or are handed a trained network by the trainer).
+  static StatusOr<Detector> FromCfg(const std::string& cfg_text,
+                                    uint64_t seed = 7);
+
+  // Builds from cfg text and a .weights checkpoint.
+  static StatusOr<Detector> FromFiles(const std::string& cfg_text,
+                                      const std::string& weights_path,
+                                      uint64_t seed = 7);
+
+  // Takes ownership of an existing network (e.g. a freshly trained one).
+  // `heads` must point into `net`.
+  Detector(std::unique_ptr<Network> net, std::vector<DetectionHead*> heads,
+           Options options);
+  Detector(std::unique_ptr<Network> net, std::vector<DetectionHead*> heads)
+      : Detector(std::move(net), std::move(heads), Options()) {}
+
+  Detector(Detector&&) = default;
+  Detector& operator=(Detector&&) = default;
+
+  // Runs detection on one image. Images whose size differs from the
+  // network input are letterboxed; returned boxes are mapped back to the
+  // original image frame and NMS-filtered, sorted by confidence.
+  std::vector<Detection> Detect(const Image& image) const;
+
+  // As Detect, with explicit thresholds.
+  std::vector<Detection> Detect(const Image& image, float conf_threshold,
+                                float nms_threshold) const;
+
+  Network& network() { return *net_; }
+  const Options& options() const { return opts_; }
+  void set_options(const Options& o) { opts_ = o; }
+
+  // Folds batch norms for faster inference (irreversible; do not train
+  // afterwards).
+  void FuseBatchNorm();
+
+ private:
+  std::unique_ptr<Network> net_;
+  std::vector<DetectionHead*> heads_;
+  Options opts_;
+};
+
+// Shared by the trainer, benches and Detector: runs the already-forwarded
+// heads for batch item `b`, NMS-merges across heads. Boxes stay in
+// network-input normalized coordinates.
+std::vector<Detection> CollectDetections(
+    const std::vector<DetectionHead*>& heads, int b, float conf_threshold,
+    float nms_threshold, int net_w, int net_h);
+
+}  // namespace thali
+
+#endif  // THALI_CORE_DETECTOR_H_

@@ -1,0 +1,129 @@
+#include "core/pipeline.h"
+
+#include "base/file_util.h"
+#include "base/string_util.h"
+#include "darknet/model_zoo.h"
+#include "darknet/weights_io.h"
+#include "data/food_classes.h"
+
+namespace thali {
+
+StatusOr<std::string> PretrainBackbone(const std::string& work_dir,
+                                       int iterations, int input_size,
+                                       uint64_t seed, int log_every) {
+  THALI_RETURN_IF_ERROR(MakeDirs(work_dir));
+  const std::string path = JoinPath(work_dir, "thali_backbone.weights");
+
+  const std::vector<FoodSignature>& objects = PretrainObjects();
+  DatasetSpec spec;
+  spec.num_images = 240;
+  spec.width = input_size;
+  spec.height = input_size;
+  spec.seed = seed;
+  FoodDataset pretrain_ds = FoodDataset::Generate(objects, spec);
+
+  TransferTrainer::Options topts;
+  topts.cfg_text =
+      PretrainCfg(static_cast<int>(objects.size()), input_size, input_size,
+                  /*batch=*/4, /*max_batches=*/iterations);
+  topts.seed = seed + 1;
+  topts.log_every = log_every;
+  THALI_ASSIGN_OR_RETURN(TransferTrainer trainer,
+                         TransferTrainer::Create(topts));
+  THALI_RETURN_IF_ERROR(trainer.Train(pretrain_ds, iterations));
+
+  // Save only the class-independent span: the transfer artifact.
+  THALI_RETURN_IF_ERROR(SaveWeights(trainer.network(), path,
+                                    static_cast<uint64_t>(iterations),
+                                    kYoloThaliBackboneCutoff));
+  return path;
+}
+
+StatusOr<Pipeline::Report> Pipeline::Run() {
+  Report report;
+  auto log_stage = [&](const std::string& stage, const std::string& detail) {
+    report.stages.push_back({stage, detail});
+    THALI_LOG(Info) << "[pipeline] " << stage << ": " << detail;
+  };
+
+  THALI_RETURN_IF_ERROR(MakeDirs(opts_.work_dir));
+  Rng rng(opts_.seed);
+
+  // Stage 1: hashtag popularity analysis (Instagram simulation).
+  HashtagCatalog catalog = HashtagCatalog::BuildIndianFoodCatalog();
+  report.selected_classes = catalog.TopK(opts_.num_classes);
+  log_stage("hashtag analysis",
+            StrFormat("ranked %d dishes, selected top %d", catalog.size(),
+                      opts_.num_classes));
+
+  // Stage 2: scrape post URLs for the selected hashtags.
+  int scraped = 0;
+  for (const HashtagEntry& e : report.selected_classes) {
+    const int posts =
+        opts_.dataset.num_images / std::max(1, opts_.num_classes);
+    scraped += static_cast<int>(catalog.Scrape(e.hashtag, posts, rng).size());
+  }
+  log_stage("scraping", StrFormat("collected %d post records", scraped));
+
+  // Stage 3: "download" images + annotate (the synthetic renderer stands
+  // in for downloaded photos; annotations are exact by construction,
+  // mirroring the manual makesense.ai labels).
+  const std::vector<FoodSignature>& classes =
+      opts_.num_classes <= 10 ? IndianFood10() : IndianFood20();
+  FoodDataset dataset = FoodDataset::Generate(classes, opts_.dataset);
+  report.dataset_stats = dataset.ComputeStats();
+  log_stage("dataset",
+            StrFormat("%d images (%d platters), %d annotations",
+                      report.dataset_stats.num_images,
+                      report.dataset_stats.num_platters,
+                      report.dataset_stats.num_annotations));
+  if (opts_.write_dataset_to_disk) {
+    THALI_RETURN_IF_ERROR(dataset.WriteTo(
+        JoinPath(opts_.work_dir, "indianfood"), ClassDisplayNames(classes)));
+    log_stage("annotation", "YOLO-format labels written to disk");
+  }
+
+  // Stage 4: backbone pretraining (the transfer-learning source task).
+  THALI_ASSIGN_OR_RETURN(
+      std::string backbone,
+      PretrainBackbone(opts_.work_dir, opts_.pretrain_iterations,
+                       opts_.dataset.width, opts_.seed + 7,
+                       opts_.log_every));
+  log_stage("pretraining", "backbone checkpoint at " + backbone);
+
+  // Stage 5: fine-tune on the food dataset.
+  YoloThaliOptions yopts;
+  yopts.classes = static_cast<int>(classes.size());
+  yopts.width = opts_.dataset.width;
+  yopts.height = opts_.dataset.height;
+  if (opts_.finetune_iterations > 0) {
+    yopts.max_batches = opts_.finetune_iterations;
+  }
+  report.cfg_text = YoloThaliCfg(yopts);
+
+  TransferTrainer::Options topts;
+  topts.cfg_text = report.cfg_text;
+  topts.pretrained_weights = backbone;
+  topts.transfer_cutoff = kYoloThaliBackboneCutoff;
+  topts.seed = opts_.seed + 13;
+  topts.log_every = opts_.log_every;
+  THALI_ASSIGN_OR_RETURN(TransferTrainer trainer,
+                         TransferTrainer::Create(topts));
+  THALI_RETURN_IF_ERROR(trainer.Train(dataset, opts_.finetune_iterations));
+  log_stage("fine-tuning",
+            StrFormat("%d iterations, final loss %.3f",
+                      trainer.trained_iterations(),
+                      trainer.last_loss().total));
+
+  // Stage 6: evaluate on the held-out 20%.
+  report.eval = trainer.Evaluate(dataset, dataset.val_indices());
+  log_stage("evaluation",
+            StrFormat("mAP@0.5=%.2f%%  F1=%.2f", report.eval.map * 100,
+                      report.eval.f1));
+
+  report.weights_path = JoinPath(opts_.work_dir, "thali_final.weights");
+  THALI_RETURN_IF_ERROR(trainer.SaveWeightsTo(report.weights_path));
+  return report;
+}
+
+}  // namespace thali

@@ -1,0 +1,65 @@
+#ifndef THALI_CORE_PIPELINE_H_
+#define THALI_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "core/trainer.h"
+#include "data/hashtag_catalog.h"
+
+namespace thali {
+
+// End-to-end realization of the paper's Fig. 3 flow chart:
+//   hashtag popularity analysis -> class selection -> scrape/download
+//   (simulated by the renderer) -> annotation (YOLO txt) -> 80/20 split
+//   -> transfer-learning fine-tune -> evaluation.
+class Pipeline {
+ public:
+  struct Options {
+    int num_classes = 10;       // top-k hashtags to keep
+    DatasetSpec dataset;        // generation parameters
+    int pretrain_iterations = 120;  // simulated "COCO" pretraining
+    int finetune_iterations = 0;    // 0 = the cfg's max_batches
+    std::string work_dir = "thali_cache";  // checkpoints + dataset dumps
+    bool write_dataset_to_disk = false;    // also materialize Darknet layout
+    uint64_t seed = 2022;
+    int log_every = 100;
+  };
+
+  struct StageLog {
+    std::string stage;
+    std::string detail;
+  };
+
+  struct Report {
+    std::vector<StageLog> stages;
+    std::vector<HashtagEntry> selected_classes;
+    DatasetStats dataset_stats;
+    EvalResult eval;
+    std::string weights_path;  // final fine-tuned checkpoint
+    std::string cfg_text;      // the network that was trained
+  };
+
+  explicit Pipeline(const Options& options) : opts_(options) {}
+
+  // Runs every stage; on success the report carries the final metrics and
+  // the checkpoint path.
+  StatusOr<Report> Run();
+
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+};
+
+// Pretrains the yolov4-thali backbone on the synthetic generic-object
+// detection task and writes a backbone-cutoff weights file (this
+// project's yolov4.conv.137). Returns the checkpoint path.
+StatusOr<std::string> PretrainBackbone(const std::string& work_dir,
+                                       int iterations, int input_size,
+                                       uint64_t seed, int log_every = 0);
+
+}  // namespace thali
+
+#endif  // THALI_CORE_PIPELINE_H_

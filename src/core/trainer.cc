@@ -1,0 +1,223 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <array>
+
+#include "base/logging.h"
+#include "base/string_util.h"
+#include "darknet/weights_io.h"
+
+namespace thali {
+
+namespace {
+
+// Copies a CHW image into batch slot `b` of `input`.
+void LoadInputSlot(const Image& img, int b, Tensor& input) {
+  const int64_t plane = input.shape().dim(1) * input.shape().dim(2) *
+                        input.shape().dim(3);
+  THALI_CHECK_EQ(img.size(), plane);
+  std::copy(img.data(), img.data() + img.size(), input.data() + b * plane);
+}
+
+Sample ItemToSample(const FoodDataset::Item& item) {
+  return Sample{item.image, item.truths};
+}
+
+}  // namespace
+
+std::vector<ImageEval> CollectImageEvals(
+    Network& net, const std::vector<DetectionHead*>& heads,
+    const FoodDataset& dataset, const std::vector<int>& indices,
+    float conf_threshold, float nms_threshold) {
+  const int batch = net.batch();
+  const int nw = net.input_width();
+  const int nh = net.input_height();
+  Tensor input(net.input_shape());
+
+  std::vector<ImageEval> evals;
+  evals.reserve(indices.size());
+  for (size_t start = 0; start < indices.size();
+       start += static_cast<size_t>(batch)) {
+    const int n = std::min<int>(batch,
+                                static_cast<int>(indices.size() - start));
+    input.Zero();
+    for (int b = 0; b < n; ++b) {
+      LoadInputSlot(dataset.item(indices[start + static_cast<size_t>(b)]).image,
+                    b, input);
+    }
+    net.Forward(input, /*train=*/false);
+    for (int b = 0; b < n; ++b) {
+      const int idx = indices[start + static_cast<size_t>(b)];
+      ImageEval ev;
+      ev.image_id = idx;
+      ev.detections =
+          CollectDetections(heads, b, conf_threshold, nms_threshold, nw, nh);
+      for (const TruthBox& t : dataset.item(idx).truths) {
+        ev.truths.push_back({t.box, t.class_id});
+      }
+      evals.push_back(std::move(ev));
+    }
+  }
+  return evals;
+}
+
+EvalResult EvaluateDetections(Network& net,
+                              const std::vector<DetectionHead*>& heads,
+                              const FoodDataset& dataset,
+                              const std::vector<int>& indices,
+                              int num_classes, const EvalOptions& eval_opts) {
+  std::vector<ImageEval> evals =
+      CollectImageEvals(net, heads, dataset, indices,
+                        eval_opts.conf_threshold, eval_opts.nms_threshold);
+  return Evaluate(evals, num_classes, eval_opts.iou_threshold,
+                  eval_opts.f1_conf_threshold);
+}
+
+HeadLossStats RunTrainingLoop(Network& net,
+                              const std::vector<DetectionHead*>& heads,
+                              const FoodDataset& dataset,
+                              const std::vector<int>& train_indices,
+                              SgdOptimizer& optimizer,
+                              const TrainLoopOptions& options,
+                              int checkpoint_every,
+                              const CheckpointFn& checkpoint,
+                              HeadLossStats* live_stats) {
+  THALI_CHECK(!train_indices.empty());
+  THALI_CHECK(!heads.empty());
+  Rng rng(options.seed);
+  const int batch = net.batch();
+  const int nw = net.input_width();
+  const int nh = net.input_height();
+  Tensor input(net.input_shape());
+  HeadLossStats last;
+
+  auto draw_sample = [&]() -> Sample {
+    const int idx = train_indices[static_cast<size_t>(
+        rng.NextU64Below(train_indices.size()))];
+    return ItemToSample(dataset.item(idx));
+  };
+
+  for (int iter = 1; iter <= options.iterations; ++iter) {
+    TruthBatch truths(static_cast<size_t>(batch));
+    for (int b = 0; b < batch; ++b) {
+      Sample s;
+      if (options.augment.mosaic && rng.NextBool(options.mosaic_probability)) {
+        std::array<Sample, 4> parts = {draw_sample(), draw_sample(),
+                                       draw_sample(), draw_sample()};
+        s = MosaicCombine(parts, options.augment, rng);
+        // HSV/flip also applied on top, as Darknet does.
+        AugmentOptions post = options.augment;
+        post.jitter = 0.0f;
+        s = AugmentSample(s, post, rng);
+      } else {
+        s = AugmentSample(draw_sample(), options.augment, rng);
+      }
+      LoadInputSlot(s.image, b, input);
+      truths[static_cast<size_t>(b)] = std::move(s.truths);
+    }
+
+    net.Forward(input, /*train=*/true);
+    net.ZeroDeltas();
+    HeadLossStats stats;
+    for (DetectionHead* head : heads) {
+      stats += head->ComputeLoss(truths, nw, nh);
+    }
+    net.Backward(input);
+    optimizer.Step(net, iter, 1.0f / batch);
+    last = stats;
+    if (live_stats != nullptr) *live_stats = stats;
+
+    if (options.log_every > 0 && iter % options.log_every == 0) {
+      THALI_LOG(Info) << StrFormat(
+          "iter %4d  loss=%.3f (box=%.3f obj=%.3f cls=%.3f)  avg_iou=%.3f  "
+          "lr=%.5f",
+          iter, stats.total, stats.box, stats.obj, stats.cls, stats.avg_iou,
+          optimizer.options().lr.LearningRateAt(iter));
+    }
+    if (checkpoint_every > 0 && checkpoint && iter % checkpoint_every == 0) {
+      checkpoint(iter);
+    }
+  }
+  return last;
+}
+
+TransferTrainer::TransferTrainer(Options options, BuiltNetwork built)
+    : opts_(std::move(options)), built_(std::move(built)) {
+  for (YoloLayer* y : built_.yolo_layers) heads_.push_back(y);
+  SgdOptimizer::Options so;
+  so.momentum = built_.options.momentum;
+  so.weight_decay = built_.options.decay;
+  so.lr.base_lr = built_.options.learning_rate;
+  so.lr.burn_in = built_.options.burn_in;
+  so.lr.steps = built_.options.steps;
+  so.lr.scales = built_.options.scales;
+  optimizer_ = std::make_unique<SgdOptimizer>(so);
+}
+
+StatusOr<TransferTrainer> TransferTrainer::Create(const Options& options) {
+  Rng rng(options.seed);
+  THALI_ASSIGN_OR_RETURN(
+      BuiltNetwork built,
+      BuildNetworkFromCfg(options.cfg_text, /*batch_override=*/0, rng));
+  if (built.yolo_layers.empty()) {
+    return Status::InvalidArgument("cfg has no [yolo] heads");
+  }
+
+  TransferTrainer trainer(options, std::move(built));
+  if (!options.pretrained_weights.empty()) {
+    THALI_ASSIGN_OR_RETURN(
+        int loaded, LoadWeights(trainer.network(), options.pretrained_weights,
+                                options.transfer_cutoff));
+    THALI_LOG(Info) << "transfer: loaded " << loaded
+                    << " conv layers from " << options.pretrained_weights;
+  }
+  if (options.freeze_cutoff > 0) {
+    trainer.network().FreezeUpTo(options.freeze_cutoff);
+  }
+  return trainer;
+}
+
+Status TransferTrainer::Train(const FoodDataset& dataset, int iterations,
+                              int checkpoint_every,
+                              const CheckpointFn& checkpoint) {
+  if (dataset.train_indices().empty()) {
+    return Status::InvalidArgument("dataset has no training split");
+  }
+  TrainLoopOptions lo;
+  lo.iterations = iterations > 0 ? iterations : built_.options.max_batches;
+  lo.augment.flip = built_.options.flip;
+  lo.augment.jitter = built_.options.jitter;
+  lo.augment.hue = built_.options.hue;
+  lo.augment.saturation = built_.options.saturation;
+  lo.augment.exposure = built_.options.exposure;
+  lo.augment.mosaic = built_.options.mosaic;
+  lo.seed = opts_.seed + 1;
+  lo.log_every = opts_.log_every;
+
+  last_loss_ = RunTrainingLoop(network(), heads_, dataset,
+                               dataset.train_indices(), *optimizer_, lo,
+                               checkpoint_every, checkpoint, &last_loss_);
+  trained_iterations_ += lo.iterations;
+  return Status::OK();
+}
+
+EvalResult TransferTrainer::Evaluate(const FoodDataset& dataset,
+                                     const std::vector<int>& indices,
+                                     const EvalOptions& eval_opts) {
+  return EvaluateDetections(network(), heads_, dataset, indices,
+                            dataset.num_classes(), eval_opts);
+}
+
+Status TransferTrainer::SaveWeightsTo(const std::string& path) const {
+  return SaveWeights(*built_.net, path,
+                     static_cast<uint64_t>(trained_iterations_) *
+                         static_cast<uint64_t>(built_.net->batch()));
+}
+
+StatusOr<Detector> TransferTrainer::MakeDetector(
+    const std::string& scratch_path) const {
+  THALI_RETURN_IF_ERROR(SaveWeightsTo(scratch_path));
+  return Detector::FromFiles(opts_.cfg_text, scratch_path, opts_.seed);
+}
+
+}  // namespace thali

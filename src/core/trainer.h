@@ -1,0 +1,130 @@
+#ifndef THALI_CORE_TRAINER_H_
+#define THALI_CORE_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "core/detector.h"
+#include "darknet/cfg.h"
+#include "data/augment.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "nn/optimizer.h"
+
+namespace thali {
+
+// Evaluates a (already trained or in-training) detection network over the
+// given dataset items: forwards in batches, decodes + NMS, and computes
+// Padilla metrics at `iou_threshold`. Works for the YOLO network and the
+// SSD baseline alike.
+struct EvalOptions {
+  float conf_threshold = 0.005f;  // low: AP integrates the full PR curve
+  float nms_threshold = 0.45f;
+  float iou_threshold = 0.5f;
+  float f1_conf_threshold = 0.25f;  // confidence for the P/R/F1 summary
+};
+EvalResult EvaluateDetections(Network& net,
+                              const std::vector<DetectionHead*>& heads,
+                              const FoodDataset& dataset,
+                              const std::vector<int>& indices,
+                              int num_classes, const EvalOptions& eval_opts);
+
+// Builds the per-image ImageEval records (detections + truths) without
+// aggregating, for confusion matrices and qualitative dumps.
+std::vector<ImageEval> CollectImageEvals(
+    Network& net, const std::vector<DetectionHead*>& heads,
+    const FoodDataset& dataset, const std::vector<int>& indices,
+    float conf_threshold, float nms_threshold);
+
+// One SGD training run over a network with detection heads. Exposed
+// separately from TransferTrainer so the baseline detector trains through
+// the identical loop.
+struct TrainLoopOptions {
+  int iterations = 400;
+  AugmentOptions augment;
+  float mosaic_probability = 0.5f;  // of batch items, when augment.mosaic
+  uint64_t seed = 11;
+  int log_every = 50;  // 0 disables progress logging
+};
+
+// Called after the optimizer step at the given (1-based) iteration.
+using CheckpointFn = std::function<void(int iteration)>;
+
+// Runs the loop; returns the loss stats of the final iteration. When
+// `live_stats` is given it is refreshed after every iteration, so
+// checkpoint callbacks observe current values.
+HeadLossStats RunTrainingLoop(Network& net,
+                              const std::vector<DetectionHead*>& heads,
+                              const FoodDataset& dataset,
+                              const std::vector<int>& train_indices,
+                              SgdOptimizer& optimizer,
+                              const TrainLoopOptions& options,
+                              int checkpoint_every = 0,
+                              const CheckpointFn& checkpoint = nullptr,
+                              HeadLossStats* live_stats = nullptr);
+
+// The paper's method: fine-tune a YOLOv4-family network, optionally from
+// pretrained backbone weights (transfer learning), on an Indian-food
+// dataset.
+class TransferTrainer {
+ public:
+  struct Options {
+    std::string cfg_text;  // network + hyperparameters (Darknet cfg)
+    // Path to pretrained weights (this project's yolov4.conv.137
+    // equivalent); empty trains from scratch.
+    std::string pretrained_weights;
+    // How many layers of the checkpoint to load (kYoloThaliBackboneCutoff
+    // for the standard recipe; -1 = all present).
+    int transfer_cutoff = -1;
+    // Freeze the first N layers during fine-tuning (0 = train all).
+    int freeze_cutoff = 0;
+    uint64_t seed = 11;
+    int log_every = 50;
+  };
+
+  static StatusOr<TransferTrainer> Create(const Options& options);
+
+  TransferTrainer(TransferTrainer&&) = default;
+  TransferTrainer& operator=(TransferTrainer&&) = default;
+
+  // Trains for the cfg's max_batches (or `iterations` if > 0), invoking
+  // `checkpoint` every `checkpoint_every` iterations.
+  Status Train(const FoodDataset& dataset, int iterations = 0,
+               int checkpoint_every = 0,
+               const CheckpointFn& checkpoint = nullptr);
+
+  // Metrics over dataset items (typically dataset.val_indices()).
+  EvalResult Evaluate(const FoodDataset& dataset,
+                      const std::vector<int>& indices,
+                      const EvalOptions& eval_opts = {});
+
+  // Serializes the current weights (Darknet format).
+  Status SaveWeightsTo(const std::string& path) const;
+
+  // Builds a batch-1 Detector carrying the current weights, via a
+  // round-trip through the Darknet weights format at `scratch_path`.
+  StatusOr<Detector> MakeDetector(const std::string& scratch_path) const;
+
+  Network& network() { return *built_.net; }
+  const NetOptions& net_options() const { return built_.options; }
+  const std::vector<DetectionHead*>& heads() const { return heads_; }
+  const HeadLossStats& last_loss() const { return last_loss_; }
+  int trained_iterations() const { return trained_iterations_; }
+
+ private:
+  TransferTrainer(Options options, BuiltNetwork built);
+
+  Options opts_;
+  BuiltNetwork built_;
+  std::vector<DetectionHead*> heads_;
+  std::unique_ptr<SgdOptimizer> optimizer_;
+  HeadLossStats last_loss_;
+  int trained_iterations_ = 0;
+};
+
+}  // namespace thali
+
+#endif  // THALI_CORE_TRAINER_H_

@@ -1,0 +1,299 @@
+#include "darknet/model_zoo.h"
+
+#include <vector>
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace thali {
+
+namespace {
+
+// Appends a [convolutional] section.
+void EmitConv(std::string& cfg, int filters, int size, int stride, bool bn,
+              const char* activation) {
+  cfg += "[convolutional]\n";
+  if (bn) cfg += "batch_normalize=1\n";
+  cfg += StrFormat("filters=%d\nsize=%d\nstride=%d\npad=1\nactivation=%s\n\n",
+                   filters, size, stride, activation);
+}
+
+void EmitMaxpool(std::string& cfg, int size, int stride) {
+  cfg += StrFormat("[maxpool]\nsize=%d\nstride=%d\n\n", size, stride);
+}
+
+std::string JoinInts(const std::vector<int>& v) {
+  std::vector<std::string> parts;
+  parts.reserve(v.size());
+  for (int x : v) parts.push_back(std::to_string(x));
+  return Join(parts, ",");
+}
+
+}  // namespace
+
+std::string YoloThaliCfg(const YoloThaliOptions& o) {
+  THALI_CHECK_EQ(o.width % 32, 0) << "input width must be divisible by 32";
+  THALI_CHECK_EQ(o.height % 32, 0);
+
+  // Anchors tuned for the synthetic platter distribution at 96px input;
+  // scaled linearly for other input sizes.
+  const float ax = o.width / 96.0f;
+  const float ay = o.height / 96.0f;
+  const std::string anchors = StrFormat(
+      "%d,%d, %d,%d, %d,%d, %d,%d, %d,%d, %d,%d, %d,%d, %d,%d, %d,%d",
+      int(10 * ax), int(10 * ay), int(16 * ax), int(14 * ay), int(14 * ax),
+      int(20 * ay), int(26 * ax), int(26 * ay), int(38 * ax), int(30 * ay),
+      int(30 * ax), int(42 * ay), int(55 * ax), int(55 * ay), int(75 * ax),
+      int(60 * ay), int(62 * ax), int(80 * ay));
+
+  auto yolo_section = [&](const char* mask, float scale_xy) {
+    return StrFormat(
+        "[yolo]\nmask=%s\nanchors=%s\nclasses=%d\nignore_thresh=0.7\n"
+        "iou_thresh=%.3f\nscale_x_y=%.2f\niou_normalizer=0.75\n"
+        "cls_normalizer=1.0\n\n",
+        mask, anchors.c_str(), o.classes, o.iou_thresh, scale_xy);
+  };
+
+  const int head_filters = 3 * (5 + o.classes);
+
+  std::string cfg;
+  cfg += StrFormat(
+      "[net]\n"
+      "width=%d\nheight=%d\nchannels=3\nbatch=%d\n"
+      "learning_rate=%g\nmomentum=%g\ndecay=%g\nburn_in=%d\n"
+      "max_batches=%d\nsteps=%d,%d\nscales=0.2,0.1\n"
+      "saturation=%g\nexposure=%g\nhue=%g\nmosaic=%d\njitter=%g\nflip=%d\n\n",
+      o.width, o.height, o.batch, o.learning_rate, o.momentum, o.decay,
+      o.burn_in, o.max_batches, o.max_batches * 4 / 10,
+      o.max_batches * 3 / 4, o.saturation, o.exposure, o.hue,
+      o.mosaic ? 1 : 0, o.jitter, o.flip ? 1 : 0);
+
+  // --- Backbone: CSP blocks with mish (layers 0-26) ---
+  EmitConv(cfg, 8, 3, 2, true, "mish");    // 0: 48x48
+  EmitConv(cfg, 16, 3, 2, true, "mish");   // 1: 24x24
+
+  auto csp_block = [&](int filters) {
+    // Entry conv, channel split, two partial convs, merge, transition,
+    // and the cross-stage concat — the yolov4-tiny CSP pattern.
+    EmitConv(cfg, filters, 3, 1, true, "mish");            // k
+    cfg += "[route]\nlayers=-1\ngroups=2\ngroup_id=1\n\n";  // k+1
+    EmitConv(cfg, filters / 2, 3, 1, true, "mish");        // k+2
+    EmitConv(cfg, filters / 2, 3, 1, true, "mish");        // k+3
+    cfg += "[route]\nlayers=-1,-2\n\n";                     // k+4
+    EmitConv(cfg, filters, 1, 1, true, "mish");            // k+5
+    cfg += "[route]\nlayers=-6,-1\n\n";                     // k+6 (2F ch)
+  };
+
+  csp_block(16);           // layers 2-8 (out: 24x24x32)
+  EmitMaxpool(cfg, 2, 2);  // 9: 12x12
+  csp_block(32);           // layers 10-16 (out: 12x12x64); layer 16 -> P3
+  EmitMaxpool(cfg, 2, 2);  // 17: 6x6
+  csp_block(64);           // layers 18-24; layer 23 (1x1 merge) -> P4
+  EmitMaxpool(cfg, 2, 2);  // 25: 3x3
+  EmitConv(cfg, 128, 3, 1, true, "mish");  // 26: 3x3x128
+
+  // --- SPP (layers 27-34) ---
+  EmitConv(cfg, 64, 1, 1, true, "leaky");  // 27
+  EmitMaxpool(cfg, 5, 1);                  // 28
+  cfg += "[route]\nlayers=-2\n\n";          // 29
+  EmitMaxpool(cfg, 9, 1);                  // 30
+  cfg += "[route]\nlayers=-4\n\n";          // 31
+  EmitMaxpool(cfg, 13, 1);                 // 32
+  cfg += "[route]\nlayers=-1,-3,-5,-6\n\n";  // 33: 256 ch
+  EmitConv(cfg, 64, 1, 1, true, "leaky");  // 34  <- backbone cutoff (35)
+
+  // --- Head P5, stride 32 (layers 35-37) ---
+  EmitConv(cfg, 128, 3, 1, true, "leaky");              // 35
+  EmitConv(cfg, head_filters, 1, 1, false, "linear");   // 36
+  cfg += yolo_section("6,7,8", 1.05f);                   // 37
+
+  // --- PAN up to stride 16 (layers 38-44) ---
+  cfg += "[route]\nlayers=34\n\n";                        // 38
+  EmitConv(cfg, 32, 1, 1, true, "leaky");               // 39
+  cfg += "[upsample]\nstride=2\n\n";                      // 40: 6x6
+  cfg += "[route]\nlayers=-1,23\n\n";                     // 41: 32+64
+  EmitConv(cfg, 64, 3, 1, true, "leaky");               // 42
+  EmitConv(cfg, head_filters, 1, 1, false, "linear");   // 43
+  cfg += yolo_section("3,4,5", 1.1f);                    // 44
+
+  // --- PAN up to stride 8 (layers 45-51) ---
+  cfg += "[route]\nlayers=42\n\n";                        // 45
+  EmitConv(cfg, 16, 1, 1, true, "leaky");               // 46
+  cfg += "[upsample]\nstride=2\n\n";                      // 47: 12x12
+  cfg += "[route]\nlayers=-1,16\n\n";                     // 48: 16+64
+  EmitConv(cfg, 32, 3, 1, true, "leaky");               // 49
+  EmitConv(cfg, head_filters, 1, 1, false, "linear");   // 50
+  cfg += yolo_section("0,1,2", 1.2f);                    // 51
+
+  return cfg;
+}
+
+std::string PretrainCfg(int pretrain_classes, int width, int height, int batch,
+                        int max_batches) {
+  YoloThaliOptions o;
+  o.classes = pretrain_classes;
+  o.width = width;
+  o.height = height;
+  o.batch = batch;
+  o.max_batches = max_batches;
+  o.burn_in = 10;
+  return YoloThaliCfg(o);
+}
+
+std::string FullYoloV4Cfg(int classes, int width, int height,
+                          int width_divisor) {
+  THALI_CHECK_GE(width_divisor, 1);
+  auto f = [width_divisor](int filters) {
+    return std::max(2, filters / width_divisor);
+  };
+
+  std::string cfg = StrFormat(
+      "[net]\nwidth=%d\nheight=%d\nchannels=3\nbatch=1\n"
+      "learning_rate=0.001\nmomentum=0.949\ndecay=0.0005\nburn_in=1000\n"
+      "max_batches=500500\nsteps=400000,450000\nscales=0.1,0.1\nmosaic=1\n\n",
+      width, height);
+
+  int index = -1;  // index of the most recently emitted layer
+  auto conv = [&](int filters, int size, int stride, const char* act) {
+    EmitConv(cfg, filters, size, stride, true, act);
+    return ++index;
+  };
+  auto conv_head = [&](int filters) {
+    EmitConv(cfg, filters, 1, 1, false, "linear");
+    return ++index;
+  };
+  auto route = [&](const std::vector<int>& layers) {
+    cfg += StrFormat("[route]\nlayers=%s\n\n", JoinInts(layers).c_str());
+    return ++index;
+  };
+  auto shortcut = [&](int from) {
+    cfg += StrFormat("[shortcut]\nfrom=%d\nactivation=linear\n\n", from);
+    return ++index;
+  };
+  auto upsample = [&]() {
+    cfg += "[upsample]\nstride=2\n\n";
+    return ++index;
+  };
+  auto maxpool = [&](int size) {
+    EmitMaxpool(cfg, size, 1);
+    return ++index;
+  };
+
+  // CSPDarknet53 stage: downsample to `filters`, then a cross-stage
+  // partial pattern around `blocks` residual units.
+  auto csp_stage = [&](int filters, int blocks, bool first) {
+    conv(f(filters), 3, 2, "mish");
+    const int split_f = first ? f(filters) : f(filters) / 2;
+    const int split_a = conv(split_f, 1, 1, "mish");
+    route({split_a - 1});
+    conv(split_f, 1, 1, "mish");
+    for (int b = 0; b < blocks; ++b) {
+      conv(first ? f(filters) / 2 : split_f, 1, 1, "mish");
+      conv(split_f, 3, 1, "mish");
+      shortcut(-3);
+    }
+    conv(split_f, 1, 1, "mish");
+    route({index, split_a});
+    return conv(f(filters), 1, 1, "mish");  // stage output
+  };
+
+  conv(f(32), 3, 1, "mish");
+  csp_stage(64, 1, true);
+  csp_stage(128, 2, false);
+  const int p3 = csp_stage(256, 8, false);
+  const int p4 = csp_stage(512, 8, false);
+  csp_stage(1024, 4, false);
+
+  // Neck: conv trio + SPP + conv trio.
+  conv(f(512), 1, 1, "leaky");
+  conv(f(1024), 3, 1, "leaky");
+  const int pre_spp = conv(f(512), 1, 1, "leaky");
+  const int m5 = maxpool(5);
+  route({pre_spp});
+  const int m9 = maxpool(9);
+  route({pre_spp});
+  const int m13 = maxpool(13);
+  route({m13, m9, m5, pre_spp});
+  conv(f(512), 1, 1, "leaky");
+  conv(f(1024), 3, 1, "leaky");
+  const int n5 = conv(f(512), 1, 1, "leaky");
+
+  // PAN top-down to P4.
+  conv(f(256), 1, 1, "leaky");
+  const int up4 = upsample();
+  route({p4});
+  const int lat4 = conv(f(256), 1, 1, "leaky");
+  route({lat4, up4});
+  conv(f(256), 1, 1, "leaky");
+  conv(f(512), 3, 1, "leaky");
+  conv(f(256), 1, 1, "leaky");
+  conv(f(512), 3, 1, "leaky");
+  const int n4 = conv(f(256), 1, 1, "leaky");
+
+  // PAN top-down to P3.
+  conv(f(128), 1, 1, "leaky");
+  const int up3 = upsample();
+  route({p3});
+  const int lat3 = conv(f(128), 1, 1, "leaky");
+  route({lat3, up3});
+  conv(f(128), 1, 1, "leaky");
+  conv(f(256), 3, 1, "leaky");
+  conv(f(128), 1, 1, "leaky");
+  conv(f(256), 3, 1, "leaky");
+  const int n3 = conv(f(128), 1, 1, "leaky");
+
+  const float sx = width / 608.0f;
+  const float sy = height / 608.0f;
+  const std::string anchors = StrFormat(
+      "%d,%d, %d,%d, %d,%d, %d,%d, %d,%d, %d,%d, %d,%d, %d,%d, %d,%d",
+      int(12 * sx), int(16 * sy), int(19 * sx), int(36 * sy), int(40 * sx),
+      int(28 * sy), int(36 * sx), int(75 * sy), int(76 * sx), int(55 * sy),
+      int(72 * sx), int(146 * sy), int(142 * sx), int(110 * sy),
+      int(192 * sx), int(243 * sy), int(459 * sx), int(401 * sy));
+  auto yolo = [&](const char* mask, float scale_xy) {
+    cfg += StrFormat(
+        "[yolo]\nmask=%s\nanchors=%s\nclasses=%d\nignore_thresh=0.7\n"
+        "iou_thresh=0.213\nscale_x_y=%.2f\niou_normalizer=0.07\n\n",
+        mask, anchors.c_str(), classes, scale_xy);
+    return ++index;
+  };
+
+  const int head_filters = 3 * (5 + classes);
+
+  // P3 head (stride 8).
+  conv(f(256), 3, 1, "leaky");
+  conv_head(head_filters);
+  yolo("0,1,2", 1.2f);
+
+  // PAN bottom-up to P4 head (stride 16).
+  route({n3});
+  conv(f(256), 3, 2, "leaky");
+  const int down4 = index;
+  route({down4, n4});
+  conv(f(256), 1, 1, "leaky");
+  conv(f(512), 3, 1, "leaky");
+  conv(f(256), 1, 1, "leaky");
+  conv(f(512), 3, 1, "leaky");
+  const int m4 = conv(f(256), 1, 1, "leaky");
+  conv(f(512), 3, 1, "leaky");
+  conv_head(head_filters);
+  yolo("3,4,5", 1.1f);
+
+  // PAN bottom-up to P5 head (stride 32).
+  route({m4});
+  conv(f(512), 3, 2, "leaky");
+  const int down5 = index;
+  route({down5, n5});
+  conv(f(512), 1, 1, "leaky");
+  conv(f(1024), 3, 1, "leaky");
+  conv(f(512), 1, 1, "leaky");
+  conv(f(1024), 3, 1, "leaky");
+  conv(f(512), 1, 1, "leaky");
+  conv(f(1024), 3, 1, "leaky");
+  conv_head(head_filters);
+  yolo("6,7,8", 1.05f);
+
+  return cfg;
+}
+
+}  // namespace thali

@@ -1,0 +1,80 @@
+#include "darknet/summary.h"
+
+#include <sstream>
+#include <string_view>
+
+#include "base/string_util.h"
+#include "nn/conv_layer.h"
+#include "nn/maxpool_layer.h"
+#include "nn/route_layer.h"
+#include "nn/shortcut_layer.h"
+#include "nn/upsample_layer.h"
+
+namespace thali {
+
+namespace {
+
+std::string DimString(const Shape& s) {
+  if (s.rank() != 4) return s.ToString();
+  return StrFormat("%lldx%lldx%lld", static_cast<long long>(s.dim(1)),
+                   static_cast<long long>(s.dim(2)),
+                   static_cast<long long>(s.dim(3)));
+}
+
+}  // namespace
+
+std::string NetworkSummary(const Network& net) {
+  std::ostringstream os;
+  os << StrFormat("%4s  %-14s %8s  %-8s %22s  %10s\n", "idx", "type",
+                  "filters", "size/str", "input -> output", "params");
+
+  int64_t total_params = 0;
+  for (int i = 0; i < net.num_layers(); ++i) {
+    // Params() is non-const by interface; summary only reads sizes.
+    Layer& layer = const_cast<Network&>(net).layer(i);
+    const std::string_view kind = layer.kind();
+
+    std::string filters = "-";
+    std::string geom = "-";
+    if (kind == "convolutional") {
+      const auto& conv = static_cast<const ConvLayer&>(layer);
+      filters = std::to_string(conv.options().filters);
+      geom = StrFormat("%dx%d/%d", conv.options().ksize, conv.options().ksize,
+                       conv.options().stride);
+    } else if (kind == "maxpool") {
+      const auto& pool = static_cast<const MaxPoolLayer&>(layer);
+      geom = StrFormat("%dx%d/%d", pool.options().size, pool.options().size,
+                       pool.options().stride);
+    } else if (kind == "upsample") {
+      geom = StrFormat("x%d", static_cast<const UpsampleLayer&>(layer).stride());
+    } else if (kind == "route") {
+      const auto& route = static_cast<const RouteLayer&>(layer);
+      std::string refs;
+      for (int src : route.source_indices()) {
+        if (!refs.empty()) refs += ",";
+        refs += std::to_string(src);
+      }
+      geom = refs;
+    } else if (kind == "shortcut") {
+      geom = StrFormat(
+          "from %d", static_cast<const ShortcutLayer&>(layer).from_index());
+    }
+
+    int64_t params = 0;
+    for (const Param& p : layer.Params()) params += p.value->size();
+    total_params += params;
+
+    os << StrFormat("%4d  %-14s %8s  %-8s %10s -> %-10s %10lld\n", i,
+                    std::string(kind).c_str(), filters.c_str(), geom.c_str(),
+                    DimString(layer.input_shape()).c_str(),
+                    DimString(layer.output_shape()).c_str(),
+                    static_cast<long long>(params));
+  }
+  os << StrFormat(
+      "total: %lld parameters, %lld floats of shared workspace, batch %d\n",
+      static_cast<long long>(total_params),
+      static_cast<long long>(net.workspace_size()), net.batch());
+  return os.str();
+}
+
+}  // namespace thali

@@ -1,0 +1,22 @@
+#ifndef THALI_DARKNET_SUMMARY_H_
+#define THALI_DARKNET_SUMMARY_H_
+
+#include <string>
+
+#include "nn/network.h"
+
+namespace thali {
+
+// Renders the Darknet-style layer table a `./darknet detector` invocation
+// prints at startup:
+//
+//   idx  type            filters  size/str        input -> output   params
+//     0  convolutional         8  3x3/2    3x96x96 -> 8x48x48          216
+//   ...
+//
+// plus a footer with total parameters and workspace size.
+std::string NetworkSummary(const Network& net);
+
+}  // namespace thali
+
+#endif  // THALI_DARKNET_SUMMARY_H_

@@ -1,0 +1,106 @@
+#include "data/annotation.h"
+
+#include "base/file_util.h"
+#include "base/string_util.h"
+
+namespace thali {
+
+std::string TruthsToYoloText(const std::vector<TruthBox>& truths) {
+  std::string out;
+  for (const TruthBox& t : truths) {
+    out += StrFormat("%d %.6f %.6f %.6f %.6f\n", t.class_id, t.box.x, t.box.y,
+                     t.box.w, t.box.h);
+  }
+  return out;
+}
+
+StatusOr<std::vector<TruthBox>> YoloTextToTruths(const std::string& text) {
+  std::vector<TruthBox> out;
+  int line_no = 0;
+  for (const std::string& line : Split(text, '\n')) {
+    ++line_no;
+    if (StripWhitespace(line).empty()) continue;
+    const std::vector<std::string> parts = SplitWhitespace(line);
+    if (parts.size() != 5) {
+      return Status::Corruption(
+          StrFormat("annotation line %d: want 5 fields, got %zu", line_no,
+                    parts.size()));
+    }
+    TruthBox t;
+    THALI_ASSIGN_OR_RETURN(t.class_id, ParseInt(parts[0]));
+    THALI_ASSIGN_OR_RETURN(t.box.x, ParseFloat(parts[1]));
+    THALI_ASSIGN_OR_RETURN(t.box.y, ParseFloat(parts[2]));
+    THALI_ASSIGN_OR_RETURN(t.box.w, ParseFloat(parts[3]));
+    THALI_ASSIGN_OR_RETURN(t.box.h, ParseFloat(parts[4]));
+    if (t.class_id < 0) {
+      return Status::Corruption(
+          StrFormat("annotation line %d: negative class", line_no));
+    }
+    auto in01 = [](float v) { return v >= 0.0f && v <= 1.0f; };
+    if (!in01(t.box.x) || !in01(t.box.y) || !in01(t.box.w) || !in01(t.box.h)) {
+      return Status::Corruption(
+          StrFormat("annotation line %d: coordinate out of [0,1]", line_no));
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+Status WriteYoloAnnotation(const std::vector<TruthBox>& truths,
+                           const std::string& path) {
+  return WriteStringToFile(path, TruthsToYoloText(truths));
+}
+
+StatusOr<std::vector<TruthBox>> ReadYoloAnnotation(const std::string& path) {
+  THALI_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return YoloTextToTruths(text);
+}
+
+Status WriteNamesFile(const std::vector<std::string>& names,
+                      const std::string& path) {
+  std::string out;
+  for (const std::string& n : names) {
+    out += n;
+    out += '\n';
+  }
+  return WriteStringToFile(path, out);
+}
+
+StatusOr<std::vector<std::string>> ReadNamesFile(const std::string& path) {
+  return ReadLines(path);
+}
+
+Status WriteDataFile(const DataFileSpec& spec, const std::string& path) {
+  std::string out;
+  out += StrFormat("classes=%d\n", spec.classes);
+  out += "train=" + spec.train_list + "\n";
+  out += "valid=" + spec.valid_list + "\n";
+  out += "names=" + spec.names_file + "\n";
+  return WriteStringToFile(path, out);
+}
+
+StatusOr<DataFileSpec> ReadDataFile(const std::string& path) {
+  THALI_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  DataFileSpec spec;
+  for (const std::string& line : lines) {
+    if (StripWhitespace(line).empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::Corruption("bad .data line: " + line);
+    }
+    const std::string key(StripWhitespace(line.substr(0, eq)));
+    const std::string value(StripWhitespace(line.substr(eq + 1)));
+    if (key == "classes") {
+      THALI_ASSIGN_OR_RETURN(spec.classes, ParseInt(value));
+    } else if (key == "train") {
+      spec.train_list = value;
+    } else if (key == "valid") {
+      spec.valid_list = value;
+    } else if (key == "names") {
+      spec.names_file = value;
+    }
+  }
+  return spec;
+}
+
+}  // namespace thali

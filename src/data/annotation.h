@@ -1,0 +1,47 @@
+#ifndef THALI_DATA_ANNOTATION_H_
+#define THALI_DATA_ANNOTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "nn/truth.h"
+
+namespace thali {
+
+// YOLO annotation text format — the format makesense.ai exported for the
+// paper's dataset: one line per object,
+//   <class_id> <cx> <cy> <w> <h>
+// with coordinates normalized to [0,1] of the image.
+
+// Serializes truths to annotation text.
+std::string TruthsToYoloText(const std::vector<TruthBox>& truths);
+
+// Parses annotation text; validates ranges (coordinates in [0,1],
+// non-negative class).
+StatusOr<std::vector<TruthBox>> YoloTextToTruths(const std::string& text);
+
+// Writes/reads one image's annotation file.
+Status WriteYoloAnnotation(const std::vector<TruthBox>& truths,
+                           const std::string& path);
+StatusOr<std::vector<TruthBox>> ReadYoloAnnotation(const std::string& path);
+
+// Darknet dataset descriptor files:
+//   <name>.names — one class name per line
+//   <name>.data  — classes/train/valid/names key-value file
+Status WriteNamesFile(const std::vector<std::string>& names,
+                      const std::string& path);
+StatusOr<std::vector<std::string>> ReadNamesFile(const std::string& path);
+
+struct DataFileSpec {
+  int classes = 0;
+  std::string train_list;  // path to train.txt (one image path per line)
+  std::string valid_list;
+  std::string names_file;
+};
+Status WriteDataFile(const DataFileSpec& spec, const std::string& path);
+StatusOr<DataFileSpec> ReadDataFile(const std::string& path);
+
+}  // namespace thali
+
+#endif  // THALI_DATA_ANNOTATION_H_

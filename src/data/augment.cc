@@ -1,0 +1,124 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thali {
+
+std::vector<TruthBox> CropTruths(const std::vector<TruthBox>& truths,
+                                 float x0, float y0, float x1, float y1,
+                                 float min_box_size) {
+  std::vector<TruthBox> out;
+  const float ww = x1 - x0;
+  const float wh = y1 - y0;
+  if (ww <= 0 || wh <= 0) return out;
+  for (const TruthBox& t : truths) {
+    const float left = std::max(t.box.Left(), x0);
+    const float right = std::min(t.box.Right(), x1);
+    const float top = std::max(t.box.Top(), y0);
+    const float bottom = std::min(t.box.Bottom(), y1);
+    if (right - left < min_box_size * ww || bottom - top < min_box_size * wh) {
+      continue;
+    }
+    TruthBox n = t;
+    n.box = BoxFromCorners((left - x0) / ww, (top - y0) / wh,
+                           (right - x0) / ww, (bottom - y0) / wh);
+    out.push_back(n);
+  }
+  return out;
+}
+
+Sample AugmentSample(const Sample& in, const AugmentOptions& opts, Rng& rng) {
+  Sample out;
+  const int w = in.image.width();
+  const int h = in.image.height();
+
+  // Crop-jitter: sample a window of [1-j, 1] of the image, then resize
+  // back to the original resolution.
+  const float j = std::clamp(opts.jitter, 0.0f, 0.45f);
+  const float crop_w = 1.0f - rng.NextFloat(0.0f, j);
+  const float crop_h = 1.0f - rng.NextFloat(0.0f, j);
+  const float x0 = rng.NextFloat(0.0f, 1.0f - crop_w);
+  const float y0 = rng.NextFloat(0.0f, 1.0f - crop_h);
+  const float x1 = x0 + crop_w;
+  const float y1 = y0 + crop_h;
+
+  Image cropped = Crop(in.image, static_cast<int>(x0 * w),
+                       static_cast<int>(y0 * h),
+                       std::max(1, static_cast<int>(crop_w * w)),
+                       std::max(1, static_cast<int>(crop_h * h)));
+  out.image = Resize(cropped, w, h);
+  out.truths = CropTruths(in.truths, x0, y0, x1, y1, opts.min_box_size);
+
+  if (opts.flip && rng.NextBool(0.5f)) {
+    FlipHorizontal(out.image);
+    for (TruthBox& t : out.truths) t.box.x = 1.0f - t.box.x;
+  }
+
+  // HSV distortion with Darknet's sampling: scale factors in [1/s, s].
+  auto rand_scale = [&](float s) {
+    if (s <= 1.0f) return 1.0f;
+    const float f = rng.NextFloat(1.0f, s);
+    return rng.NextBool(0.5f) ? f : 1.0f / f;
+  };
+  const float dhue = rng.NextFloat(-opts.hue, opts.hue);
+  DistortImageHsv(out.image, dhue, rand_scale(opts.saturation),
+                  rand_scale(opts.exposure));
+  return out;
+}
+
+Sample MosaicCombine(const std::array<Sample, 4>& parts,
+                     const AugmentOptions& opts, Rng& rng) {
+  const int w = parts[0].image.width();
+  const int h = parts[0].image.height();
+  Sample out;
+  out.image = Image(w, h, 3);
+
+  // Mosaic center in [0.3, 0.7] of the canvas.
+  const int cx = static_cast<int>(rng.NextFloat(0.3f, 0.7f) * w);
+  const int cy = static_cast<int>(rng.NextFloat(0.3f, 0.7f) * h);
+
+  // Quadrant q gets the matching corner crop of parts[q], resized to the
+  // quadrant: q0 top-left, q1 top-right, q2 bottom-left, q3 bottom-right.
+  struct Quad {
+    int x, y, qw, qh;
+  };
+  const Quad quads[4] = {
+      {0, 0, cx, cy},
+      {cx, 0, w - cx, cy},
+      {0, cy, cx, h - cy},
+      {cx, cy, w - cx, h - cy},
+  };
+
+  for (int q = 0; q < 4; ++q) {
+    const Quad& k = quads[q];
+    if (k.qw <= 0 || k.qh <= 0) continue;
+    // Take a same-aspect window from the source so boxes stay sensible:
+    // crop a (qw/w, qh/h) fraction anchored to the matching corner.
+    const float fx = static_cast<float>(k.qw) / w;
+    const float fy = static_cast<float>(k.qh) / h;
+    const float sx0 = (q % 2 == 0) ? 1.0f - fx : 0.0f;  // left quads take
+    const float sy0 = (q < 2) ? 1.0f - fy : 0.0f;       // their far corner
+    const float sx1 = sx0 + fx;
+    const float sy1 = sy0 + fy;
+
+    const Sample& src = parts[static_cast<size_t>(q)];
+    Image piece = Crop(src.image, static_cast<int>(sx0 * w),
+                       static_cast<int>(sy0 * h), k.qw, k.qh);
+    Paste(piece, k.x, k.y, out.image);
+
+    for (const TruthBox& t :
+         CropTruths(src.truths, sx0, sy0, sx1, sy1, opts.min_box_size)) {
+      TruthBox n = t;
+      // Window frame -> canvas frame.
+      n.box.x = (k.x + t.box.x * k.qw) / w;
+      n.box.y = (k.y + t.box.y * k.qh) / h;
+      n.box.w = t.box.w * k.qw / w;
+      n.box.h = t.box.h * k.qh / h;
+      out.truths.push_back(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace thali

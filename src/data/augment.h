@@ -1,0 +1,51 @@
+#ifndef THALI_DATA_AUGMENT_H_
+#define THALI_DATA_AUGMENT_H_
+
+#include <array>
+#include <vector>
+
+#include "base/rng.h"
+#include "image/image.h"
+#include "nn/truth.h"
+
+namespace thali {
+
+// Darknet-style training-time augmentation. All functions keep the truth
+// boxes consistent with the transformed pixels; boxes reduced below
+// `min_box_size` (normalized) by cropping are dropped.
+
+struct AugmentOptions {
+  bool flip = true;            // random horizontal mirror
+  float jitter = 0.2f;         // random crop/scale fraction
+  float hue = 0.1f;            // max hue shift (fraction of the wheel)
+  float saturation = 1.5f;     // max saturation scale (sampled in
+                               // [1/s, s], Darknet convention)
+  float exposure = 1.5f;       // max value scale
+  bool mosaic = false;         // 4-image mosaic (YOLOv4)
+  float min_box_size = 0.01f;  // drop boxes smaller than this after crop
+};
+
+// One labelled training sample.
+struct Sample {
+  Image image;
+  std::vector<TruthBox> truths;
+};
+
+// Applies flip + crop-jitter + HSV distortion to a single sample.
+Sample AugmentSample(const Sample& in, const AugmentOptions& opts, Rng& rng);
+
+// YOLOv4 mosaic: stitches 4 samples around a random center point into one
+// canvas of the same size, rescaling boxes into their quadrants.
+Sample MosaicCombine(const std::array<Sample, 4>& parts,
+                     const AugmentOptions& opts, Rng& rng);
+
+// Crops the normalized-coordinates box list to the visible window
+// [x0,y0,x1,y1] (normalized, of the source image) and re-normalizes into
+// the window frame. Exposed for tests.
+std::vector<TruthBox> CropTruths(const std::vector<TruthBox>& truths,
+                                 float x0, float y0, float x1, float y1,
+                                 float min_box_size);
+
+}  // namespace thali
+
+#endif  // THALI_DATA_AUGMENT_H_

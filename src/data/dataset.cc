@@ -1,0 +1,156 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "base/file_util.h"
+#include "base/string_util.h"
+#include "data/annotation.h"
+#include "image/image_io.h"
+
+namespace thali {
+
+FoodDataset FoodDataset::Generate(const std::vector<FoodSignature>& classes,
+                                  const DatasetSpec& spec) {
+  THALI_CHECK_GT(spec.num_images, 0);
+  Rng rng(spec.seed);
+  PlatterRenderer::Options ropts;
+  ropts.width = spec.width;
+  ropts.height = spec.height;
+  PlatterRenderer renderer(classes, ropts);
+
+  FoodDataset ds;
+  ds.spec_ = spec;
+  ds.num_classes_ = static_cast<int>(classes.size());
+  ds.items_.reserve(static_cast<size_t>(spec.num_images));
+
+  const int num_platters =
+      static_cast<int>(spec.num_images * spec.multi_dish_fraction + 0.5f);
+  for (int i = 0; i < spec.num_images; ++i) {
+    Item item;
+    if (i < num_platters) {
+      const int dishes = rng.NextBool(spec.three_dish_fraction) ? 3 : 2;
+      RenderedScene s = renderer.RenderRandomPlatter(dishes, rng);
+      item.image = std::move(s.image);
+      item.truths = std::move(s.truths);
+      item.is_platter = true;
+    } else {
+      // Round-robin classes for a balanced single-dish majority.
+      const int cls = (i - num_platters) % ds.num_classes_;
+      RenderedScene s = renderer.RenderSingleDish(cls, rng);
+      item.image = std::move(s.image);
+      item.truths = std::move(s.truths);
+    }
+    ds.items_.push_back(std::move(item));
+  }
+
+  // Shuffled 80/20 split, deterministic in the seed.
+  std::vector<int> order(static_cast<size_t>(spec.num_images));
+  for (int i = 0; i < spec.num_images; ++i) order[static_cast<size_t>(i)] = i;
+  rng.Shuffle(order);
+  const int n_train = static_cast<int>(spec.num_images * spec.train_fraction);
+  ds.train_.assign(order.begin(), order.begin() + n_train);
+  ds.val_.assign(order.begin() + n_train, order.end());
+  return ds;
+}
+
+DatasetStats FoodDataset::ComputeStats() const {
+  DatasetStats st;
+  st.num_images = size();
+  st.per_class_boxes.assign(static_cast<size_t>(num_classes_), 0);
+  int platter_dishes = 0;
+  for (const Item& it : items_) {
+    st.num_annotations += static_cast<int>(it.truths.size());
+    if (it.is_platter) {
+      ++st.num_platters;
+      platter_dishes += static_cast<int>(it.truths.size());
+    }
+    for (const TruthBox& t : it.truths) {
+      if (t.class_id >= 0 && t.class_id < num_classes_) {
+        ++st.per_class_boxes[static_cast<size_t>(t.class_id)];
+      }
+    }
+  }
+  st.avg_dishes_per_platter =
+      st.num_platters > 0 ? static_cast<float>(platter_dishes) /
+                                static_cast<float>(st.num_platters)
+                          : 0.0f;
+  return st;
+}
+
+Status FoodDataset::WriteTo(const std::string& dir,
+                            const std::vector<std::string>& class_names) const {
+  THALI_RETURN_IF_ERROR(MakeDirs(JoinPath(dir, "images")));
+  THALI_RETURN_IF_ERROR(MakeDirs(JoinPath(dir, "labels")));
+
+  std::vector<std::string> image_paths(items_.size());
+  for (size_t i = 0; i < items_.size(); ++i) {
+    const std::string stem = StrFormat("%06zu", i);
+    image_paths[i] = JoinPath(dir, "images/" + stem + ".ppm");
+    THALI_RETURN_IF_ERROR(WritePpm(items_[i].image, image_paths[i]));
+    THALI_RETURN_IF_ERROR(WriteYoloAnnotation(
+        items_[i].truths, JoinPath(dir, "labels/" + stem + ".txt")));
+  }
+
+  auto write_list = [&](const std::vector<int>& idx,
+                        const std::string& path) -> Status {
+    std::string out;
+    for (int i : idx) {
+      out += image_paths[static_cast<size_t>(i)];
+      out += '\n';
+    }
+    return WriteStringToFile(path, out);
+  };
+  THALI_RETURN_IF_ERROR(write_list(train_, JoinPath(dir, "train.txt")));
+  THALI_RETURN_IF_ERROR(write_list(val_, JoinPath(dir, "valid.txt")));
+  THALI_RETURN_IF_ERROR(
+      WriteNamesFile(class_names, JoinPath(dir, "obj.names")));
+  DataFileSpec dspec;
+  dspec.classes = num_classes_;
+  dspec.train_list = JoinPath(dir, "train.txt");
+  dspec.valid_list = JoinPath(dir, "valid.txt");
+  dspec.names_file = JoinPath(dir, "obj.names");
+  return WriteDataFile(dspec, JoinPath(dir, "obj.data"));
+}
+
+StatusOr<FoodDataset> FoodDataset::LoadFrom(const std::string& dir) {
+  THALI_ASSIGN_OR_RETURN(DataFileSpec dspec,
+                         ReadDataFile(JoinPath(dir, "obj.data")));
+  FoodDataset ds;
+  ds.num_classes_ = dspec.classes;
+
+  THALI_ASSIGN_OR_RETURN(std::vector<std::string> train_paths,
+                         ReadLines(dspec.train_list));
+  THALI_ASSIGN_OR_RETURN(std::vector<std::string> val_paths,
+                         ReadLines(dspec.valid_list));
+
+  auto load_split = [&](const std::vector<std::string>& paths,
+                        std::vector<int>& indices) -> Status {
+    for (const std::string& img_path : paths) {
+      Item item;
+      THALI_ASSIGN_OR_RETURN(item.image, ReadPpm(img_path));
+      // images/NNN.ppm -> labels/NNN.txt
+      std::string label_path = img_path;
+      const size_t pos = label_path.rfind("images/");
+      if (pos == std::string::npos) {
+        return Status::Corruption("unexpected image path: " + img_path);
+      }
+      label_path.replace(pos, 7, "labels/");
+      label_path.replace(label_path.size() - 4, 4, ".txt");
+      THALI_ASSIGN_OR_RETURN(item.truths, ReadYoloAnnotation(label_path));
+      item.is_platter = item.truths.size() > 1;
+      indices.push_back(static_cast<int>(ds.items_.size()));
+      ds.items_.push_back(std::move(item));
+    }
+    return Status::OK();
+  };
+  THALI_RETURN_IF_ERROR(load_split(train_paths, ds.train_));
+  THALI_RETURN_IF_ERROR(load_split(val_paths, ds.val_));
+  if (!ds.items_.empty()) {
+    ds.spec_.width = ds.items_[0].image.width();
+    ds.spec_.height = ds.items_[0].image.height();
+    ds.spec_.num_images = static_cast<int>(ds.items_.size());
+  }
+  return ds;
+}
+
+}  // namespace thali

@@ -1,0 +1,80 @@
+#ifndef THALI_DATA_DATASET_H_
+#define THALI_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "data/renderer.h"
+
+namespace thali {
+
+// Parameters of a generated dataset. The defaults mirror the published
+// IndianFood10 statistics at a CPU-friendly scale:
+//   * 7.3% of images are multi-dish platters (842 / 11,547)
+//   * platters average 2.33 dishes (67% two-dish, 33% three-dish)
+//   * 80/20 train/validation split
+struct DatasetSpec {
+  int num_images = 1000;
+  int width = 96;
+  int height = 96;
+  float multi_dish_fraction = 0.073f;
+  float three_dish_fraction = 0.33f;  // of platters; remainder are 2-dish
+  float train_fraction = 0.8f;
+  uint64_t seed = 20220131;  // deterministic generation
+};
+
+// Aggregate statistics (the numbers the paper reports in §IV-B).
+struct DatasetStats {
+  int num_images = 0;
+  int num_platters = 0;
+  int num_annotations = 0;
+  float avg_dishes_per_platter = 0.0f;
+  std::vector<int> per_class_boxes;
+};
+
+// An in-memory detection dataset: images plus YOLO truths, pre-split into
+// train and validation indices. Generation is deterministic in the spec
+// seed.
+class FoodDataset {
+ public:
+  struct Item {
+    Image image;
+    std::vector<TruthBox> truths;
+    bool is_platter = false;
+  };
+
+  // Renders `spec.num_images` scenes over `classes`, balanced across
+  // classes for the single-dish majority.
+  static FoodDataset Generate(const std::vector<FoodSignature>& classes,
+                              const DatasetSpec& spec);
+
+  int size() const { return static_cast<int>(items_.size()); }
+  const Item& item(int i) const { return items_.at(static_cast<size_t>(i)); }
+  const std::vector<int>& train_indices() const { return train_; }
+  const std::vector<int>& val_indices() const { return val_; }
+  int num_classes() const { return num_classes_; }
+  const DatasetSpec& spec() const { return spec_; }
+
+  DatasetStats ComputeStats() const;
+
+  // Writes the dataset in Darknet on-disk layout:
+  //   dir/images/000000.ppm, dir/labels/000000.txt,
+  //   dir/train.txt, dir/valid.txt, dir/obj.names, dir/obj.data
+  Status WriteTo(const std::string& dir,
+                 const std::vector<std::string>& class_names) const;
+
+  // Reads a dataset previously written by WriteTo.
+  static StatusOr<FoodDataset> LoadFrom(const std::string& dir);
+
+ private:
+  std::vector<Item> items_;
+  std::vector<int> train_;
+  std::vector<int> val_;
+  int num_classes_ = 0;
+  DatasetSpec spec_;
+};
+
+}  // namespace thali
+
+#endif  // THALI_DATA_DATASET_H_

@@ -1,0 +1,232 @@
+#include "data/food_classes.h"
+
+namespace thali {
+
+namespace {
+
+FoodSignature Make(const std::string& name, const std::string& display,
+                   DishShape shape, Color base, Color accent, Color accent2,
+                   float speckle, float size_lo, float size_hi, bool foldable,
+                   bool in_bowl, float kcal, long long popularity) {
+  FoodSignature s;
+  s.name = name;
+  s.display_name = display;
+  s.hashtag = "#" + name;
+  // Hashtags drop the underscore, Instagram-style.
+  for (size_t i = 0; i < s.hashtag.size();) {
+    if (s.hashtag[i] == '_') {
+      s.hashtag.erase(i, 1);
+    } else {
+      ++i;
+    }
+  }
+  s.shape = shape;
+  s.base = base;
+  s.accent = accent;
+  s.accent2 = accent2;
+  s.speckle_density = speckle;
+  s.size_lo = size_lo;
+  s.size_hi = size_hi;
+  s.foldable = foldable;
+  s.in_bowl = in_bowl;
+  s.kcal_per_serving = kcal;
+  s.popularity = popularity;
+  return s;
+}
+
+std::vector<FoodSignature> BuildIndianFood10() {
+  std::vector<FoodSignature> v;
+  // The confusable bread pair: both are brown flat discs; the paratha is
+  // darker with stuffing speckles and char marks, the chapati is plainer
+  // and foldable. Their APs are the paper's two lowest (78.3 / 79.4).
+  v.push_back(Make("aloo_paratha", "Aloo Paratha", DishShape::kFlatDisc,
+                   {0.72f, 0.54f, 0.30f}, {0.45f, 0.30f, 0.14f},
+                   {0.85f, 0.72f, 0.45f}, 0.5f, 0.45f, 0.85f,
+                   /*foldable=*/true, false, 290, 905000));
+  v.push_back(Make("biryani", "Biryani", DishShape::kMound,
+                   {0.88f, 0.62f, 0.28f}, {0.55f, 0.25f, 0.10f},
+                   {0.95f, 0.90f, 0.70f}, 0.85f, 0.5f, 0.9f, false, false,
+                   480, 5200000));
+  v.push_back(Make("chapati", "Chapati", DishShape::kFlatDisc,
+                   {0.80f, 0.62f, 0.38f}, {0.62f, 0.45f, 0.24f},
+                   {0.88f, 0.74f, 0.50f}, 0.18f, 0.45f, 0.85f,
+                   /*foldable=*/true, false, 104, 780000));
+  v.push_back(Make("chicken_tikka", "Chicken Tikka", DishShape::kChunks,
+                   {0.68f, 0.18f, 0.08f}, {0.30f, 0.10f, 0.05f},
+                   {0.20f, 0.55f, 0.20f}, 0.6f, 0.4f, 0.8f, false, false,
+                   270, 1900000));
+  v.push_back(Make("khichdi", "Khichdi", DishShape::kMound,
+                   {0.86f, 0.68f, 0.24f}, {0.70f, 0.52f, 0.16f},
+                   {0.30f, 0.60f, 0.25f}, 0.45f, 0.45f, 0.85f, false, true,
+                   210, 420000));
+  v.push_back(Make("omelette", "Omelette", DishShape::kFlatDisc,
+                   {0.97f, 0.84f, 0.22f}, {0.90f, 0.20f, 0.12f},
+                   {0.98f, 0.93f, 0.55f}, 0.35f, 0.4f, 0.8f,
+                   /*foldable=*/true, false, 150, 2500000));
+  v.push_back(Make("palak_paneer", "Palak Paneer", DishShape::kBowlCurry,
+                   {0.22f, 0.42f, 0.16f}, {0.95f, 0.95f, 0.88f},
+                   {0.90f, 0.85f, 0.60f}, 0.55f, 0.4f, 0.75f, false, true,
+                   340, 1100000));
+  v.push_back(Make("plain_rice", "Plain rice", DishShape::kMound,
+                   {0.97f, 0.96f, 0.93f}, {0.90f, 0.89f, 0.84f},
+                   {0.99f, 0.99f, 0.97f}, 0.15f, 0.45f, 0.85f, false, false,
+                   205, 1600000));
+  v.push_back(Make("poha", "Poha", DishShape::kMound,
+                   {0.93f, 0.76f, 0.30f}, {0.20f, 0.60f, 0.18f},
+                   {0.85f, 0.15f, 0.12f}, 0.9f, 0.45f, 0.8f, false, false,
+                   180, 1300000));
+  v.push_back(Make("rasgulla", "Rasgulla", DishShape::kBallsInBowl,
+                   {0.97f, 0.96f, 0.92f}, {0.90f, 0.88f, 0.78f},
+                   {0.98f, 0.97f, 0.95f}, 0.1f, 0.35f, 0.7f, false, true,
+                   186, 950000));
+  return v;
+}
+
+std::vector<FoodSignature> BuildIndianFood20() {
+  // Table IV of the paper: the IndianFood10 staples regrouped (generic
+  // "Indian Bread" and "Paneer") plus ten more dishes.
+  std::vector<FoodSignature> v;
+  v.push_back(Make("indian_bread", "Indian Bread", DishShape::kFlatDisc,
+                   {0.78f, 0.60f, 0.36f}, {0.58f, 0.42f, 0.22f},
+                   {0.88f, 0.74f, 0.50f}, 0.3f, 0.45f, 0.85f, true, false,
+                   150, 1700000));
+  v.push_back(Make("rasgulla", "Rasgulla", DishShape::kBallsInBowl,
+                   {0.97f, 0.96f, 0.92f}, {0.90f, 0.88f, 0.78f},
+                   {0.98f, 0.97f, 0.95f}, 0.1f, 0.35f, 0.7f, false, true,
+                   186, 950000));
+  v.push_back(Make("biryani", "Biryani", DishShape::kMound,
+                   {0.88f, 0.62f, 0.28f}, {0.55f, 0.25f, 0.10f},
+                   {0.95f, 0.90f, 0.70f}, 0.85f, 0.5f, 0.9f, false, false,
+                   480, 5200000));
+  v.push_back(Make("uttapam", "Uttapam", DishShape::kCrepe,
+                   {0.93f, 0.80f, 0.55f}, {0.85f, 0.30f, 0.20f},
+                   {0.30f, 0.55f, 0.22f}, 0.55f, 0.45f, 0.8f, false, false,
+                   220, 380000));
+  v.push_back(Make("paneer", "Paneer", DishShape::kChunks,
+                   {0.95f, 0.60f, 0.25f}, {0.97f, 0.95f, 0.88f},
+                   {0.30f, 0.12f, 0.06f}, 0.55f, 0.4f, 0.8f, false, false,
+                   320, 2100000));
+  v.push_back(Make("poha", "Poha", DishShape::kMound,
+                   {0.96f, 0.85f, 0.50f}, {0.30f, 0.55f, 0.20f},
+                   {0.80f, 0.20f, 0.15f}, 0.6f, 0.45f, 0.8f, false, false,
+                   180, 1300000));
+  v.push_back(Make("khichdi", "Khichdi", DishShape::kMound,
+                   {0.86f, 0.68f, 0.24f}, {0.70f, 0.52f, 0.16f},
+                   {0.30f, 0.60f, 0.25f}, 0.45f, 0.45f, 0.85f, false, true,
+                   210, 420000));
+  v.push_back(Make("omelette", "Omelette", DishShape::kFlatDisc,
+                   {0.97f, 0.84f, 0.22f}, {0.90f, 0.20f, 0.12f},
+                   {0.98f, 0.93f, 0.55f}, 0.35f, 0.4f, 0.8f, true, false,
+                   150, 2500000));
+  v.push_back(Make("plain_rice", "Plain Rice", DishShape::kMound,
+                   {0.94f, 0.92f, 0.86f}, {0.85f, 0.82f, 0.74f},
+                   {0.98f, 0.97f, 0.94f}, 0.35f, 0.45f, 0.85f, false, false,
+                   205, 1600000));
+  v.push_back(Make("dal_makhni", "Dal Makhni", DishShape::kBowlCurry,
+                   {0.45f, 0.26f, 0.16f}, {0.92f, 0.88f, 0.80f},
+                   {0.75f, 0.55f, 0.35f}, 0.3f, 0.4f, 0.75f, false, true,
+                   330, 760000));
+  v.push_back(Make("dosa", "Dosa", DishShape::kCrepe,
+                   {0.90f, 0.72f, 0.42f}, {0.70f, 0.48f, 0.22f},
+                   {0.96f, 0.90f, 0.70f}, 0.25f, 0.5f, 0.92f, false, false,
+                   170, 2900000));
+  v.push_back(Make("rajma", "Rajma", DishShape::kBowlCurry,
+                   {0.55f, 0.24f, 0.16f}, {0.40f, 0.14f, 0.10f},
+                   {0.90f, 0.85f, 0.75f}, 0.5f, 0.4f, 0.75f, false, true,
+                   270, 680000));
+  v.push_back(Make("poori", "Poori", DishShape::kFlatDisc,
+                   {0.88f, 0.66f, 0.30f}, {0.70f, 0.48f, 0.18f},
+                   {0.94f, 0.80f, 0.50f}, 0.15f, 0.3f, 0.6f, false, false,
+                   140, 890000));
+  v.push_back(Make("chole", "Chole", DishShape::kBowlCurry,
+                   {0.70f, 0.45f, 0.20f}, {0.50f, 0.28f, 0.12f},
+                   {0.92f, 0.88f, 0.80f}, 0.65f, 0.4f, 0.75f, false, true,
+                   290, 1200000));
+  v.push_back(Make("dal", "Dal", DishShape::kBowlCurry,
+                   {0.93f, 0.75f, 0.30f}, {0.80f, 0.60f, 0.20f},
+                   {0.30f, 0.55f, 0.22f}, 0.25f, 0.4f, 0.75f, false, true,
+                   200, 1500000));
+  v.push_back(Make("sambhar", "Sambhar", DishShape::kBowlCurry,
+                   {0.82f, 0.50f, 0.22f}, {0.90f, 0.30f, 0.15f},
+                   {0.35f, 0.60f, 0.25f}, 0.45f, 0.4f, 0.75f, false, true,
+                   140, 980000));
+  v.push_back(Make("papad", "Papad", DishShape::kFlatDisc,
+                   {0.92f, 0.82f, 0.58f}, {0.75f, 0.62f, 0.38f},
+                   {0.96f, 0.90f, 0.72f}, 0.4f, 0.4f, 0.8f, false, false,
+                   60, 310000));
+  v.push_back(Make("gulab_jamun", "Gulab Jamun", DishShape::kBallsInBowl,
+                   {0.48f, 0.22f, 0.10f}, {0.65f, 0.35f, 0.16f},
+                   {0.90f, 0.80f, 0.60f}, 0.1f, 0.3f, 0.65f, false, true,
+                   300, 1400000));
+  v.push_back(Make("idli", "Idli", DishShape::kSteamedCakes,
+                   {0.96f, 0.95f, 0.90f}, {0.88f, 0.86f, 0.78f},
+                   {0.98f, 0.97f, 0.94f}, 0.1f, 0.4f, 0.75f, false, false,
+                   70, 1800000));
+  v.push_back(Make("vada", "Vada", DishShape::kSteamedCakes,
+                   {0.80f, 0.58f, 0.28f}, {0.60f, 0.40f, 0.16f},
+                   {0.90f, 0.75f, 0.45f}, 0.3f, 0.35f, 0.7f, false, false,
+                   180, 720000));
+  return v;
+}
+
+std::vector<FoodSignature> BuildPretrainObjects() {
+  // Deliberately non-food: saturated primary-colored geometric objects on
+  // the same kinds of backgrounds, so the backbone learns generic
+  // edges/shapes/color statistics without seeing the target signatures.
+  std::vector<FoodSignature> v;
+  v.push_back(Make("red_block", "Red Block", DishShape::kChunks,
+                   {0.85f, 0.10f, 0.10f}, {0.55f, 0.05f, 0.05f},
+                   {0.95f, 0.40f, 0.40f}, 0.4f, 0.3f, 0.8f, false, false, 0,
+                   0));
+  v.push_back(Make("blue_disc", "Blue Disc", DishShape::kFlatDisc,
+                   {0.15f, 0.25f, 0.85f}, {0.08f, 0.12f, 0.55f},
+                   {0.45f, 0.55f, 0.95f}, 0.2f, 0.35f, 0.85f, true, false, 0,
+                   0));
+  v.push_back(Make("green_mound", "Green Mound", DishShape::kMound,
+                   {0.15f, 0.75f, 0.20f}, {0.05f, 0.45f, 0.10f},
+                   {0.55f, 0.95f, 0.55f}, 0.5f, 0.4f, 0.85f, false, false, 0,
+                   0));
+  v.push_back(Make("violet_bowl", "Violet Bowl", DishShape::kBowlCurry,
+                   {0.55f, 0.15f, 0.75f}, {0.85f, 0.70f, 0.95f},
+                   {0.35f, 0.05f, 0.50f}, 0.3f, 0.4f, 0.8f, false, true, 0,
+                   0));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<FoodSignature>& IndianFood10() {
+  static const auto& classes = *new std::vector<FoodSignature>(
+      BuildIndianFood10());
+  return classes;
+}
+
+const std::vector<FoodSignature>& IndianFood20() {
+  static const auto& classes = *new std::vector<FoodSignature>(
+      BuildIndianFood20());
+  return classes;
+}
+
+const std::vector<FoodSignature>& PretrainObjects() {
+  static const auto& classes = *new std::vector<FoodSignature>(
+      BuildPretrainObjects());
+  return classes;
+}
+
+std::vector<std::string> ClassDisplayNames(
+    const std::vector<FoodSignature>& classes) {
+  std::vector<std::string> names;
+  names.reserve(classes.size());
+  for (const auto& c : classes) names.push_back(c.display_name);
+  return names;
+}
+
+int FindClassByName(const std::vector<FoodSignature>& classes,
+                    const std::string& name) {
+  for (size_t i = 0; i < classes.size(); ++i) {
+    if (classes[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace thali

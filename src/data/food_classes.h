@@ -1,0 +1,71 @@
+#ifndef THALI_DATA_FOOD_CLASSES_H_
+#define THALI_DATA_FOOD_CLASSES_H_
+
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+
+namespace thali {
+
+// How the renderer draws a dish. Each shape family has its own geometry
+// and its own kind of intra-class variation (the paper's Fig. 4 point:
+// e.g. a chapati appears full-open, half-folded or quarter-folded).
+enum class DishShape {
+  kFlatDisc,     // breads: chapati, aloo paratha, poori, naan (foldable)
+  kMound,        // rice dishes: plain rice, biryani, khichdi, poha
+  kBowlCurry,    // gravies served in a bowl: palak paneer, dal, sambhar...
+  kChunks,       // grilled pieces: chicken tikka, paneer
+  kBallsInBowl,  // syrupy sweets: rasgulla, gulab jamun
+  kCrepe,        // dosa/uttapam: large thin disc or rolled cylinder
+  kSteamedCakes, // idli / vada: 2-3 pale discs or rings
+};
+
+// Visual signature of a food class: everything the procedural renderer
+// needs to synthesize instances with realistic intra-class variation.
+// Deliberately-similar signatures (aloo paratha vs chapati) reproduce the
+// paper's confusable pairs.
+struct FoodSignature {
+  std::string name;          // snake_case id ("aloo_paratha")
+  std::string display_name;  // "Aloo Paratha"
+  std::string hashtag;       // "#alooparatha" (Instagram simulation)
+  DishShape shape = DishShape::kMound;
+  Color base;                // dominant color
+  Color accent;              // speckle/garnish color
+  Color accent2;             // secondary garnish
+  float speckle_density = 0.0f;  // 0..1, scales speckle count
+  float color_jitter = 0.06f;    // per-instance hue/value variation
+  float size_lo = 0.5f;          // dish diameter as fraction of image
+  float size_hi = 0.9f;
+  bool foldable = false;         // flat discs that can be folded
+  bool in_bowl = false;          // always served in a bowl
+  float kcal_per_serving = 200;  // for the calorie-estimation example
+  // Instagram popularity (simulated posts count) driving class selection
+  // in the Fig. 3 pipeline.
+  long long popularity = 100000;
+};
+
+// The ten classes of IndianFood10, in the paper's Table I order:
+// Aloo Paratha, Biryani, Chapati, Chicken Tikka, Khichdi, Omelette,
+// Palak Paneer, Plain Rice, Poha, Rasgulla.
+const std::vector<FoodSignature>& IndianFood10();
+
+// The twenty classes of IndianFood20 (paper Table IV).
+const std::vector<FoodSignature>& IndianFood20();
+
+// Display names in class-id order (convenience for tables/plots).
+std::vector<std::string> ClassDisplayNames(
+    const std::vector<FoodSignature>& classes);
+
+// Finds a class id by snake_case name; -1 when absent.
+int FindClassByName(const std::vector<FoodSignature>& classes,
+                    const std::string& name);
+
+// The generic-object classes used to *pretrain* the backbone (the
+// synthetic stand-in for MS-COCO): simple colored shapes that share no
+// signature with the food classes.
+const std::vector<FoodSignature>& PretrainObjects();
+
+}  // namespace thali
+
+#endif  // THALI_DATA_FOOD_CLASSES_H_

@@ -1,0 +1,132 @@
+#include "data/hashtag_catalog.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace thali {
+
+namespace {
+
+// >100 Indian dishes. Popularity counts are synthetic but ranked so the
+// paper's selected classes rise to the top when sorted.
+struct Seed {
+  const char* dish;
+  long long posts;
+};
+
+constexpr Seed kSeeds[] = {
+    {"biryani", 5200000},   {"dosa", 2900000},
+    {"omelette", 2500000},  {"paneer", 2100000},
+    {"chicken_tikka", 1900000}, {"idli", 1800000},
+    {"indian_bread", 1700000},  {"plain_rice", 1600000},
+    {"dal", 1500000},       {"gulab_jamun", 1400000},
+    {"poha", 1300000},      {"chole", 1200000},
+    {"palak_paneer", 1100000},  {"sambhar", 980000},
+    {"rasgulla", 950000},   {"aloo_paratha", 905000},
+    {"poori", 890000},      {"chapati", 780000},
+    {"dal_makhni", 760000}, {"vada", 720000},
+    {"rajma", 680000},      {"khichdi", 420000},
+    {"uttapam", 380000},    {"papad", 310000},
+    // The long tail the authors filtered out.
+    {"butter_chicken", 295000}, {"naan", 288000},
+    {"samosa", 280000},     {"pav_bhaji", 272000},
+    {"vada_pav", 265000},   {"pani_puri", 258000},
+    {"bhel_puri", 250000},  {"dahi_vada", 243000},
+    {"kadhi", 236000},      {"baingan_bharta", 229000},
+    {"bhindi_masala", 222000},  {"aloo_gobi", 215000},
+    {"malai_kofta", 208000},    {"navratan_korma", 201000},
+    {"shahi_paneer", 195000},   {"kadai_paneer", 189000},
+    {"matar_paneer", 183000},   {"paneer_butter_masala", 177000},
+    {"dum_aloo", 171000},   {"aloo_matar", 165000},
+    {"gajar_halwa", 159000},    {"kheer", 154000},
+    {"jalebi", 149000},     {"barfi", 144000},
+    {"laddu", 139000},      {"soan_papdi", 134000},
+    {"rasmalai", 129000},   {"kulfi", 124000},
+    {"falooda", 119000},    {"lassi", 115000},
+    {"masala_chai", 111000},    {"filter_coffee", 107000},
+    {"upma", 103000},       {"sheera", 99000},
+    {"pongal", 95000},      {"medu_vada", 91000},
+    {"rava_dosa", 88000},   {"masala_dosa", 85000},
+    {"mysore_pak", 82000},  {"bisi_bele_bath", 79000},
+    {"lemon_rice", 76000},  {"curd_rice", 73000},
+    {"tamarind_rice", 70000},   {"jeera_rice", 67000},
+    {"veg_pulao", 64000},   {"kashmiri_pulao", 61000},
+    {"haleem", 59000},      {"nihari", 57000},
+    {"korma", 55000},       {"rogan_josh", 53000},
+    {"vindaloo", 51000},    {"xacuti", 49000},
+    {"fish_curry", 47000},  {"prawn_masala", 45000},
+    {"chicken_65", 43000},  {"chicken_chettinad", 41000},
+    {"tandoori_chicken", 39000}, {"seekh_kebab", 37000},
+    {"shami_kebab", 35000}, {"galouti_kebab", 34000},
+    {"hara_bhara_kebab", 33000}, {"dhokla", 32000},
+    {"khandvi", 31000},     {"thepla", 30000},
+    {"undhiyu", 29000},     {"fafda", 28000},
+    {"khakhra", 27000},     {"handvo", 26000},
+    {"misal_pav", 25000},   {"sabudana_khichdi", 24000},
+    {"poha_jalebi", 23000}, {"dal_baati", 22000},
+    {"gatte_ki_sabzi", 21000},  {"ker_sangri", 20000},
+    {"laal_maas", 19000},   {"litti_chokha", 18000},
+    {"sattu_paratha", 17000},   {"chana_ghugni", 16000},
+    {"momos", 15000},       {"thukpa", 14000},
+    {"sandesh", 13000},     {"mishti_doi", 12000},
+    {"rasam", 11000},       {"avial", 10000},
+    {"puttu", 9000},        {"appam", 8000},
+};
+
+std::string MakeHashtag(const std::string& dish) {
+  std::string tag = "#";
+  for (char c : dish) {
+    if (c != '_') tag += c;
+  }
+  return tag;
+}
+
+}  // namespace
+
+HashtagCatalog HashtagCatalog::BuildIndianFoodCatalog() {
+  HashtagCatalog cat;
+  for (const Seed& s : kSeeds) {
+    cat.entries_.push_back({s.dish, MakeHashtag(s.dish), s.posts});
+  }
+  std::stable_sort(cat.entries_.begin(), cat.entries_.end(),
+                   [](const HashtagEntry& a, const HashtagEntry& b) {
+                     return a.posts > b.posts;
+                   });
+  return cat;
+}
+
+std::vector<HashtagEntry> HashtagCatalog::TopK(int k) const {
+  THALI_CHECK_GE(k, 0);
+  std::vector<HashtagEntry> out;
+  for (int i = 0; i < k && i < size(); ++i) {
+    out.push_back(entries_[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+const HashtagEntry* HashtagCatalog::Find(const std::string& dish) const {
+  for (const HashtagEntry& e : entries_) {
+    if (e.dish == dish) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<ScrapedPost> HashtagCatalog::Scrape(const std::string& hashtag,
+                                                int count, Rng& rng) const {
+  std::vector<ScrapedPost> posts;
+  posts.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ScrapedPost p;
+    p.hashtag = hashtag;
+    const uint64_t id = rng.NextU64() & 0xffffffffffULL;
+    p.url = StrFormat("https://instagram.example/p/%010llx/",
+                      static_cast<unsigned long long>(id));
+    p.image_seed = rng.NextU64();
+    posts.push_back(std::move(p));
+  }
+  return posts;
+}
+
+}  // namespace thali

@@ -1,0 +1,57 @@
+#ifndef THALI_DATA_HASHTAG_CATALOG_H_
+#define THALI_DATA_HASHTAG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace thali {
+
+// Simulation of the paper's data-preparation stage (§IV-A / Fig. 3): the
+// authors ranked >100 Indian dishes by Instagram hashtag post counts and
+// scraped the most popular ones with Selenium. Here the "platform" is a
+// deterministic catalog with popularity counts; "scraping" is sampling
+// post records. This keeps the class-selection logic of the pipeline
+// executable without network access or proprietary data.
+
+struct HashtagEntry {
+  std::string dish;     // snake_case dish name
+  std::string hashtag;  // "#paneertikka"
+  long long posts;      // simulated post count
+};
+
+// One simulated scraped post (what Selenium + Requests produced).
+struct ScrapedPost {
+  std::string hashtag;
+  std::string url;       // synthetic post URL
+  uint64_t image_seed;   // feeds the renderer in place of downloaded pixels
+};
+
+class HashtagCatalog {
+ public:
+  // Builds the catalog of 100+ Indian dishes with fixed popularity counts
+  // (deterministic; ordering matches descending popularity).
+  static HashtagCatalog BuildIndianFoodCatalog();
+
+  int size() const { return static_cast<int>(entries_.size()); }
+  const std::vector<HashtagEntry>& entries() const { return entries_; }
+
+  // The `k` most popular dishes — the paper's class-selection rule.
+  std::vector<HashtagEntry> TopK(int k) const;
+
+  // Looks up an entry by dish name; nullptr when absent.
+  const HashtagEntry* Find(const std::string& dish) const;
+
+  // Simulates scraping `count` post URLs for `hashtag` (Fig. 3's
+  // "Scrape Instagram post URLs" + "Download images" stages).
+  std::vector<ScrapedPost> Scrape(const std::string& hashtag, int count,
+                                  Rng& rng) const;
+
+ private:
+  std::vector<HashtagEntry> entries_;
+};
+
+}  // namespace thali
+
+#endif  // THALI_DATA_HASHTAG_CATALOG_H_

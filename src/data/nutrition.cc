@@ -1,0 +1,54 @@
+#include "data/nutrition.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace thali {
+
+NutritionEstimator::NutritionEstimator(
+    const std::vector<FoodSignature>& classes, const Options& options)
+    : classes_(classes), opts_(options) {
+  THALI_CHECK(!classes_.empty());
+  THALI_CHECK_GT(opts_.serving_area, 0.0f);
+  THALI_CHECK_LE(opts_.min_servings, opts_.max_servings);
+}
+
+float NutritionEstimator::ServingsForArea(float area) const {
+  return std::clamp(area / opts_.serving_area, opts_.min_servings,
+                    opts_.max_servings);
+}
+
+MealEstimate NutritionEstimator::Estimate(
+    const std::vector<Detection>& detections) const {
+  MealEstimate meal;
+  for (const Detection& d : detections) {
+    if (d.class_id < 0 || d.class_id >= static_cast<int>(classes_.size())) {
+      continue;
+    }
+    const FoodSignature& sig = classes_[static_cast<size_t>(d.class_id)];
+    MealItem item;
+    item.class_id = d.class_id;
+    item.dish = sig.display_name;
+    item.confidence = d.confidence;
+    item.servings = ServingsForArea(d.box.Area());
+    item.kcal = item.servings * sig.kcal_per_serving;
+    meal.total_kcal += item.kcal;
+    meal.items.push_back(std::move(item));
+  }
+  return meal;
+}
+
+std::string RenderMealReceipt(const MealEstimate& meal) {
+  std::string out;
+  out += StrFormat("%-16s %5s %9s %8s\n", "dish", "conf", "servings", "kcal");
+  for (const MealItem& item : meal.items) {
+    out += StrFormat("%-16s %5.2f %9.2f %8.0f\n", item.dish.c_str(),
+                     item.confidence, item.servings, item.kcal);
+  }
+  out += StrFormat("%-16s %5s %9s %8.0f\n", "TOTAL", "", "", meal.total_kcal);
+  return out;
+}
+
+}  // namespace thali

@@ -1,0 +1,69 @@
+#ifndef THALI_DATA_NUTRITION_H_
+#define THALI_DATA_NUTRITION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/food_classes.h"
+#include "eval/detection.h"
+
+namespace thali {
+
+// Calorie estimation from detections — the application the paper's
+// conclusion motivates ("implications for calorie estimation in the food
+// images ... larger impact on public health"). The estimator maps each
+// detected dish to a serving size from the area of its bounding box
+// relative to a nominal single-serving footprint, then multiplies by the
+// class's calories per serving.
+
+// One dish of an analyzed meal.
+struct MealItem {
+  int class_id = -1;
+  std::string dish;        // display name
+  float confidence = 0.0f;
+  float servings = 0.0f;   // estimated from box area
+  float kcal = 0.0f;
+};
+
+struct MealEstimate {
+  std::vector<MealItem> items;
+  float total_kcal = 0.0f;
+};
+
+class NutritionEstimator {
+ public:
+  struct Options {
+    // Normalized box area corresponding to one serving (a dish covering
+    // ~35% of the frame linear => ~12% area).
+    float serving_area = 0.12f;
+    // Serving clamp range: a sliver is still ~1/4 serving, a platter-
+    // filling biryani at most 2.5 servings.
+    float min_servings = 0.25f;
+    float max_servings = 2.5f;
+  };
+
+  NutritionEstimator(const std::vector<FoodSignature>& classes,
+                     const Options& options);
+  explicit NutritionEstimator(const std::vector<FoodSignature>& classes)
+      : NutritionEstimator(classes, Options()) {}
+
+  // Converts a detection list (normalized boxes) into a meal estimate.
+  // Unknown class ids are skipped.
+  MealEstimate Estimate(const std::vector<Detection>& detections) const;
+
+  // Serving count for one normalized box area.
+  float ServingsForArea(float area) const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  std::vector<FoodSignature> classes_;
+  Options opts_;
+};
+
+// Renders a meal estimate as an aligned text receipt.
+std::string RenderMealReceipt(const MealEstimate& meal);
+
+}  // namespace thali
+
+#endif  // THALI_DATA_NUTRITION_H_

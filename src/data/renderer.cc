@@ -1,0 +1,380 @@
+#include "data/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/draw.h"
+
+namespace thali {
+
+namespace {
+
+constexpr float kTau = 6.28318530718f;
+
+// Per-instance color variation: shifts each channel by the class's
+// color_jitter and a shared brightness factor.
+Color JitterColor(const Color& c, float jitter, Rng& rng, float brightness) {
+  auto j = [&](float v) {
+    return std::clamp(v * brightness + rng.NextFloat(-jitter, jitter), 0.0f,
+                      1.0f);
+  };
+  return Color{j(c.r), j(c.g), j(c.b)};
+}
+
+Color Darken(const Color& c, float f) {
+  return Color{c.r * f, c.g * f, c.b * f};
+}
+
+// Tight bbox of an ellipse (rotation conservative: uses max radius).
+Box EllipseBox(float cx, float cy, float rx, float ry, float angle) {
+  const float ca = std::fabs(std::cos(angle));
+  const float sa = std::fabs(std::sin(angle));
+  const float ex = rx * ca + ry * sa;
+  const float ey = rx * sa + ry * ca;
+  return BoxFromCorners(cx - ex, cy - ey, cx + ex, cy + ey);
+}
+
+Box UnionBox(const Box& a, const Box& b) {
+  if (a.w <= 0 || a.h <= 0) return b;
+  if (b.w <= 0 || b.h <= 0) return a;
+  return BoxFromCorners(std::min(a.Left(), b.Left()),
+                        std::min(a.Top(), b.Top()),
+                        std::max(a.Right(), b.Right()),
+                        std::max(a.Bottom(), b.Bottom()));
+}
+
+// Bbox of a wedge (folded bread) by sampling its arc.
+Box WedgeBox(float cx, float cy, float rx, float ry, float rot, float a0,
+             float a1) {
+  float min_x = cx, max_x = cx, min_y = cy, max_y = cy;
+  const float cr = std::cos(rot);
+  const float sr = std::sin(rot);
+  for (int i = 0; i <= 32; ++i) {
+    const float t = a0 + (a1 - a0) * i / 32.0f;
+    const float u = rx * std::cos(t);
+    const float v = ry * std::sin(t);
+    const float px = cx + u * cr - v * sr;
+    const float py = cy + u * sr + v * cr;
+    min_x = std::min(min_x, px);
+    max_x = std::max(max_x, px);
+    min_y = std::min(min_y, py);
+    max_y = std::max(max_y, py);
+  }
+  return BoxFromCorners(min_x, min_y, max_x, max_y);
+}
+
+}  // namespace
+
+PlatterRenderer::PlatterRenderer(const std::vector<FoodSignature>& classes,
+                                 const Options& options)
+    : classes_(classes), opts_(options) {
+  THALI_CHECK(!classes_.empty());
+}
+
+void PlatterRenderer::DrawBackground(Image& img, Rng& rng) const {
+  // Table surfaces seen in food photos: wood, dark slate, colored cloth,
+  // pale marble.
+  static const Color kTables[] = {
+      {0.45f, 0.30f, 0.18f},  // wood
+      {0.25f, 0.24f, 0.26f},  // slate
+      {0.55f, 0.16f, 0.16f},  // red cloth
+      {0.18f, 0.28f, 0.42f},  // blue cloth
+      {0.82f, 0.80f, 0.76f},  // marble
+      {0.35f, 0.42f, 0.28f},  // green cloth
+  };
+  const Color base = kTables[rng.NextU64Below(6)];
+  const float b = rng.NextFloat(0.8f, 1.15f);
+  img.FillColor(Color{std::clamp(base.r * b, 0.0f, 1.0f),
+                      std::clamp(base.g * b, 0.0f, 1.0f),
+                      std::clamp(base.b * b, 0.0f, 1.0f)});
+  // Texture: sparse darker streaks.
+  const int streaks = rng.NextInt(4, 10);
+  for (int i = 0; i < streaks; ++i) {
+    const float y = rng.NextFloat(0, static_cast<float>(img.height()));
+    DrawLine(img, 0, y, static_cast<float>(img.width()),
+             y + rng.NextFloat(-6, 6), Darken(base, rng.NextFloat(0.7f, 0.9f)));
+  }
+}
+
+void PlatterRenderer::FinishScene(Image& img, Rng& rng) const {
+  ApplyVignette(img, rng.NextFloat(0.3f, 0.7f), rng.NextFloat(0.3f, 0.7f),
+                rng.NextFloat(0.7f, 0.95f));
+  AddGaussianNoise(img, opts_.noise_stddev, rng);
+}
+
+Box PlatterRenderer::DrawDish(Image& img, const FoodSignature& sig, float cx,
+                              float cy, float r, Rng& rng) const {
+  const float brightness = rng.NextFloat(0.85f, 1.12f);
+  const Color base = JitterColor(sig.base, sig.color_jitter, rng, brightness);
+  const Color accent =
+      JitterColor(sig.accent, sig.color_jitter, rng, brightness);
+  const Color accent2 =
+      JitterColor(sig.accent2, sig.color_jitter, rng, brightness);
+  const float rot = rng.NextFloat(0.0f, kTau);
+  const int speckles =
+      static_cast<int>(sig.speckle_density * r * rng.NextFloat(0.8f, 1.6f));
+
+  switch (sig.shape) {
+    case DishShape::kFlatDisc: {
+      const float ry = r * rng.NextFloat(0.82f, 1.0f);
+      // Fold state: full / half / quarter (Fig. 4 orientations).
+      int fold = 0;
+      if (sig.foldable) fold = rng.NextInt(0, 2);
+      Box bbox;
+      if (fold == 0) {
+        DrawEllipse(img, cx, cy, r, ry, rot, base, 1.5f);
+        // Browning ring + char marks.
+        DrawRing(img, cx, cy, r * 0.97f, ry * 0.97f, rot, 0.86f,
+                 Darken(base, 0.85f));
+        bbox = EllipseBox(cx, cy, r, ry, rot);
+      } else {
+        const float span = fold == 1 ? kTau / 2 : kTau / 4;
+        DrawWedge(img, cx, cy, r, ry, rot, 0.0f, span, base, 1.5f);
+        // Fold seam highlight.
+        DrawWedge(img, cx, cy, r * 0.98f, ry * 0.98f, rot, 0.0f, span * 0.1f,
+                  Darken(base, 0.9f));
+        bbox = WedgeBox(cx, cy, r, ry, rot, 0.0f, span);
+      }
+      SpeckleEllipse(img, cx, cy, r * 0.8f, ry * 0.8f, rot, accent,
+                     std::max(2, speckles), r * 0.06f, rng);
+      if (rng.NextBool(0.4f)) {
+        SpeckleEllipse(img, cx, cy, r * 0.6f, ry * 0.6f, rot, accent2,
+                       std::max(1, speckles / 3), r * 0.04f, rng);
+      }
+      return bbox;
+    }
+
+    case DishShape::kMound: {
+      const float ry = r * rng.NextFloat(0.7f, 0.95f);
+      // Rough mound: main ellipse plus 2-3 offset lobes.
+      DrawEllipse(img, cx, cy, r, ry, rot, base, 2.0f);
+      const int lobes = rng.NextInt(2, 4);
+      for (int i = 0; i < lobes; ++i) {
+        const float lx = cx + rng.NextFloat(-0.3f, 0.3f) * r;
+        const float ly = cy + rng.NextFloat(-0.3f, 0.3f) * ry;
+        DrawEllipse(img, lx, ly, r * rng.NextFloat(0.35f, 0.55f),
+                    ry * rng.NextFloat(0.3f, 0.5f), rng.NextFloat(0, kTau),
+                    JitterColor(base, 0.04f, rng, 1.04f), 2.0f);
+      }
+      SpeckleEllipse(img, cx, cy, r * 0.85f, ry * 0.85f, rot, accent,
+                     std::max(3, speckles), r * 0.05f, rng);
+      SpeckleEllipse(img, cx, cy, r * 0.7f, ry * 0.7f, rot, accent2,
+                     std::max(2, speckles / 2), r * 0.04f, rng);
+      return EllipseBox(cx, cy, r * 1.05f, ry * 1.05f, rot);
+    }
+
+    case DishShape::kBowlCurry: {
+      // Bowl rim, then curry fill, then toppings.
+      const Color bowl = rng.NextBool(0.5f) ? Color{0.75f, 0.75f, 0.78f}
+                                            : Color{0.30f, 0.20f, 0.14f};
+      DrawEllipse(img, cx, cy, r, r * 0.92f, rot, bowl, 1.5f);
+      DrawEllipse(img, cx, cy, r * 0.82f, r * 0.75f, rot, base, 1.0f);
+      // Gravy swirl.
+      DrawRing(img, cx, cy, r * 0.6f, r * 0.55f, rot, 0.7f,
+               Darken(base, 0.85f));
+      SpeckleEllipse(img, cx, cy, r * 0.6f, r * 0.55f, rot, accent,
+                     std::max(3, speckles), r * 0.09f, rng);
+      if (rng.NextBool(0.6f)) {
+        SpeckleEllipse(img, cx, cy, r * 0.5f, r * 0.45f, rot, accent2,
+                       std::max(1, speckles / 3), r * 0.05f, rng);
+      }
+      return EllipseBox(cx, cy, r, r * 0.92f, rot);
+    }
+
+    case DishShape::kChunks: {
+      // Cluster of grilled pieces; union bbox.
+      const int n = rng.NextInt(3, 6);
+      Box bbox;
+      for (int i = 0; i < n; ++i) {
+        const float a = kTau * i / n + rng.NextFloat(-0.4f, 0.4f);
+        const float d = rng.NextFloat(0.15f, 0.55f) * r;
+        const float px = cx + d * std::cos(a);
+        const float py = cy + d * std::sin(a);
+        const float cr = r * rng.NextFloat(0.22f, 0.34f);
+        const float cry = cr * rng.NextFloat(0.7f, 1.0f);
+        const float crot = rng.NextFloat(0, kTau);
+        DrawEllipse(img, px, py, cr, cry, crot,
+                    JitterColor(base, 0.06f, rng, rng.NextFloat(0.85f, 1.1f)),
+                    1.0f);
+        // Char edge.
+        DrawRing(img, px, py, cr, cry, crot, 0.75f, accent, 0.8f);
+        bbox = UnionBox(bbox, EllipseBox(px, py, cr, cry, crot));
+      }
+      // Garnish (onion/capsicum bits).
+      SpeckleEllipse(img, cx, cy, r * 0.6f, r * 0.6f, 0, accent2,
+                     std::max(2, speckles / 2), r * 0.05f, rng);
+      return bbox;
+    }
+
+    case DishShape::kBallsInBowl: {
+      const Color bowl = rng.NextBool(0.5f) ? Color{0.82f, 0.82f, 0.86f}
+                                            : Color{0.55f, 0.40f, 0.55f};
+      DrawEllipse(img, cx, cy, r, r * 0.9f, rot, bowl, 1.5f);
+      // Syrup.
+      DrawEllipse(img, cx, cy, r * 0.82f, r * 0.72f, rot,
+                  Darken(accent, 0.95f), 1.0f);
+      const int n = rng.NextInt(2, 4);
+      for (int i = 0; i < n; ++i) {
+        const float a = kTau * i / n + rng.NextFloat(-0.3f, 0.3f);
+        const float d = rng.NextFloat(0.15f, 0.4f) * r;
+        const float px = cx + d * std::cos(a);
+        const float py = cy + d * std::sin(a) * 0.8f;
+        const float br = r * rng.NextFloat(0.22f, 0.3f);
+        DrawEllipse(img, px, py, br, br * 0.95f, 0, base, 1.0f);
+        // Highlight.
+        DrawEllipse(img, px - br * 0.25f, py - br * 0.25f, br * 0.3f,
+                    br * 0.25f, 0, accent2, 0.8f);
+      }
+      return EllipseBox(cx, cy, r, r * 0.9f, rot);
+    }
+
+    case DishShape::kCrepe: {
+      // Variant: open disc (uttapam-like) or rolled cylinder (dosa roll).
+      if (rng.NextBool(0.5f)) {
+        const float ry = r * rng.NextFloat(0.8f, 0.95f);
+        DrawEllipse(img, cx, cy, r, ry, rot, base, 1.5f);
+        DrawRing(img, cx, cy, r * 0.98f, ry * 0.98f, rot, 0.88f,
+                 Darken(base, 0.8f));
+        SpeckleEllipse(img, cx, cy, r * 0.75f, ry * 0.75f, rot, accent,
+                       std::max(3, speckles), r * 0.08f, rng);
+        SpeckleEllipse(img, cx, cy, r * 0.6f, ry * 0.6f, rot, accent2,
+                       std::max(2, speckles / 2), r * 0.06f, rng);
+        return EllipseBox(cx, cy, r, ry, rot);
+      }
+      const float ry = r * rng.NextFloat(0.28f, 0.4f);
+      DrawEllipse(img, cx, cy, r, ry, rot, base, 1.5f);
+      DrawRing(img, cx, cy, r * 0.97f, ry * 0.95f, rot, 0.7f,
+               Darken(base, 0.88f));
+      SpeckleEllipse(img, cx, cy, r * 0.8f, ry * 0.7f, rot, accent,
+                     std::max(2, speckles / 2), r * 0.04f, rng);
+      return EllipseBox(cx, cy, r, ry, rot);
+    }
+
+    case DishShape::kSteamedCakes: {
+      // 2-3 pale cakes (idli) or rings (vada).
+      const bool ring = rng.NextBool(0.45f);
+      const int n = rng.NextInt(2, 3);
+      Box bbox;
+      for (int i = 0; i < n; ++i) {
+        const float a = kTau * i / n + rng.NextFloat(-0.3f, 0.3f);
+        const float d = rng.NextFloat(0.3f, 0.5f) * r;
+        const float px = cx + d * std::cos(a);
+        const float py = cy + d * std::sin(a) * 0.85f;
+        const float cr = r * rng.NextFloat(0.35f, 0.45f);
+        if (ring) {
+          DrawRing(img, px, py, cr, cr * 0.9f, 0, 0.45f, base, 1.0f);
+        } else {
+          DrawEllipse(img, px, py, cr, cr * 0.85f, 0, base, 1.2f);
+          DrawRing(img, px, py, cr * 0.95f, cr * 0.8f, 0, 0.8f, accent, 0.8f);
+        }
+        bbox = UnionBox(bbox, EllipseBox(px, py, cr, cr * 0.9f, 0));
+      }
+      SpeckleEllipse(img, cx, cy, r * 0.5f, r * 0.4f, 0, accent2,
+                     std::max(1, speckles / 2), r * 0.04f, rng);
+      return bbox;
+    }
+  }
+  return Box{};
+}
+
+RenderedScene PlatterRenderer::RenderSingleDish(int class_id, Rng& rng) const {
+  THALI_CHECK_GE(class_id, 0);
+  THALI_CHECK_LT(class_id, static_cast<int>(classes_.size()));
+  const FoodSignature& sig = classes_[static_cast<size_t>(class_id)];
+
+  RenderedScene scene;
+  scene.image = Image(opts_.width, opts_.height, 3);
+  DrawBackground(scene.image, rng);
+
+  const float w = static_cast<float>(opts_.width);
+  const float h = static_cast<float>(opts_.height);
+  const float frac = rng.NextFloat(sig.size_lo, sig.size_hi);
+  const float r = 0.5f * frac * std::min(w, h);
+  const float cx = rng.NextFloat(r * 0.9f, w - r * 0.9f);
+  const float cy = rng.NextFloat(r * 0.9f, h - r * 0.9f);
+
+  // A plate under the dish (unless the class is always bowl-served, whose
+  // bowl is its own vessel).
+  if (!sig.in_bowl && rng.NextBool(opts_.plate_probability)) {
+    const Color plate = rng.NextBool(0.6f) ? Color{0.92f, 0.92f, 0.90f}
+                                           : Color{0.70f, 0.71f, 0.74f};
+    DrawEllipse(scene.image, cx, cy, r * 1.25f, r * 1.18f, 0, plate, 1.5f);
+    DrawRing(scene.image, cx, cy, r * 1.25f, r * 1.18f, 0, 0.93f,
+             Darken(plate, 0.85f));
+  }
+
+  Box bbox = DrawDish(scene.image, sig, cx, cy, r, rng);
+  FinishScene(scene.image, rng);
+
+  TruthBox t;
+  // Normalize and clip to the image.
+  const float left = std::clamp(bbox.Left(), 0.0f, w);
+  const float right = std::clamp(bbox.Right(), 0.0f, w);
+  const float top = std::clamp(bbox.Top(), 0.0f, h);
+  const float bottom = std::clamp(bbox.Bottom(), 0.0f, h);
+  t.box = BoxFromCorners(left / w, top / h, right / w, bottom / h);
+  t.class_id = class_id;
+  scene.truths.push_back(t);
+  scene.is_platter = false;
+  return scene;
+}
+
+RenderedScene PlatterRenderer::RenderPlatter(const std::vector<int>& class_ids,
+                                             Rng& rng) const {
+  THALI_CHECK(!class_ids.empty());
+  RenderedScene scene;
+  scene.image = Image(opts_.width, opts_.height, 3);
+  scene.is_platter = true;
+  DrawBackground(scene.image, rng);
+
+  const float w = static_cast<float>(opts_.width);
+  const float h = static_cast<float>(opts_.height);
+
+  // The shared thali: a large steel platter.
+  const Color steel{0.72f, 0.73f, 0.76f};
+  DrawEllipse(scene.image, w / 2, h / 2, w * 0.48f, h * 0.46f, 0, steel, 2.0f);
+  DrawRing(scene.image, w / 2, h / 2, w * 0.48f, h * 0.46f, 0, 0.94f,
+           Darken(steel, 0.8f));
+
+  // Place dishes around the platter center with adjacent (sometimes
+  // touching) positions — the "non-distinct boundaries" regime.
+  const int n = static_cast<int>(class_ids.size());
+  const float dish_r = std::min(w, h) * (n <= 2 ? 0.21f : 0.17f) *
+                       rng.NextFloat(0.9f, 1.1f);
+  const float ring_r = std::min(w, h) * (n <= 2 ? 0.21f : 0.26f);
+  const float phase = rng.NextFloat(0.0f, kTau);
+
+  for (int i = 0; i < n; ++i) {
+    const float a = phase + kTau * i / n;
+    const float cx = w / 2 + ring_r * std::cos(a) + rng.NextFloat(-2, 2);
+    const float cy = h / 2 + ring_r * std::sin(a) * 0.9f + rng.NextFloat(-2, 2);
+    const float r = dish_r * rng.NextFloat(0.85f, 1.15f);
+    const FoodSignature& sig =
+        classes_[static_cast<size_t>(class_ids[static_cast<size_t>(i)])];
+    Box bbox = DrawDish(scene.image, sig, cx, cy, r, rng);
+
+    TruthBox t;
+    const float left = std::clamp(bbox.Left(), 0.0f, w);
+    const float right = std::clamp(bbox.Right(), 0.0f, w);
+    const float top = std::clamp(bbox.Top(), 0.0f, h);
+    const float bottom = std::clamp(bbox.Bottom(), 0.0f, h);
+    t.box = BoxFromCorners(left / w, top / h, right / w, bottom / h);
+    t.class_id = class_ids[static_cast<size_t>(i)];
+    scene.truths.push_back(t);
+  }
+  FinishScene(scene.image, rng);
+  return scene;
+}
+
+RenderedScene PlatterRenderer::RenderRandomPlatter(int num_dishes,
+                                                   Rng& rng) const {
+  THALI_CHECK_GT(num_dishes, 0);
+  num_dishes = std::min<int>(num_dishes, static_cast<int>(classes_.size()));
+  std::vector<int> ids(classes_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  rng.Shuffle(ids);
+  ids.resize(static_cast<size_t>(num_dishes));
+  return RenderPlatter(ids, rng);
+}
+
+}  // namespace thali

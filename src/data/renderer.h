@@ -1,0 +1,69 @@
+#ifndef THALI_DATA_RENDERER_H_
+#define THALI_DATA_RENDERER_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "data/food_classes.h"
+#include "image/image.h"
+#include "nn/truth.h"
+
+namespace thali {
+
+// A rendered image with its ground-truth dish boxes (normalized [0,1]).
+struct RenderedScene {
+  Image image;
+  std::vector<TruthBox> truths;
+  bool is_platter = false;  // multi-dish (thali) image
+};
+
+// Procedural Indian-platter renderer: the synthetic stand-in for the
+// paper's Instagram-scraped photographs. Every visual property is sampled
+// per instance from the class signature (size, orientation, fold state,
+// garnish, lighting, background), giving the high intra-class variation
+// and non-distinct boundaries that motivate the paper.
+class PlatterRenderer {
+ public:
+  struct Options {
+    int width = 96;
+    int height = 96;
+    // Probability that a single-dish image shows the dish on a plate.
+    float plate_probability = 0.6f;
+    // Background/lighting realism knobs.
+    float noise_stddev = 0.02f;
+  };
+
+  PlatterRenderer(const std::vector<FoodSignature>& classes,
+                  const Options& options);
+
+  // One image of a single dish of `class_id` (the dominant dataset mode:
+  // ~93% of the paper's images are single-dish).
+  RenderedScene RenderSingleDish(int class_id, Rng& rng) const;
+
+  // A thali: `class_ids.size()` dishes on one shared platter, with
+  // adjacent (non-distinct) boundaries.
+  RenderedScene RenderPlatter(const std::vector<int>& class_ids,
+                              Rng& rng) const;
+
+  // Platter with `num_dishes` distinct random classes.
+  RenderedScene RenderRandomPlatter(int num_dishes, Rng& rng) const;
+
+  const std::vector<FoodSignature>& classes() const { return classes_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  // Draws one dish centered at (cx, cy) with nominal radius r (pixels);
+  // returns the tight pixel-space bounding box of what was drawn.
+  Box DrawDish(Image& img, const FoodSignature& sig, float cx, float cy,
+               float r, Rng& rng) const;
+
+  void DrawBackground(Image& img, Rng& rng) const;
+  void FinishScene(Image& img, Rng& rng) const;
+
+  std::vector<FoodSignature> classes_;
+  Options opts_;
+};
+
+}  // namespace thali
+
+#endif  // THALI_DATA_RENDERER_H_

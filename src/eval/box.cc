@@ -1,0 +1,175 @@
+#include "eval/box.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/string_util.h"
+
+namespace thali {
+
+namespace {
+constexpr float kEps = 1e-9f;
+constexpr float kPi = 3.14159265358979f;
+}  // namespace
+
+std::string Box::ToString() const {
+  return StrFormat("Box(x=%.4f y=%.4f w=%.4f h=%.4f)", x, y, w, h);
+}
+
+Box BoxFromCorners(float left, float top, float right, float bottom) {
+  Box b;
+  b.x = (left + right) / 2;
+  b.y = (top + bottom) / 2;
+  b.w = right - left;
+  b.h = bottom - top;
+  return b;
+}
+
+float Intersection(const Box& a, const Box& b) {
+  const float iw =
+      std::min(a.Right(), b.Right()) - std::max(a.Left(), b.Left());
+  const float ih =
+      std::min(a.Bottom(), b.Bottom()) - std::max(a.Top(), b.Top());
+  if (iw <= 0 || ih <= 0) return 0.0f;
+  return iw * ih;
+}
+
+float Union(const Box& a, const Box& b) {
+  return a.Area() + b.Area() - Intersection(a, b);
+}
+
+float Iou(const Box& a, const Box& b) {
+  const float u = Union(a, b);
+  if (u <= kEps) return 0.0f;
+  return Intersection(a, b) / u;
+}
+
+float Giou(const Box& a, const Box& b) {
+  const float iou = Iou(a, b);
+  const float cl = std::min(a.Left(), b.Left());
+  const float cr = std::max(a.Right(), b.Right());
+  const float ct = std::min(a.Top(), b.Top());
+  const float cb = std::max(a.Bottom(), b.Bottom());
+  const float c_area = (cr - cl) * (cb - ct);
+  if (c_area <= kEps) return iou;
+  return iou - (c_area - Union(a, b)) / c_area;
+}
+
+float Diou(const Box& a, const Box& b) {
+  const float iou = Iou(a, b);
+  const float cw = std::max(a.Right(), b.Right()) -
+                   std::min(a.Left(), b.Left());
+  const float ch = std::max(a.Bottom(), b.Bottom()) -
+                   std::min(a.Top(), b.Top());
+  const float c2 = cw * cw + ch * ch;
+  if (c2 <= kEps) return iou;
+  const float rho2 =
+      (a.x - b.x) * (a.x - b.x) + (a.y - b.y) * (a.y - b.y);
+  return iou - rho2 / c2;
+}
+
+float Ciou(const Box& a, const Box& b) {
+  const float iou = Iou(a, b);
+  const float diou = Diou(a, b);
+  const float aw = std::max(a.w, kEps);
+  const float ah = std::max(a.h, kEps);
+  const float bw = std::max(b.w, kEps);
+  const float bh = std::max(b.h, kEps);
+  const float angle = std::atan(bw / bh) - std::atan(aw / ah);
+  const float v = (4.0f / (kPi * kPi)) * angle * angle;
+  const float alpha = v / (1.0f - iou + v + kEps);
+  return diou - alpha * v;
+}
+
+float CiouGrad(const Box& pred, const Box& truth, float grad[4]) {
+  // Corner coordinates of both boxes.
+  const float pl = pred.Left(), pr = pred.Right();
+  const float pt = pred.Top(), pb = pred.Bottom();
+  const float tl = truth.Left(), tr = truth.Right();
+  const float tt = truth.Top(), tb = truth.Bottom();
+
+  // Intersection geometry and its derivatives wrt pred x,y,w,h.
+  const float iw = std::min(pr, tr) - std::max(pl, tl);
+  const float ih = std::min(pb, tb) - std::max(pt, tt);
+  const float inter = (iw > 0 && ih > 0) ? iw * ih : 0.0f;
+
+  // Indicator terms: does moving the pred edge change the intersection?
+  const float dr = (pr < tr) ? 1.0f : 0.0f;  // right edge active
+  const float dl = (pl > tl) ? 1.0f : 0.0f;  // left edge active
+  const float db = (pb < tb) ? 1.0f : 0.0f;
+  const float dt = (pt > tt) ? 1.0f : 0.0f;
+
+  float dI[4] = {0, 0, 0, 0};  // d(inter)/d{x,y,w,h}
+  if (inter > 0) {
+    dI[0] = ih * (dr - dl);
+    dI[1] = iw * (db - dt);
+    dI[2] = ih * 0.5f * (dr + dl);
+    dI[3] = iw * 0.5f * (db + dt);
+  }
+
+  const float area_p = pred.Area();
+  const float area_t = truth.Area();
+  const float uni = std::max(area_p + area_t - inter, kEps);
+  const float iou = inter / uni;
+
+  // dU/dθ = dAp/dθ - dI/dθ.
+  const float dAp[4] = {0, 0, pred.h, pred.w};
+  float diou_d[4];
+  for (int i = 0; i < 4; ++i) {
+    const float dU = dAp[i] - dI[i];
+    diou_d[i] = (dI[i] * uni - inter * dU) / (uni * uni);
+  }
+
+  // Center-distance term rho^2 / c^2.
+  const float cw = std::max(pr, tr) - std::min(pl, tl);
+  const float ch = std::max(pb, tb) - std::min(pt, tt);
+  const float c2 = std::max(cw * cw + ch * ch, kEps);
+  const float dx = pred.x - truth.x;
+  const float dy = pred.y - truth.y;
+  const float rho2 = dx * dx + dy * dy;
+
+  // Enclosing-box derivatives: edge grows only when pred's edge is the
+  // outer one.
+  const float er = (pr > tr) ? 1.0f : 0.0f;
+  const float el = (pl < tl) ? 1.0f : 0.0f;
+  const float eb = (pb > tb) ? 1.0f : 0.0f;
+  const float et = (pt < tt) ? 1.0f : 0.0f;
+  const float dcw[4] = {er - el, 0, 0.5f * (er + el), 0};
+  const float dch[4] = {0, eb - et, 0, 0.5f * (eb + et)};
+
+  const float drho[4] = {2 * dx, 2 * dy, 0, 0};
+  float ddist[4];
+  for (int i = 0; i < 4; ++i) {
+    const float dc2 = 2 * cw * dcw[i] + 2 * ch * dch[i];
+    ddist[i] = (drho[i] * c2 - rho2 * dc2) / (c2 * c2);
+  }
+
+  // Aspect-ratio term alpha * v, with alpha held constant.
+  const float pw = std::max(pred.w, kEps);
+  const float ph = std::max(pred.h, kEps);
+  const float tw = std::max(truth.w, kEps);
+  const float th = std::max(truth.h, kEps);
+  const float angle = std::atan(tw / th) - std::atan(pw / ph);
+  const float v = (4.0f / (kPi * kPi)) * angle * angle;
+  const float alpha = v / (1.0f - iou + v + kEps);
+  const float denom = pw * pw + ph * ph;
+  // dv/dpw = -(8/pi^2) * angle * d(atan(pw/ph))/dpw = -(8/pi^2)*angle*ph/den
+  const float dv_dw = -(8.0f / (kPi * kPi)) * angle * ph / denom;
+  const float dv_dh = (8.0f / (kPi * kPi)) * angle * pw / denom;
+
+  grad[0] = diou_d[0] - ddist[0];
+  grad[1] = diou_d[1] - ddist[1];
+  grad[2] = diou_d[2] - ddist[2] - alpha * dv_dw;
+  grad[3] = diou_d[3] - ddist[3] - alpha * dv_dh;
+
+  return iou - rho2 / c2 - alpha * v;
+}
+
+float WhIou(float w1, float h1, float w2, float h2) {
+  const float inter = std::min(w1, w2) * std::min(h1, h2);
+  const float uni = w1 * h1 + w2 * h2 - inter;
+  if (uni <= kEps) return 0.0f;
+  return inter / uni;
+}
+
+}  // namespace thali

@@ -1,0 +1,60 @@
+#ifndef THALI_EVAL_BOX_H_
+#define THALI_EVAL_BOX_H_
+
+#include <string>
+
+namespace thali {
+
+// Axis-aligned bounding box in center form (YOLO's native representation).
+// Units are whatever the caller uses consistently — normalized [0,1] image
+// fractions in the dataset/labels, network-input fractions inside the YOLO
+// head, or pixels in the examples.
+struct Box {
+  float x = 0.0f;  // center x
+  float y = 0.0f;  // center y
+  float w = 0.0f;
+  float h = 0.0f;
+
+  float Left() const { return x - w / 2; }
+  float Right() const { return x + w / 2; }
+  float Top() const { return y - h / 2; }
+  float Bottom() const { return y + h / 2; }
+  float Area() const { return w * h; }
+
+  std::string ToString() const;
+};
+
+// Builds a Box from corner coordinates.
+Box BoxFromCorners(float left, float top, float right, float bottom);
+
+// Intersection area of a and b (0 when disjoint).
+float Intersection(const Box& a, const Box& b);
+
+// Union area (never negative; 0 only for two empty boxes).
+float Union(const Box& a, const Box& b);
+
+// Intersection over union in [0,1].
+float Iou(const Box& a, const Box& b);
+
+// Generalized IoU (Rezatofighi et al.): IoU - |C \ (A∪B)| / |C|, in (-1,1].
+float Giou(const Box& a, const Box& b);
+
+// Distance IoU (Zheng et al.): IoU - ρ²(centers)/c²(enclosing diagonal).
+float Diou(const Box& a, const Box& b);
+
+// Complete IoU: DIoU minus the aspect-ratio consistency term αv. This is
+// the YOLOv4 bounding-box regression objective.
+float Ciou(const Box& a, const Box& b);
+
+// Gradient of CIoU(pred, truth) with respect to the four pred
+// coordinates (x, y, w, h), written to grad[0..3]. α is treated as a
+// constant per the CIoU paper. Returns the CIoU value.
+float CiouGrad(const Box& pred, const Box& truth, float grad[4]);
+
+// IoU computed on width/height only, with both boxes centered at the
+// origin; Darknet uses this to pick the best anchor for a ground truth.
+float WhIou(float w1, float h1, float w2, float h2);
+
+}  // namespace thali
+
+#endif  // THALI_EVAL_BOX_H_

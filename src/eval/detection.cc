@@ -1,0 +1,49 @@
+#include "eval/detection.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace thali {
+
+std::string Detection::ToString() const {
+  return StrFormat("Detection(class=%d conf=%.3f %s)", class_id, confidence,
+                   box.ToString().c_str());
+}
+
+namespace {
+
+std::vector<Detection> NmsImpl(std::vector<Detection> dets,
+                               float iou_threshold, bool class_aware) {
+  std::stable_sort(dets.begin(), dets.end(),
+                   [](const Detection& a, const Detection& b) {
+                     return a.confidence > b.confidence;
+                   });
+  std::vector<Detection> kept;
+  std::vector<bool> suppressed(dets.size(), false);
+  for (size_t i = 0; i < dets.size(); ++i) {
+    if (suppressed[i]) continue;
+    kept.push_back(dets[i]);
+    for (size_t j = i + 1; j < dets.size(); ++j) {
+      if (suppressed[j]) continue;
+      if (class_aware && dets[j].class_id != dets[i].class_id) continue;
+      if (Iou(dets[i].box, dets[j].box) > iou_threshold) {
+        suppressed[j] = true;
+      }
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+std::vector<Detection> Nms(std::vector<Detection> dets, float iou_threshold) {
+  return NmsImpl(std::move(dets), iou_threshold, /*class_aware=*/true);
+}
+
+std::vector<Detection> NmsClassAgnostic(std::vector<Detection> dets,
+                                        float iou_threshold) {
+  return NmsImpl(std::move(dets), iou_threshold, /*class_aware=*/false);
+}
+
+}  // namespace thali

@@ -1,0 +1,256 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace thali {
+
+namespace {
+
+// A detection flattened across images, remembering its source image.
+struct FlatDet {
+  int image_index;
+  Detection det;
+};
+
+}  // namespace
+
+float AveragePrecision(const std::vector<PrPoint>& curve,
+                       ApInterpolation interp) {
+  if (curve.empty()) return 0.0f;
+
+  if (interp == ApInterpolation::kElevenPoint) {
+    // Max precision at recall >= r for r in {0, 0.1, ..., 1.0}.
+    float sum = 0.0f;
+    for (int i = 0; i <= 10; ++i) {
+      const float r = i / 10.0f;
+      float pmax = 0.0f;
+      for (const PrPoint& p : curve) {
+        if (p.recall >= r - 1e-9f) pmax = std::max(pmax, p.precision);
+      }
+      sum += pmax;
+    }
+    return sum / 11.0f;
+  }
+
+  // Every-point interpolation: area under the precision envelope.
+  // Build recall/precision arrays with sentinels, take the running max of
+  // precision from the right, and integrate over recall steps.
+  std::vector<float> rec{0.0f};
+  std::vector<float> prec{0.0f};
+  for (const PrPoint& p : curve) {
+    rec.push_back(p.recall);
+    prec.push_back(p.precision);
+  }
+  rec.push_back(1.0f);
+  prec.push_back(0.0f);
+
+  for (size_t i = prec.size() - 1; i > 0; --i) {
+    prec[i - 1] = std::max(prec[i - 1], prec[i]);
+  }
+  float ap = 0.0f;
+  for (size_t i = 1; i < rec.size(); ++i) {
+    if (rec[i] > rec[i - 1]) ap += (rec[i] - rec[i - 1]) * prec[i];
+  }
+  return ap;
+}
+
+EvalResult Evaluate(const std::vector<ImageEval>& images, int num_classes,
+                    float iou_threshold, float conf_threshold,
+                    ApInterpolation interp) {
+  THALI_CHECK_GT(num_classes, 0);
+  EvalResult result;
+  result.per_class.resize(num_classes);
+
+  // Micro P/R/F1 at the confidence threshold (computed alongside AP using
+  // the same greedy matching, restricted to detections above threshold).
+  int micro_tp = 0, micro_fp = 0, micro_fn = 0;
+
+  int classes_with_truths = 0;
+  double ap_sum = 0.0;
+
+  for (int cls = 0; cls < num_classes; ++cls) {
+    ClassMetrics& cm = result.per_class[cls];
+    cm.class_id = cls;
+
+    // Gather this class's detections (all images) and count truths.
+    std::vector<FlatDet> dets;
+    int total_truths = 0;
+    for (size_t i = 0; i < images.size(); ++i) {
+      for (const Detection& d : images[i].detections) {
+        if (d.class_id == cls) dets.push_back({static_cast<int>(i), d});
+      }
+      for (const GroundTruth& g : images[i].truths) {
+        if (g.class_id == cls) ++total_truths;
+      }
+    }
+    cm.num_truths = total_truths;
+    cm.num_detections = static_cast<int>(dets.size());
+
+    std::stable_sort(dets.begin(), dets.end(),
+                     [](const FlatDet& a, const FlatDet& b) {
+                       return a.det.confidence > b.det.confidence;
+                     });
+
+    // Greedy matching: per image, track which truths are already taken.
+    std::vector<std::vector<bool>> taken(images.size());
+    for (size_t i = 0; i < images.size(); ++i) {
+      taken[i].assign(images[i].truths.size(), false);
+    }
+
+    int tp = 0, fp = 0;
+    int tp_at_conf = 0, fp_at_conf = 0;
+    for (const FlatDet& fd : dets) {
+      const auto& truths = images[fd.image_index].truths;
+      float best_iou = 0.0f;
+      int best_j = -1;
+      for (size_t j = 0; j < truths.size(); ++j) {
+        if (truths[j].class_id != cls) continue;
+        const float iou = Iou(fd.det.box, truths[j].box);
+        if (iou > best_iou) {
+          best_iou = iou;
+          best_j = static_cast<int>(j);
+        }
+      }
+      bool is_tp = false;
+      if (best_j >= 0 && best_iou >= iou_threshold &&
+          !taken[fd.image_index][best_j]) {
+        taken[fd.image_index][best_j] = true;
+        is_tp = true;
+      }
+      if (is_tp) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      if (fd.det.confidence >= conf_threshold) {
+        if (is_tp) {
+          ++tp_at_conf;
+        } else {
+          ++fp_at_conf;
+        }
+      }
+      PrPoint p;
+      p.confidence = fd.det.confidence;
+      p.recall = total_truths > 0
+                     ? static_cast<float>(tp) / total_truths
+                     : 0.0f;
+      p.precision = static_cast<float>(tp) / (tp + fp);
+      cm.pr_curve.push_back(p);
+    }
+
+    cm.true_positives = tp;
+    cm.false_positives = fp;
+    cm.ap = total_truths > 0 ? AveragePrecision(cm.pr_curve, interp) : 0.0f;
+
+    micro_tp += tp_at_conf;
+    micro_fp += fp_at_conf;
+    micro_fn += total_truths - tp_at_conf;
+
+    if (total_truths > 0) {
+      ++classes_with_truths;
+      ap_sum += cm.ap;
+    }
+  }
+
+  result.map = classes_with_truths > 0
+                   ? static_cast<float>(ap_sum / classes_with_truths)
+                   : 0.0f;
+  result.precision = (micro_tp + micro_fp) > 0
+                         ? static_cast<float>(micro_tp) / (micro_tp + micro_fp)
+                         : 0.0f;
+  result.recall = (micro_tp + micro_fn) > 0
+                      ? static_cast<float>(micro_tp) / (micro_tp + micro_fn)
+                      : 0.0f;
+  result.f1 = (result.precision + result.recall) > 0
+                  ? 2 * result.precision * result.recall /
+                        (result.precision + result.recall)
+                  : 0.0f;
+  return result;
+}
+
+IouSweepResult EvaluateIouSweep(const std::vector<ImageEval>& images,
+                                int num_classes) {
+  IouSweepResult out;
+  double total = 0.0;
+  for (int i = 0; i <= 9; ++i) {
+    const float thresh = 0.5f + 0.05f * i;
+    const EvalResult r = Evaluate(images, num_classes, thresh);
+    out.thresholds.push_back(thresh);
+    out.map_at.push_back(r.map);
+    total += r.map;
+    if (i == 0) out.map_50 = r.map;
+    if (i == 5) out.map_75 = r.map;
+  }
+  out.map_5095 = static_cast<float>(total / 10.0);
+  return out;
+}
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<size_t>(num_classes + 1) * (num_classes + 1), 0) {
+  THALI_CHECK_GT(num_classes, 0);
+}
+
+void ConfusionMatrix::Add(int true_class, int predicted_class) {
+  THALI_CHECK_GE(true_class, 0);
+  THALI_CHECK_LT(true_class, num_classes_);
+  // predicted -1 => "None" column.
+  const int col = predicted_class < 0 ? num_classes_ : predicted_class;
+  THALI_CHECK_LE(col, num_classes_);
+  ++cells_[static_cast<size_t>(true_class) * (num_classes_ + 1) + col];
+}
+
+int ConfusionMatrix::count(int true_class, int predicted_class) const {
+  const int col = predicted_class < 0 ? num_classes_ : predicted_class;
+  return cells_[static_cast<size_t>(true_class) * (num_classes_ + 1) + col];
+}
+
+float ConfusionMatrix::RowAccuracy(int true_class) const {
+  int row_sum = 0;
+  for (int c = 0; c <= num_classes_; ++c) row_sum += count(true_class, c);
+  if (row_sum == 0) return 0.0f;
+  return static_cast<float>(count(true_class, true_class)) / row_sum;
+}
+
+float ConfusionMatrix::OverallAccuracy() const {
+  int diag = 0, total = 0;
+  for (int r = 0; r < num_classes_; ++r) {
+    for (int c = 0; c <= num_classes_; ++c) total += count(r, c);
+    diag += count(r, r);
+  }
+  if (total == 0) return 0.0f;
+  return static_cast<float>(diag) / total;
+}
+
+std::string ConfusionMatrix::ToString(
+    const std::vector<std::string>& class_names) const {
+  THALI_CHECK_EQ(static_cast<int>(class_names.size()), num_classes_);
+  // Column width driven by the longest name (abbreviated to 12 chars).
+  auto abbrev = [](const std::string& s) {
+    return s.size() > 12 ? s.substr(0, 12) : s;
+  };
+  std::ostringstream os;
+  os << StrFormat("%-14s", "true\\pred");
+  for (int c = 0; c < num_classes_; ++c) {
+    os << StrFormat(" %-12s", abbrev(class_names[c]).c_str());
+  }
+  os << StrFormat(" %-12s", "None") << "\n";
+  for (int r = 0; r < num_classes_; ++r) {
+    os << StrFormat("%-14s", abbrev(class_names[r]).c_str());
+    for (int c = 0; c <= num_classes_; ++c) {
+      os << StrFormat(" %-12d", count(r, c));
+    }
+    os << "\n";
+  }
+  os << StrFormat("%-14s", "None") ;
+  for (int c = 0; c <= num_classes_; ++c) os << StrFormat(" %-12s", "-");
+  os << "  (greyed out: a labelled image always has a true class)\n";
+  return os.str();
+}
+
+}  // namespace thali

@@ -1,0 +1,113 @@
+#ifndef THALI_EVAL_METRICS_H_
+#define THALI_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "eval/detection.h"
+
+namespace thali {
+
+// Detection metrics following Padilla, Netto & da Silva, "A survey on
+// performance metrics for object-detection algorithms" (IWSSIP 2020) — the
+// exact evaluation code the paper uses. A detection is a true positive
+// when its IoU with an unmatched same-class ground truth is >= the IoU
+// threshold; each ground truth can be matched at most once, in order of
+// descending detection confidence (greedy matching).
+
+enum class ApInterpolation {
+  kEveryPoint,   // all-point interpolation (the paper's headline metric)
+  kElevenPoint,  // PASCAL VOC 2007 11-point interpolation
+};
+
+// One precision/recall point of a PR curve, tagged with the confidence of
+// the detection that produced it.
+struct PrPoint {
+  float recall = 0.0f;
+  float precision = 0.0f;
+  float confidence = 0.0f;
+};
+
+// Per-class evaluation result.
+struct ClassMetrics {
+  int class_id = -1;
+  float ap = 0.0f;          // average precision at the IoU threshold
+  int num_truths = 0;       // ground truths of this class
+  int num_detections = 0;   // detections of this class
+  int true_positives = 0;   // TP count over the full detection list
+  int false_positives = 0;
+  std::vector<PrPoint> pr_curve;  // cumulative PR points (Fig. 7 series)
+};
+
+// Aggregate evaluation result across classes.
+struct EvalResult {
+  std::vector<ClassMetrics> per_class;
+  float map = 0.0f;        // mean AP over classes that have ground truths
+  float precision = 0.0f;  // micro precision at the confidence threshold
+  float recall = 0.0f;     // micro recall at the confidence threshold
+  float f1 = 0.0f;         // harmonic mean of the above
+};
+
+// Evaluates detections against ground truths across all images.
+//
+// `num_classes` fixes the class universe (classes with no truths get
+// AP = 0 but are excluded from mAP, matching Padilla's tool).
+// `iou_threshold` is the TP criterion (the paper uses 0.5).
+// `conf_threshold` only affects the P/R/F1 summary numbers (the paper's
+// F1 column, Darknet reports these at 0.25); AP integrates over all
+// confidences regardless.
+EvalResult Evaluate(const std::vector<ImageEval>& images, int num_classes,
+                    float iou_threshold = 0.5f, float conf_threshold = 0.25f,
+                    ApInterpolation interp = ApInterpolation::kEveryPoint);
+
+// Computes AP from a PR curve using the chosen interpolation. Exposed for
+// unit tests pinning the hand-worked examples in the Padilla paper.
+float AveragePrecision(const std::vector<PrPoint>& curve,
+                       ApInterpolation interp);
+
+// COCO-style IoU sweep: mAP at each threshold in [0.5, 0.95] step 0.05,
+// plus their mean. The paper reports mAP@0.5 only; the sweep is the
+// modern companion metric and a sensitive localization-quality probe.
+struct IouSweepResult {
+  std::vector<float> thresholds;  // 0.50, 0.55, ..., 0.95
+  std::vector<float> map_at;      // mAP at each threshold
+  float map_5095 = 0.0f;          // mean over the sweep
+  float map_50 = 0.0f;
+  float map_75 = 0.0f;
+};
+IouSweepResult EvaluateIouSweep(const std::vector<ImageEval>& images,
+                                int num_classes);
+
+// Confusion matrix over single-dish evaluation images (the paper's
+// Fig. 5): rows are true classes, columns are predicted classes, plus one
+// extra "None" column for images where the detector predicted nothing
+// above threshold. Row `num_classes` ("None" as truth) exists for layout
+// parity with the figure but is structurally empty — a labelled image
+// always has a true class (the greyed-out row in the paper).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  // Records one single-dish image: the true class and the detector's
+  // highest-confidence prediction (-1 when the detector found nothing).
+  void Add(int true_class, int predicted_class);
+
+  int count(int true_class, int predicted_class) const;
+  int num_classes() const { return num_classes_; }
+
+  // Row-normalized accuracy of class i (diagonal / row sum).
+  float RowAccuracy(int true_class) const;
+
+  // Total fraction of images on the diagonal.
+  float OverallAccuracy() const;
+
+  // Renders the matrix with class names (last column = None).
+  std::string ToString(const std::vector<std::string>& class_names) const;
+
+ private:
+  int num_classes_;
+  std::vector<int> cells_;  // (num_classes+1) x (num_classes+1)
+};
+
+}  // namespace thali
+
+#endif  // THALI_EVAL_METRICS_H_

@@ -1,0 +1,102 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include "base/file_util.h"
+#include "base/logging.h"
+#include "base/string_util.h"
+#include "base/table_printer.h"
+
+namespace thali {
+
+std::string RenderClassApTable(const EvalResult& result,
+                               const std::vector<std::string>& class_names) {
+  THALI_CHECK_EQ(class_names.size(), result.per_class.size());
+  TablePrinter table("Average Precision for each class");
+  table.SetHeader({"Class", "AP (%)", "truths", "TP", "FP"});
+  for (const ClassMetrics& cm : result.per_class) {
+    table.AddRow({class_names[static_cast<size_t>(cm.class_id)],
+                  StrFormat("%.1f", cm.ap * 100),
+                  std::to_string(cm.num_truths),
+                  std::to_string(cm.true_positives),
+                  std::to_string(cm.false_positives)});
+  }
+  return table.ToString();
+}
+
+std::string RenderSummaryLine(const EvalResult& result) {
+  return StrFormat("mAP@0.5 %.2f%%  P %.2f  R %.2f  F1 %.2f",
+                   result.map * 100, result.precision, result.recall,
+                   result.f1);
+}
+
+std::string RenderPrChart(const std::vector<PrPoint>& curve, int width,
+                          int height) {
+  THALI_CHECK_GT(width, 0);
+  THALI_CHECK_GT(height, 0);
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  for (const PrPoint& p : curve) {
+    const int x = std::min(width - 1, static_cast<int>(p.recall * width));
+    const int y =
+        std::min(height - 1, static_cast<int>((1.0f - p.precision) * height));
+    grid[static_cast<size_t>(y)][static_cast<size_t>(x)] = '*';
+  }
+  std::string out;
+  out += "  1.0 +" + std::string(static_cast<size_t>(width), '-') + "+\n";
+  for (int y = 0; y < height; ++y) {
+    out += (y == height / 2 ? "  P   |" : "      |");
+    out += grid[static_cast<size_t>(y)];
+    out += "|\n";
+  }
+  out += "  0.0 +" + std::string(static_cast<size_t>(width), '-') + "+\n";
+  out += "      0.0                 recall                 1.0\n";
+  return out;
+}
+
+std::string EvalResultToCsv(const EvalResult& result,
+                            const std::vector<std::string>& class_names) {
+  std::string csv = "class,ap,truths,tp,fp\n";
+  for (const ClassMetrics& cm : result.per_class) {
+    csv += StrFormat("%s,%.6f,%d,%d,%d\n",
+                     class_names[static_cast<size_t>(cm.class_id)].c_str(),
+                     cm.ap, cm.num_truths, cm.true_positives,
+                     cm.false_positives);
+  }
+  csv += StrFormat("__summary__,%.6f,%d,%d,%d\n", result.map, 0, 0, 0);
+  return csv;
+}
+
+std::string PrCurvesToCsv(const EvalResult& result,
+                          const std::vector<std::string>& class_names) {
+  std::string csv = "class,recall,precision,confidence\n";
+  for (const ClassMetrics& cm : result.per_class) {
+    const std::string& name = class_names[static_cast<size_t>(cm.class_id)];
+    for (const PrPoint& p : cm.pr_curve) {
+      csv += StrFormat("%s,%.5f,%.5f,%.5f\n", name.c_str(), p.recall,
+                       p.precision, p.confidence);
+    }
+  }
+  return csv;
+}
+
+Status WriteMarkdownReport(const EvalResult& result,
+                           const std::vector<std::string>& class_names,
+                           const std::string& title, const std::string& path) {
+  std::string md = "# " + title + "\n\n";
+  md += RenderSummaryLine(result) + "\n\n";
+  md += "| Class | AP (%) | truths | TP | FP |\n";
+  md += "|---|---|---|---|---|\n";
+  for (const ClassMetrics& cm : result.per_class) {
+    md += StrFormat("| %s | %.1f | %d | %d | %d |\n",
+                    class_names[static_cast<size_t>(cm.class_id)].c_str(),
+                    cm.ap * 100, cm.num_truths, cm.true_positives,
+                    cm.false_positives);
+  }
+  md += "\n## PR curves (CSV)\n\n```\n";
+  md += PrCurvesToCsv(result, class_names);
+  md += "```\n";
+  return WriteStringToFile(path, md);
+}
+
+}  // namespace thali

@@ -1,0 +1,42 @@
+#ifndef THALI_EVAL_REPORT_H_
+#define THALI_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "eval/metrics.h"
+
+namespace thali {
+
+// Textual reporting for evaluation results: the rendering layer shared by
+// the bench harnesses, the CLI and the examples, so every surface prints
+// the paper-style artifacts identically.
+
+// Per-class AP table in the layout of the paper's Table I.
+std::string RenderClassApTable(const EvalResult& result,
+                               const std::vector<std::string>& class_names);
+
+// One-line summary: "mAP@0.5 91.76%  P 0.91  R 0.89  F1 0.90".
+std::string RenderSummaryLine(const EvalResult& result);
+
+// ASCII precision-recall chart (the Fig. 7 panel for one class).
+// `width`/`height` are the plot body size in characters.
+std::string RenderPrChart(const std::vector<PrPoint>& curve, int width = 50,
+                          int height = 10);
+
+// CSV serializations for external plotting.
+std::string EvalResultToCsv(const EvalResult& result,
+                            const std::vector<std::string>& class_names);
+std::string PrCurvesToCsv(const EvalResult& result,
+                          const std::vector<std::string>& class_names);
+
+// Writes a complete markdown evaluation report (summary, per-class table,
+// PR data) to `path`.
+Status WriteMarkdownReport(const EvalResult& result,
+                           const std::vector<std::string>& class_names,
+                           const std::string& title, const std::string& path);
+
+}  // namespace thali
+
+#endif  // THALI_EVAL_REPORT_H_

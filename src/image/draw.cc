@@ -1,0 +1,190 @@
+#include "image/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thali {
+
+namespace {
+
+// Signed "radial" coordinate of (x,y) in the rotated ellipse frame:
+// <1 inside, 1 on the boundary.
+inline float EllipseRho(float x, float y, float cx, float cy, float rx,
+                        float ry, float cos_a, float sin_a) {
+  const float dx = x - cx;
+  const float dy = y - cy;
+  const float u = dx * cos_a + dy * sin_a;
+  const float v = -dx * sin_a + dy * cos_a;
+  const float nu = u / rx;
+  const float nv = v / ry;
+  return std::sqrt(nu * nu + nv * nv);
+}
+
+inline float PolarAngle(float x, float y, float cx, float cy, float cos_a,
+                        float sin_a) {
+  const float dx = x - cx;
+  const float dy = y - cy;
+  const float u = dx * cos_a + dy * sin_a;
+  const float v = -dx * sin_a + dy * cos_a;
+  return std::atan2(v, u);
+}
+
+struct EllipseBounds {
+  int x0, y0, x1, y1;
+};
+
+EllipseBounds BoundsFor(const Image& img, float cx, float cy, float rx,
+                        float ry) {
+  const float r = std::max(rx, ry) + 2.0f;
+  EllipseBounds b;
+  b.x0 = std::max(0, static_cast<int>(std::floor(cx - r)));
+  b.y0 = std::max(0, static_cast<int>(std::floor(cy - r)));
+  b.x1 = std::min(img.width() - 1, static_cast<int>(std::ceil(cx + r)));
+  b.y1 = std::min(img.height() - 1, static_cast<int>(std::ceil(cy + r)));
+  return b;
+}
+
+}  // namespace
+
+void DrawFilledRect(Image& img, int x0, int y0, int x1, int y1,
+                    const Color& color) {
+  x0 = std::max(0, x0);
+  y0 = std::max(0, y0);
+  x1 = std::min(img.width() - 1, x1);
+  y1 = std::min(img.height() - 1, y1);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) img.SetPixel(y, x, color);
+  }
+}
+
+void DrawRect(Image& img, int x0, int y0, int x1, int y1, const Color& color) {
+  for (int x = x0; x <= x1; ++x) {
+    img.SetPixel(y0, x, color);
+    img.SetPixel(y1, x, color);
+  }
+  for (int y = y0; y <= y1; ++y) {
+    img.SetPixel(y, x0, color);
+    img.SetPixel(y, x1, color);
+  }
+}
+
+void DrawEllipse(Image& img, float cx, float cy, float rx, float ry,
+                 float angle, const Color& color, float feather) {
+  if (rx <= 0 || ry <= 0) return;
+  const float ca = std::cos(angle);
+  const float sa = std::sin(angle);
+  const EllipseBounds b = BoundsFor(img, cx, cy, rx, ry);
+  const float fr = feather / std::min(rx, ry);  // feather in rho units
+  for (int y = b.y0; y <= b.y1; ++y) {
+    for (int x = b.x0; x <= b.x1; ++x) {
+      const float rho = EllipseRho(x + 0.5f, y + 0.5f, cx, cy, rx, ry, ca, sa);
+      if (rho <= 1.0f - fr) {
+        img.SetPixel(y, x, color);
+      } else if (rho < 1.0f + fr && fr > 0) {
+        img.BlendPixel(y, x, color, (1.0f + fr - rho) / (2.0f * fr));
+      }
+    }
+  }
+}
+
+void DrawRing(Image& img, float cx, float cy, float rx, float ry, float angle,
+              float inner, const Color& color, float feather) {
+  if (rx <= 0 || ry <= 0) return;
+  const float ca = std::cos(angle);
+  const float sa = std::sin(angle);
+  const EllipseBounds b = BoundsFor(img, cx, cy, rx, ry);
+  const float fr = feather / std::min(rx, ry);
+  for (int y = b.y0; y <= b.y1; ++y) {
+    for (int x = b.x0; x <= b.x1; ++x) {
+      const float rho = EllipseRho(x + 0.5f, y + 0.5f, cx, cy, rx, ry, ca, sa);
+      if (rho >= inner && rho <= 1.0f - fr) {
+        img.SetPixel(y, x, color);
+      } else if (rho > 1.0f - fr && rho < 1.0f + fr && fr > 0) {
+        img.BlendPixel(y, x, color, (1.0f + fr - rho) / (2.0f * fr));
+      }
+    }
+  }
+}
+
+void DrawWedge(Image& img, float cx, float cy, float rx, float ry, float angle,
+               float a0, float a1, const Color& color, float feather) {
+  if (rx <= 0 || ry <= 0) return;
+  const float ca = std::cos(angle);
+  const float sa = std::sin(angle);
+  const EllipseBounds b = BoundsFor(img, cx, cy, rx, ry);
+  const float fr = feather / std::min(rx, ry);
+  for (int y = b.y0; y <= b.y1; ++y) {
+    for (int x = b.x0; x <= b.x1; ++x) {
+      const float px = x + 0.5f;
+      const float py = y + 0.5f;
+      const float rho = EllipseRho(px, py, cx, cy, rx, ry, ca, sa);
+      if (rho > 1.0f + fr) continue;
+      float theta = PolarAngle(px, py, cx, cy, ca, sa);
+      // Normalize into [a0, a0+2pi) to test membership in [a0, a1].
+      while (theta < a0) theta += 6.28318530718f;
+      if (theta > a1) continue;
+      if (rho <= 1.0f - fr) {
+        img.SetPixel(y, x, color);
+      } else if (fr > 0) {
+        img.BlendPixel(y, x, color, (1.0f + fr - rho) / (2.0f * fr));
+      }
+    }
+  }
+}
+
+void SpeckleEllipse(Image& img, float cx, float cy, float rx, float ry,
+                    float angle, const Color& color, int count,
+                    float blob_radius, Rng& rng) {
+  for (int i = 0; i < count; ++i) {
+    // Rejection-sample a point inside the unit disc, map into the ellipse.
+    float u, v;
+    do {
+      u = rng.NextFloat(-1.0f, 1.0f);
+      v = rng.NextFloat(-1.0f, 1.0f);
+    } while (u * u + v * v > 0.8f);  // keep speckles off the very edge
+    const float ca = std::cos(angle);
+    const float sa = std::sin(angle);
+    const float px = cx + u * rx * ca - v * ry * sa;
+    const float py = cy + u * rx * sa + v * ry * ca;
+    const float r = blob_radius * rng.NextFloat(0.6f, 1.4f);
+    DrawEllipse(img, px, py, r, r, 0.0f, color, 0.5f);
+  }
+}
+
+void AddGaussianNoise(Image& img, float stddev, Rng& rng) {
+  float* p = img.data();
+  for (int64_t i = 0; i < img.size(); ++i) {
+    p[i] = std::clamp(p[i] + rng.NextGaussian(0.0f, stddev), 0.0f, 1.0f);
+  }
+}
+
+void ApplyVignette(Image& img, float cx, float cy, float edge) {
+  const float px = cx * img.width();
+  const float py = cy * img.height();
+  const float max_d = std::hypot(static_cast<float>(img.width()),
+                                 static_cast<float>(img.height()));
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const float d = std::hypot(x - px, y - py) / max_d;
+      const float gain = 1.0f + (edge - 1.0f) * d;
+      for (int c = 0; c < img.channels(); ++c) {
+        img.set(c, y, x, std::clamp(img.at(c, y, x) * gain, 0.0f, 1.0f));
+      }
+    }
+  }
+}
+
+void DrawLine(Image& img, float x0, float y0, float x1, float y1,
+              const Color& color) {
+  const float dx = x1 - x0;
+  const float dy = y1 - y0;
+  const int steps =
+      std::max(1, static_cast<int>(std::max(std::fabs(dx), std::fabs(dy))));
+  for (int i = 0; i <= steps; ++i) {
+    const float t = static_cast<float>(i) / steps;
+    img.SetPixel(static_cast<int>(y0 + t * dy), static_cast<int>(x0 + t * dx),
+                 color);
+  }
+}
+
+}  // namespace thali

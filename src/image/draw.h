@@ -1,0 +1,55 @@
+#ifndef THALI_IMAGE_DRAW_H_
+#define THALI_IMAGE_DRAW_H_
+
+#include "base/rng.h"
+#include "image/image.h"
+
+namespace thali {
+
+// 2-d drawing primitives used by the synthetic platter renderer and by the
+// example apps when visualizing detections. All coordinates are in pixels;
+// shapes are clipped to the image.
+
+// Filled axis-aligned rectangle [x0,x1] x [y0,y1].
+void DrawFilledRect(Image& img, int x0, int y0, int x1, int y1,
+                    const Color& color);
+
+// One-pixel-wide rectangle outline (used for bounding boxes).
+void DrawRect(Image& img, int x0, int y0, int x1, int y1, const Color& color);
+
+// Filled ellipse centered at (cx, cy) with radii (rx, ry), rotated by
+// `angle` radians, soft-blended edge of `feather` pixels.
+void DrawEllipse(Image& img, float cx, float cy, float rx, float ry,
+                 float angle, const Color& color, float feather = 1.0f);
+
+// Elliptical ring (annulus) between inner radius fraction `inner` (0..1)
+// and the full radii; used for plate rims and folded-bread arcs.
+void DrawRing(Image& img, float cx, float cy, float rx, float ry, float angle,
+              float inner, const Color& color, float feather = 1.0f);
+
+// Half/quarter disc wedge: keeps the portion of the ellipse whose polar
+// angle lies within [a0, a1] (radians, in the rotated frame). Renders
+// folded chapatis.
+void DrawWedge(Image& img, float cx, float cy, float rx, float ry, float angle,
+               float a0, float a1, const Color& color, float feather = 1.0f);
+
+// Scatters `count` small blobs of `color` within the ellipse; models
+// garnish, stuffing specks and grain texture.
+void SpeckleEllipse(Image& img, float cx, float cy, float rx, float ry,
+                    float angle, const Color& color, int count,
+                    float blob_radius, Rng& rng);
+
+// Adds zero-mean Gaussian pixel noise with the given stddev.
+void AddGaussianNoise(Image& img, float stddev, Rng& rng);
+
+// Multiplies the whole image by a smooth radial lighting falloff centered
+// at (cx, cy) normalized coordinates: 1 at center to `edge` at corners.
+void ApplyVignette(Image& img, float cx, float cy, float edge);
+
+// Draws a line (Bresenham-ish float stepping).
+void DrawLine(Image& img, float x0, float y0, float x1, float y1,
+              const Color& color);
+
+}  // namespace thali
+
+#endif  // THALI_IMAGE_DRAW_H_

@@ -1,0 +1,27 @@
+#ifndef THALI_IMAGE_IMAGE_IO_H_
+#define THALI_IMAGE_IMAGE_IO_H_
+
+#include <string>
+
+#include "base/statusor.h"
+#include "image/image.h"
+
+namespace thali {
+
+// Binary PPM (P6) encode/decode — the dataset-on-disk format. PPM needs no
+// compression dependency and every viewer opens it.
+Status WritePpm(const Image& img, const std::string& path);
+StatusOr<Image> ReadPpm(const std::string& path);
+
+// 24-bit uncompressed BMP writer for example outputs (more tools open BMP
+// than PPM on non-Unix systems).
+Status WriteBmp(const Image& img, const std::string& path);
+
+// Coarse ASCII-art rendering of the image's luminance, `cols` characters
+// wide; used by example binaries so a terminal-only user still "sees" the
+// platters and detections.
+std::string AsciiArt(const Image& img, int cols = 64);
+
+}  // namespace thali
+
+#endif  // THALI_IMAGE_IMAGE_IO_H_

@@ -1,0 +1,88 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+namespace thali {
+
+StatusOr<Activation> ActivationFromString(const std::string& name) {
+  if (name == "linear") return Activation::kLinear;
+  if (name == "leaky") return Activation::kLeaky;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "mish") return Activation::kMish;
+  if (name == "logistic") return Activation::kLogistic;
+  return Status::InvalidArgument("unknown activation: " + name);
+}
+
+const char* ActivationToString(Activation a) {
+  switch (a) {
+    case Activation::kLinear: return "linear";
+    case Activation::kLeaky: return "leaky";
+    case Activation::kRelu: return "relu";
+    case Activation::kMish: return "mish";
+    case Activation::kLogistic: return "logistic";
+  }
+  return "?";
+}
+
+namespace {
+
+inline float Softplus(float x) {
+  // Numerically stable softplus.
+  if (x > 20.0f) return x;
+  if (x < -20.0f) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+}  // namespace
+
+void ApplyActivation(Activation a, float* x, int64_t n) {
+  switch (a) {
+    case Activation::kLinear:
+      return;
+    case Activation::kLeaky:
+      for (int64_t i = 0; i < n; ++i) x[i] = x[i] > 0 ? x[i] : 0.1f * x[i];
+      return;
+    case Activation::kRelu:
+      for (int64_t i = 0; i < n; ++i) x[i] = x[i] > 0 ? x[i] : 0.0f;
+      return;
+    case Activation::kMish:
+      for (int64_t i = 0; i < n; ++i) {
+        x[i] = x[i] * std::tanh(Softplus(x[i]));
+      }
+      return;
+    case Activation::kLogistic:
+      for (int64_t i = 0; i < n; ++i) x[i] = 1.0f / (1.0f + std::exp(-x[i]));
+      return;
+  }
+}
+
+void GradientActivation(Activation a, const float* pre, float* delta,
+                        int64_t n) {
+  switch (a) {
+    case Activation::kLinear:
+      return;
+    case Activation::kLeaky:
+      for (int64_t i = 0; i < n; ++i) delta[i] *= pre[i] > 0 ? 1.0f : 0.1f;
+      return;
+    case Activation::kRelu:
+      for (int64_t i = 0; i < n; ++i) delta[i] *= pre[i] > 0 ? 1.0f : 0.0f;
+      return;
+    case Activation::kMish:
+      for (int64_t i = 0; i < n; ++i) {
+        // d/dx [x * tanh(sp(x))] = tanh(sp) + x * sech^2(sp) * sigmoid(x)
+        const float sp = Softplus(pre[i]);
+        const float t = std::tanh(sp);
+        const float sig = 1.0f / (1.0f + std::exp(-pre[i]));
+        delta[i] *= t + pre[i] * (1.0f - t * t) * sig;
+      }
+      return;
+    case Activation::kLogistic:
+      for (int64_t i = 0; i < n; ++i) {
+        const float s = 1.0f / (1.0f + std::exp(-pre[i]));
+        delta[i] *= s * (1.0f - s);
+      }
+      return;
+  }
+}
+
+}  // namespace thali

@@ -1,0 +1,37 @@
+#ifndef THALI_NN_ACTIVATION_H_
+#define THALI_NN_ACTIVATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/statusor.h"
+
+namespace thali {
+
+// Activation functions supported by the Darknet layer set. kMish is the
+// YOLOv4 backbone activation; kLeaky is used in the neck/head.
+enum class Activation {
+  kLinear,
+  kLeaky,     // max(0.1x, x)
+  kRelu,
+  kMish,      // x * tanh(softplus(x))
+  kLogistic,  // sigmoid
+};
+
+// Parses the Darknet cfg spelling ("leaky", "mish", ...).
+StatusOr<Activation> ActivationFromString(const std::string& name);
+const char* ActivationToString(Activation a);
+
+// Applies the activation elementwise in place.
+void ApplyActivation(Activation a, float* x, int64_t n);
+
+// Multiplies `delta` by the activation derivative, elementwise in place.
+// `pre` must hold the *pre-activation* values (the layer caches them when
+// the activation's derivative is not expressible from the output alone,
+// as with mish).
+void GradientActivation(Activation a, const float* pre, float* delta,
+                        int64_t n);
+
+}  // namespace thali
+
+#endif  // THALI_NN_ACTIVATION_H_

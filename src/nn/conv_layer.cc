@@ -1,0 +1,306 @@
+#include "nn/conv_layer.h"
+
+#include <cmath>
+
+#include "nn/network.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+
+namespace thali {
+
+namespace {
+constexpr float kBnEps = 1e-5f;
+constexpr float kBnMomentum = 0.99f;  // rolling = m*rolling + (1-m)*batch
+}  // namespace
+
+Status ConvLayer::Configure(const Shape& input_shape, const Network&) {
+  if (input_shape.rank() != 4) {
+    return Status::InvalidArgument("conv input must be NCHW, got " +
+                                   input_shape.ToString());
+  }
+  if (opts_.filters <= 0 || opts_.ksize <= 0 || opts_.stride <= 0 ||
+      opts_.pad < 0) {
+    return Status::InvalidArgument("bad conv geometry");
+  }
+  in_c_ = input_shape.dim(1);
+  const int64_t in_h = input_shape.dim(2);
+  const int64_t in_w = input_shape.dim(3);
+  out_h_ = ConvOutSize(in_h, opts_.ksize, opts_.stride, opts_.pad);
+  out_w_ = ConvOutSize(in_w, opts_.ksize, opts_.stride, opts_.pad);
+  if (out_h_ <= 0 || out_w_ <= 0) {
+    return Status::InvalidArgument("conv output collapses to zero");
+  }
+
+  SetShapes(input_shape,
+            Shape({input_shape.dim(0), opts_.filters, out_h_, out_w_}));
+
+  weights_.Resize(Shape({opts_.filters, in_c_, opts_.ksize, opts_.ksize}));
+  weight_grads_.Resize(weights_.shape());
+  biases_.Resize(Shape({opts_.filters}));
+  bias_grads_.Resize(biases_.shape());
+  if (opts_.batch_normalize) {
+    scales_.Resize(Shape({opts_.filters}));
+    scales_.Fill(1.0f);
+    scale_grads_.Resize(scales_.shape());
+    rolling_mean_.Resize(Shape({opts_.filters}));
+    rolling_var_.Resize(Shape({opts_.filters}));
+    rolling_var_.Fill(1.0f);
+    mean_.Resize(Shape({opts_.filters}));
+    var_.Resize(Shape({opts_.filters}));
+    conv_out_.Resize(out_shape_);
+    x_norm_.Resize(out_shape_);
+  }
+  pre_activation_.Resize(out_shape_);
+  return Status::OK();
+}
+
+int64_t ConvLayer::WorkspaceSize() const {
+  return in_c_ * opts_.ksize * opts_.ksize * out_h_ * out_w_;
+}
+
+void ConvLayer::InitWeights(Rng& rng) {
+  const float scale =
+      std::sqrt(2.0f / (static_cast<float>(opts_.ksize) * opts_.ksize *
+                        static_cast<float>(in_c_)));
+  for (int64_t i = 0; i < weights_.size(); ++i) {
+    weights_.data()[i] = rng.NextGaussian(0.0f, scale);
+  }
+  biases_.Zero();
+  if (opts_.batch_normalize) {
+    scales_.Fill(1.0f);
+    rolling_mean_.Zero();
+    rolling_var_.Fill(1.0f);
+  }
+}
+
+void ConvLayer::ForwardOne(const float* in, float* out, float* ws) const {
+  const int64_t m = opts_.filters;
+  const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
+  const int64_t n = out_h_ * out_w_;
+  if (opts_.ksize == 1 && opts_.stride == 1 && opts_.pad == 0) {
+    // 1x1 conv needs no im2col: input planes are already the col matrix.
+    Gemm(false, false, m, n, k, 1.0f, weights_.data(), k, in, n, 0.0f, out, n);
+    return;
+  }
+  Im2Col(in, in_c_, in_shape_.dim(2), in_shape_.dim(3), opts_.ksize,
+         opts_.stride, opts_.pad, ws);
+  Gemm(false, false, m, n, k, 1.0f, weights_.data(), k, ws, n, 0.0f, out, n);
+}
+
+void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
+  const int64_t batch = in_shape_.dim(0);
+  const int64_t in_plane = in_c_ * in_shape_.dim(2) * in_shape_.dim(3);
+  const int64_t out_plane = opts_.filters * out_h_ * out_w_;
+
+  Tensor& raw = opts_.batch_normalize ? conv_out_ : output_;
+  for (int64_t b = 0; b < batch; ++b) {
+    ForwardOne(input.data() + b * in_plane, raw.data() + b * out_plane,
+               net.workspace());
+  }
+
+  if (opts_.batch_normalize) {
+    BatchNormForward(train);
+  } else {
+    // Plain bias add.
+    const int64_t spatial = out_h_ * out_w_;
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t f = 0; f < opts_.filters; ++f) {
+        float* p = output_.data() + (b * opts_.filters + f) * spatial;
+        const float bias = biases_[f];
+        for (int64_t i = 0; i < spatial; ++i) p[i] += bias;
+      }
+    }
+  }
+
+  // Cache pre-activation values for the backward pass, then activate.
+  std::copy(output_.data(), output_.data() + output_.size(),
+            pre_activation_.data());
+  ApplyActivation(opts_.activation, output_.data(), output_.size());
+}
+
+void ConvLayer::BatchNormForward(bool train) {
+  const int64_t batch = out_shape_.dim(0);
+  const int64_t spatial = out_h_ * out_w_;
+  const int64_t m = batch * spatial;
+
+  const float* use_mean;
+  const float* use_var;
+  if (train) {
+    for (int64_t f = 0; f < opts_.filters; ++f) {
+      double s = 0.0;
+      for (int64_t b = 0; b < batch; ++b) {
+        const float* p = conv_out_.data() + (b * opts_.filters + f) * spatial;
+        for (int64_t i = 0; i < spatial; ++i) s += p[i];
+      }
+      mean_[f] = static_cast<float>(s / m);
+    }
+    for (int64_t f = 0; f < opts_.filters; ++f) {
+      double s = 0.0;
+      for (int64_t b = 0; b < batch; ++b) {
+        const float* p = conv_out_.data() + (b * opts_.filters + f) * spatial;
+        for (int64_t i = 0; i < spatial; ++i) {
+          const double d = p[i] - mean_[f];
+          s += d * d;
+        }
+      }
+      var_[f] = static_cast<float>(s / m);
+      rolling_mean_[f] =
+          kBnMomentum * rolling_mean_[f] + (1 - kBnMomentum) * mean_[f];
+      rolling_var_[f] =
+          kBnMomentum * rolling_var_[f] + (1 - kBnMomentum) * var_[f];
+    }
+    use_mean = mean_.data();
+    use_var = var_.data();
+  } else {
+    use_mean = rolling_mean_.data();
+    use_var = rolling_var_.data();
+  }
+
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t f = 0; f < opts_.filters; ++f) {
+      const float inv_std = 1.0f / std::sqrt(use_var[f] + kBnEps);
+      const float mu = use_mean[f];
+      const float gamma = scales_[f];
+      const float beta = biases_[f];
+      const float* src = conv_out_.data() + (b * opts_.filters + f) * spatial;
+      float* xn = x_norm_.data() + (b * opts_.filters + f) * spatial;
+      float* dst = output_.data() + (b * opts_.filters + f) * spatial;
+      for (int64_t i = 0; i < spatial; ++i) {
+        const float norm = (src[i] - mu) * inv_std;
+        xn[i] = norm;
+        dst[i] = gamma * norm + beta;
+      }
+    }
+  }
+}
+
+void ConvLayer::BatchNormBackward() {
+  // Input: delta_ holds dL/d(pre-activation). Transforms it in place into
+  // dL/d(conv_out) and accumulates scale/bias gradients.
+  const int64_t batch = out_shape_.dim(0);
+  const int64_t spatial = out_h_ * out_w_;
+  const int64_t m = batch * spatial;
+
+  for (int64_t f = 0; f < opts_.filters; ++f) {
+    const float inv_std = 1.0f / std::sqrt(var_[f] + kBnEps);
+    const float gamma = scales_[f];
+
+    double dbeta = 0.0, dgamma = 0.0, sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (int64_t b = 0; b < batch; ++b) {
+      const float* d = delta_.data() + (b * opts_.filters + f) * spatial;
+      const float* xn = x_norm_.data() + (b * opts_.filters + f) * spatial;
+      for (int64_t i = 0; i < spatial; ++i) {
+        dbeta += d[i];
+        dgamma += d[i] * xn[i];
+        const float dxhat = d[i] * gamma;
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += dxhat * xn[i];
+      }
+    }
+    bias_grads_[f] += static_cast<float>(dbeta);
+    scale_grads_[f] += static_cast<float>(dgamma);
+
+    // dL/dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat))
+    const float mean_dxhat = static_cast<float>(sum_dxhat / m);
+    const float mean_dxhat_xhat = static_cast<float>(sum_dxhat_xhat / m);
+    for (int64_t b = 0; b < batch; ++b) {
+      float* d = delta_.data() + (b * opts_.filters + f) * spatial;
+      const float* xn = x_norm_.data() + (b * opts_.filters + f) * spatial;
+      for (int64_t i = 0; i < spatial; ++i) {
+        const float dxhat = d[i] * gamma;
+        d[i] = inv_std * (dxhat - mean_dxhat - xn[i] * mean_dxhat_xhat);
+      }
+    }
+  }
+}
+
+void ConvLayer::Backward(const Tensor& input, Tensor* input_delta,
+                         Network& net) {
+  const int64_t batch = in_shape_.dim(0);
+  const int64_t in_plane = in_c_ * in_shape_.dim(2) * in_shape_.dim(3);
+  const int64_t out_plane = opts_.filters * out_h_ * out_w_;
+  const int64_t spatial = out_h_ * out_w_;
+  const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
+
+  // 1. Chain through the activation.
+  GradientActivation(opts_.activation, pre_activation_.data(), delta_.data(),
+                     delta_.size());
+
+  // 2. Batch norm (or bias) gradients.
+  if (opts_.batch_normalize) {
+    BatchNormBackward();
+  } else {
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t f = 0; f < opts_.filters; ++f) {
+        const float* d = delta_.data() + (b * opts_.filters + f) * spatial;
+        double s = 0.0;
+        for (int64_t i = 0; i < spatial; ++i) s += d[i];
+        bias_grads_[f] += static_cast<float>(s);
+      }
+    }
+  }
+
+  // 3. Weight gradients and input deltas, per batch item.
+  const bool direct_1x1 =
+      opts_.ksize == 1 && opts_.stride == 1 && opts_.pad == 0;
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* in = input.data() + b * in_plane;
+    const float* d = delta_.data() + b * out_plane;
+    float* ws = net.workspace();
+
+    const float* col = in;
+    if (!direct_1x1) {
+      Im2Col(in, in_c_, in_shape_.dim(2), in_shape_.dim(3), opts_.ksize,
+             opts_.stride, opts_.pad, ws);
+      col = ws;
+    }
+    // dW[f, ckk] += d[f, hw] * col[ckk, hw]^T
+    Gemm(false, true, opts_.filters, k, spatial, 1.0f, d, spatial, col,
+         spatial, 1.0f, weight_grads_.data(), k);
+
+    if (input_delta != nullptr) {
+      float* id = input_delta->data() + b * in_plane;
+      if (direct_1x1) {
+        // id[ckk, hw] += W^T[ckk, f] * d[f, hw]
+        Gemm(true, false, k, spatial, opts_.filters, 1.0f, weights_.data(), k,
+             d, spatial, 1.0f, id, spatial);
+      } else {
+        Gemm(true, false, k, spatial, opts_.filters, 1.0f, weights_.data(), k,
+             d, spatial, 0.0f, ws, spatial);
+        Col2Im(ws, in_c_, in_shape_.dim(2), in_shape_.dim(3), opts_.ksize,
+               opts_.stride, opts_.pad, id);
+      }
+    }
+  }
+}
+
+std::vector<Param> ConvLayer::Params() {
+  std::vector<Param> params;
+  params.push_back({&weights_, &weight_grads_, /*apply_decay=*/true, "weights"});
+  params.push_back({&biases_, &bias_grads_, false, "biases"});
+  if (opts_.batch_normalize) {
+    params.push_back({&scales_, &scale_grads_, false, "scales"});
+  }
+  return params;
+}
+
+void ConvLayer::FoldBatchNorm() {
+  if (!opts_.batch_normalize) return;
+  const int64_t per_filter = in_c_ * opts_.ksize * opts_.ksize;
+  for (int64_t f = 0; f < opts_.filters; ++f) {
+    const float inv_std = 1.0f / std::sqrt(rolling_var_[f] + kBnEps);
+    const float g = scales_[f] * inv_std;
+    float* w = weights_.data() + f * per_filter;
+    for (int64_t i = 0; i < per_filter; ++i) w[i] *= g;
+    biases_[f] = biases_[f] - scales_[f] * rolling_mean_[f] * inv_std;
+  }
+  opts_.batch_normalize = false;
+  scales_ = Tensor();
+  scale_grads_ = Tensor();
+  rolling_mean_ = Tensor();
+  rolling_var_ = Tensor();
+  conv_out_ = Tensor();
+  x_norm_ = Tensor();
+}
+
+}  // namespace thali

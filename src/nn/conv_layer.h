@@ -1,0 +1,84 @@
+#ifndef THALI_NN_CONV_LAYER_H_
+#define THALI_NN_CONV_LAYER_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "nn/activation.h"
+#include "nn/layer.h"
+
+namespace thali {
+
+// 2-d convolution with optional fused batch normalization and activation —
+// Darknet's `[convolutional]` layer. Weight layout is
+// (out_channels, in_channels, ksize, ksize); computation is im2col + GEMM.
+//
+// With batch_normalize, the layer carries scales (gamma), biases (beta)
+// and rolling mean/variance exactly like Darknet, so the serialized
+// parameter order matches the .weights format.
+class ConvLayer : public Layer {
+ public:
+  struct Options {
+    int filters = 1;
+    int ksize = 3;
+    int stride = 1;
+    int pad = 1;  // symmetric zero padding in pixels
+    bool batch_normalize = false;
+    Activation activation = Activation::kLeaky;
+  };
+
+  explicit ConvLayer(const Options& options) : opts_(options) {}
+
+  const char* kind() const override { return "convolutional"; }
+  Status Configure(const Shape& input_shape, const Network& net) override;
+  void Forward(const Tensor& input, Network& net, bool train) override;
+  void Backward(const Tensor& input, Tensor* input_delta,
+                Network& net) override;
+  std::vector<Param> Params() override;
+  int64_t WorkspaceSize() const override;
+
+  const Options& options() const { return opts_; }
+
+  // He-style initialization scaled for the fan-in, matching Darknet's
+  // scale = sqrt(2/(k*k*c)).
+  void InitWeights(Rng& rng);
+
+  // Direct parameter access for the serializer.
+  Tensor& weights() { return weights_; }
+  Tensor& biases() { return biases_; }
+  Tensor& scales() { return scales_; }
+  Tensor& rolling_mean() { return rolling_mean_; }
+  Tensor& rolling_var() { return rolling_var_; }
+
+  // Folds batch-norm parameters into weights/biases for faster inference
+  // (w' = w*gamma/sqrt(var+eps), b' = beta - gamma*mean/sqrt(var+eps)).
+  // Irreversible; the layer afterwards behaves as batch_normalize=false.
+  // Only valid on a layer that will no longer be trained.
+  void FoldBatchNorm();
+
+ private:
+  // Per-image convolution: out[f, oh*ow] = W[f, ckk] * col[ckk, oh*ow].
+  void ForwardOne(const float* in, float* out, float* ws) const;
+
+  void BatchNormForward(bool train);
+  void BatchNormBackward();
+
+  Options opts_;
+  int64_t out_h_ = 0;
+  int64_t out_w_ = 0;
+  int64_t in_c_ = 0;
+
+  Tensor weights_, weight_grads_;
+  Tensor biases_, bias_grads_;
+  // Batch-norm parameters (allocated only when batch_normalize).
+  Tensor scales_, scale_grads_;
+  Tensor rolling_mean_, rolling_var_;
+  Tensor mean_, var_;        // batch statistics cached for backward
+  Tensor conv_out_;          // pre-BN conv output cache
+  Tensor x_norm_;            // normalized activations cache
+  Tensor pre_activation_;    // post-BN/bias, pre-activation cache
+};
+
+}  // namespace thali
+
+#endif  // THALI_NN_CONV_LAYER_H_

@@ -1,0 +1,54 @@
+#ifndef THALI_NN_DETECTION_HEAD_H_
+#define THALI_NN_DETECTION_HEAD_H_
+
+#include <vector>
+
+#include "eval/detection.h"
+#include "nn/truth.h"
+
+namespace thali {
+
+// Loss decomposition reported by a detection head for one batch.
+struct HeadLossStats {
+  double total = 0.0;
+  double box = 0.0;
+  double obj = 0.0;
+  double cls = 0.0;
+  int assigned = 0;      // anchor-cell assignments made
+  float avg_iou = 0.0f;  // mean IoU of assigned predictions
+
+  HeadLossStats& operator+=(const HeadLossStats& o) {
+    // Weighted merge of avg_iou by assignment counts.
+    const int total_assigned = assigned + o.assigned;
+    if (total_assigned > 0) {
+      avg_iou = (avg_iou * assigned + o.avg_iou * o.assigned) / total_assigned;
+    }
+    assigned = total_assigned;
+    total += o.total;
+    box += o.box;
+    obj += o.obj;
+    cls += o.cls;
+    return *this;
+  }
+};
+
+// Interface shared by detection output layers (the YOLOv4 head and the
+// SSD-style baseline head), so one trainer and one evaluator drive both.
+class DetectionHead {
+ public:
+  virtual ~DetectionHead() = default;
+
+  // Computes the training loss against `truths` (normalized boxes) and
+  // seeds the layer's delta tensor. Must follow a Forward(train=true).
+  virtual HeadLossStats ComputeLoss(const TruthBatch& truths, int net_w,
+                                    int net_h) = 0;
+
+  // Decodes detections for batch item `b` above `conf_thresh`, boxes
+  // normalized to [0,1] of the network input.
+  virtual std::vector<Detection> GetDetections(int b, float conf_thresh,
+                                               int net_w, int net_h) const = 0;
+};
+
+}  // namespace thali
+
+#endif  // THALI_NN_DETECTION_HEAD_H_

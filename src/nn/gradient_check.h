@@ -1,0 +1,66 @@
+#ifndef THALI_NN_GRADIENT_CHECK_H_
+#define THALI_NN_GRADIENT_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "base/rng.h"
+#include "nn/network.h"
+#include "nn/truth.h"
+
+namespace thali {
+
+// Finite-difference verification of the analytic backward pass. Used by
+// the property-based test suite: for random small networks, the analytic
+// parameter/input gradients must agree with central differences of the
+// scalar loss.
+
+// A scalar loss over the network's final output (e.g. 0.5*||out - tgt||^2
+// with its seed delta).
+struct ScalarLoss {
+  // Returns the loss value for `out`.
+  std::function<double(const Tensor& out)> value;
+  // Writes dLoss/dOut into `delta` (same shape as out).
+  std::function<void(const Tensor& out, Tensor& delta)> seed;
+};
+
+// The standard check loss: L = 0.5 * sum((out - target)^2).
+ScalarLoss SquaredErrorLoss(Tensor target);
+
+struct GradCheckResult {
+  float max_abs_err = 0.0f;  // worst |analytic - numeric|
+  float max_rel_err = 0.0f;  // worst |a-n| / max(|a|,|n|,floor)
+  int checked = 0;
+  // Per-probe relative errors (0 for sub-noise differences). Piecewise
+  // activations (leaky/maxpool) legitimately produce a few large entries
+  // when a probe straddles a kink, so tests assert on quantiles: a real
+  // backward bug (sign flip, missing chain factor) corrupts *every*
+  // probe, a kink only a few.
+  std::vector<float> rel_errors;
+
+  // Fraction of probes with relative error above `threshold`.
+  float FractionAbove(float threshold) const {
+    if (rel_errors.empty()) return 0.0f;
+    int n = 0;
+    for (float e : rel_errors) {
+      if (e > threshold) ++n;
+    }
+    return static_cast<float>(n) / static_cast<float>(rel_errors.size());
+  }
+};
+
+// Compares analytic input gradients against central differences for
+// `num_probes` randomly chosen input coordinates.
+GradCheckResult CheckInputGradients(Network& net, const Tensor& input,
+                                    const ScalarLoss& loss, int num_probes,
+                                    Rng& rng, float eps = 2e-3f);
+
+// Compares analytic parameter gradients against central differences for
+// `num_probes` randomly chosen parameter coordinates.
+GradCheckResult CheckParamGradients(Network& net, const Tensor& input,
+                                    const ScalarLoss& loss, int num_probes,
+                                    Rng& rng, float eps = 4e-3f);
+
+}  // namespace thali
+
+#endif  // THALI_NN_GRADIENT_CHECK_H_

@@ -1,0 +1,100 @@
+#ifndef THALI_NN_LAYER_H_
+#define THALI_NN_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "tensor/tensor.h"
+
+namespace thali {
+
+class Network;
+
+// One learnable parameter tensor of a layer, paired with its gradient
+// accumulator. `apply_decay` marks tensors subject to L2 weight decay
+// (conv weights yes; biases and batch-norm scales no, per Darknet).
+struct Param {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  bool apply_decay = false;
+  std::string name;
+};
+
+// Base class for all network layers (Darknet semantics: every layer owns
+// its output activation tensor and a delta tensor holding dLoss/dOutput).
+//
+// Lifecycle: construct -> Configure(input_shape) once the preceding
+// layer's shape is known -> Forward/Backward repeatedly. Batch size is
+// fixed at Configure time (shape dim 0).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  // Short Darknet-style kind tag ("convolutional", "route", ...).
+  virtual const char* kind() const = 0;
+
+  // Validates geometry, computes the output shape and allocates buffers.
+  // `net` exposes earlier layers (route/shortcut need their shapes).
+  virtual Status Configure(const Shape& input_shape, const Network& net) = 0;
+
+  // Computes output_ from `input` (the preceding layer's output, NCHW).
+  // `train` selects training behaviour (batch statistics, caches).
+  virtual void Forward(const Tensor& input, Network& net, bool train) = 0;
+
+  // Propagates delta_ (dL/dOutput) into `input_delta` (accumulating;
+  // may be null at the network input) and accumulates parameter
+  // gradients. Layers reading extra inputs (route/shortcut) also
+  // accumulate into those layers' deltas via `net`.
+  virtual void Backward(const Tensor& input, Tensor* input_delta,
+                        Network& net) = 0;
+
+  // Learnable parameters (empty for pooling/route/etc.).
+  virtual std::vector<Param> Params() { return {}; }
+
+  // Scratch floats this layer needs from the shared network workspace.
+  virtual int64_t WorkspaceSize() const { return 0; }
+
+  const Shape& input_shape() const { return in_shape_; }
+  const Shape& output_shape() const { return out_shape_; }
+  Tensor& output() { return output_; }
+  const Tensor& output() const { return output_; }
+  Tensor& delta() { return delta_; }
+  const Tensor& delta() const { return delta_; }
+
+  // Position in the owning network; set by Network::Add.
+  int index() const { return index_; }
+  void set_index(int idx) { index_ = idx; }
+
+  // When frozen, the optimizer skips this layer's parameters (transfer
+  // learning freezes backbone layers).
+  bool frozen() const { return frozen_; }
+  void set_frozen(bool f) { frozen_ = f; }
+
+ protected:
+  Layer() = default;
+
+  // Allocates output_ and delta_ for `shape` and records shapes.
+  void SetShapes(Shape input_shape, Shape output_shape) {
+    in_shape_ = std::move(input_shape);
+    out_shape_ = std::move(output_shape);
+    output_.Resize(out_shape_);
+    delta_.Resize(out_shape_);
+  }
+
+  Shape in_shape_;
+  Shape out_shape_;
+  Tensor output_;
+  Tensor delta_;
+
+ private:
+  int index_ = -1;
+  bool frozen_ = false;
+};
+
+}  // namespace thali
+
+#endif  // THALI_NN_LAYER_H_

@@ -1,0 +1,78 @@
+#include "nn/maxpool_layer.h"
+
+#include <cfloat>
+
+#include "nn/network.h"
+
+namespace thali {
+
+Status MaxPoolLayer::Configure(const Shape& input_shape, const Network&) {
+  if (input_shape.rank() != 4) {
+    return Status::InvalidArgument("maxpool input must be NCHW");
+  }
+  if (opts_.size <= 0 || opts_.stride <= 0) {
+    return Status::InvalidArgument("bad maxpool geometry");
+  }
+  const int64_t out_h =
+      (input_shape.dim(2) + opts_.padding - opts_.size) / opts_.stride + 1;
+  const int64_t out_w =
+      (input_shape.dim(3) + opts_.padding - opts_.size) / opts_.stride + 1;
+  if (out_h <= 0 || out_w <= 0) {
+    return Status::InvalidArgument("maxpool output collapses to zero");
+  }
+  SetShapes(input_shape,
+            Shape({input_shape.dim(0), input_shape.dim(1), out_h, out_w}));
+  argmax_.assign(static_cast<size_t>(out_shape_.num_elements()), 0);
+  return Status::OK();
+}
+
+void MaxPoolLayer::Forward(const Tensor& input, Network&, bool) {
+  const int64_t batch = in_shape_.dim(0);
+  const int64_t c = in_shape_.dim(1);
+  const int64_t ih = in_shape_.dim(2);
+  const int64_t iw = in_shape_.dim(3);
+  const int64_t oh = out_shape_.dim(2);
+  const int64_t ow = out_shape_.dim(3);
+  const int64_t offset = -opts_.padding / 2;
+
+  int64_t out_idx = 0;
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (b * c + ch) * ih * iw;
+      const int64_t plane_base = (b * c + ch) * ih * iw;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x, ++out_idx) {
+          float best = -FLT_MAX;
+          int64_t best_idx = -1;
+          for (int64_t ky = 0; ky < opts_.size; ++ky) {
+            const int64_t sy = y * opts_.stride + offset + ky;
+            if (sy < 0 || sy >= ih) continue;
+            for (int64_t kx = 0; kx < opts_.size; ++kx) {
+              const int64_t sx = x * opts_.stride + offset + kx;
+              if (sx < 0 || sx >= iw) continue;
+              const float v = plane[sy * iw + sx];
+              if (v > best) {
+                best = v;
+                best_idx = plane_base + sy * iw + sx;
+              }
+            }
+          }
+          output_.data()[out_idx] = best_idx >= 0 ? best : 0.0f;
+          argmax_[static_cast<size_t>(out_idx)] = best_idx;
+        }
+      }
+    }
+  }
+}
+
+void MaxPoolLayer::Backward(const Tensor&, Tensor* input_delta, Network&) {
+  if (input_delta == nullptr) return;
+  float* id = input_delta->data();
+  const float* d = delta_.data();
+  for (int64_t i = 0; i < output_.size(); ++i) {
+    const int64_t src = argmax_[static_cast<size_t>(i)];
+    if (src >= 0) id[src] += d[i];
+  }
+}
+
+}  // namespace thali

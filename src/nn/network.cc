@@ -1,0 +1,110 @@
+#include "nn/network.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace thali {
+
+Network::Network(int width, int height, int channels, int batch)
+    : width_(width), height_(height), channels_(channels), batch_(batch) {
+  THALI_CHECK_GT(width, 0);
+  THALI_CHECK_GT(height, 0);
+  THALI_CHECK_GT(channels, 0);
+  THALI_CHECK_GT(batch, 0);
+}
+
+void Network::Add(std::unique_ptr<Layer> layer) {
+  THALI_CHECK(!finalized_) << "Add after Finalize";
+  layer->set_index(num_layers());
+  layers_.push_back(std::move(layer));
+}
+
+Status Network::Finalize() {
+  THALI_CHECK(!finalized_);
+  if (layers_.empty()) return Status::InvalidArgument("empty network");
+  Shape prev = input_shape();
+  int64_t max_ws = 0;
+  for (auto& layer : layers_) {
+    THALI_RETURN_IF_ERROR(layer->Configure(prev, *this));
+    prev = layer->output_shape();
+    max_ws = std::max(max_ws, layer->WorkspaceSize());
+  }
+  workspace_.Resize(Shape({max_ws}));
+  finalized_ = true;
+  return Status::OK();
+}
+
+const Tensor& Network::Forward(const Tensor& input, bool train) {
+  THALI_CHECK(finalized_);
+  THALI_CHECK(input.shape() == input_shape())
+      << "input " << input.shape().ToString() << " vs net "
+      << input_shape().ToString();
+  const Tensor* x = &input;
+  for (auto& layer : layers_) {
+    layer->Forward(*x, *this, train);
+    x = &layer->output();
+  }
+  return *x;
+}
+
+void Network::Backward(const Tensor& input) {
+  THALI_CHECK(finalized_);
+  for (int i = num_layers() - 1; i >= 0; --i) {
+    const Tensor& in = i == 0 ? input : layers_[i - 1]->output();
+    Tensor* in_delta = i == 0 ? nullptr : &layers_[i - 1]->delta();
+    layers_[i]->Backward(in, in_delta, *this);
+  }
+}
+
+void Network::ZeroDeltas() {
+  for (auto& layer : layers_) layer->delta().Zero();
+}
+
+void Network::ZeroGrads() {
+  for (auto& layer : layers_) {
+    for (const Param& p : layer->Params()) p.grad->Zero();
+  }
+}
+
+int Network::ResolveIndex(int ref, int at) const {
+  const int idx = ref < 0 ? at + ref : ref;
+  THALI_CHECK_GE(idx, 0) << "bad layer reference " << ref << " at " << at;
+  THALI_CHECK_LT(idx, num_layers());
+  return idx;
+}
+
+std::vector<Param> Network::TrainableParams() {
+  std::vector<Param> out;
+  for (auto& layer : layers_) {
+    if (layer->frozen()) continue;
+    for (Param& p : layer->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Param> Network::AllParams() {
+  std::vector<Param> out;
+  for (auto& layer : layers_) {
+    for (Param& p : layer->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+int64_t Network::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& layer : layers_) {
+    for (const Param& p : const_cast<Layer&>(*layer).Params()) {
+      n += p.value->size();
+    }
+  }
+  return n;
+}
+
+void Network::FreezeUpTo(int cutoff) {
+  for (int i = 0; i < num_layers() && i < cutoff; ++i) {
+    layers_[static_cast<size_t>(i)]->set_frozen(true);
+  }
+}
+
+}  // namespace thali

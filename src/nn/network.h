@@ -1,0 +1,100 @@
+#ifndef THALI_NN_NETWORK_H_
+#define THALI_NN_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/statusor.h"
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+
+namespace thali {
+
+// A feed-forward network of Darknet-style layers executed in insertion
+// order. Route/shortcut layers make the graph a DAG, referencing earlier
+// layers by index.
+//
+// Usage:
+//   Network net(width, height, channels, batch);
+//   net.Add(std::make_unique<ConvLayer>(...));
+//   ...
+//   THALI_CHECK_OK(net.Finalize());
+//   const Tensor& out = net.Forward(input);
+class Network {
+ public:
+  // `width`/`height`/`channels` describe the input image planes; `batch`
+  // fixes the batch dimension for all buffers.
+  Network(int width, int height, int channels, int batch);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Appends a layer. Must be called before Finalize.
+  void Add(std::unique_ptr<Layer> layer);
+
+  // Configures every layer's shapes/buffers and sizes the shared
+  // workspace. Must be called once after the last Add.
+  Status Finalize();
+
+  // Runs all layers; returns the last layer's output. `input` must be
+  // (batch, channels, height, width). With train=true, layers use batch
+  // statistics and keep backward caches.
+  const Tensor& Forward(const Tensor& input, bool train = false);
+
+  // Backpropagates all layer deltas (seeded by loss layers) down to the
+  // input. Call after Forward(train=true) and after loss layers populated
+  // their delta tensors. Parameter gradients accumulate until ZeroGrads.
+  void Backward(const Tensor& input);
+
+  // Clears every layer's delta tensor (dL/dOutput buffers).
+  void ZeroDeltas();
+
+  // Clears every parameter gradient accumulator.
+  void ZeroGrads();
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  Layer& layer(int i) { return *layers_.at(static_cast<size_t>(i)); }
+  const Layer& layer(int i) const { return *layers_.at(static_cast<size_t>(i)); }
+
+  // Resolves a possibly-negative Darknet layer reference (-1 = previous
+  // layer relative to `at`) to an absolute index.
+  int ResolveIndex(int ref, int at) const;
+
+  int input_width() const { return width_; }
+  int input_height() const { return height_; }
+  int input_channels() const { return channels_; }
+  int batch() const { return batch_; }
+  Shape input_shape() const {
+    return Shape({batch_, channels_, height_, width_});
+  }
+
+  // Shared scratch buffer (im2col panels); sized by Finalize.
+  float* workspace() { return workspace_.data(); }
+  int64_t workspace_size() const { return workspace_.size(); }
+
+  // All learnable parameters of unfrozen layers, in layer order.
+  std::vector<Param> TrainableParams();
+  // All learnable parameters regardless of freeze state (serialization).
+  std::vector<Param> AllParams();
+
+  // Total learnable parameter count.
+  int64_t NumParameters() const;
+
+  // Freezes layers [0, cutoff) — the transfer-learning backbone freeze.
+  void FreezeUpTo(int cutoff);
+
+  bool finalized() const { return finalized_; }
+
+ private:
+  int width_;
+  int height_;
+  int channels_;
+  int batch_;
+  bool finalized_ = false;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  Tensor workspace_;
+};
+
+}  // namespace thali
+
+#endif  // THALI_NN_NETWORK_H_

@@ -1,0 +1,63 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace thali {
+
+float LrPolicy::LearningRateAt(int iteration) const {
+  float lr = base_lr;
+  if (burn_in > 0 && iteration < burn_in) {
+    const float f = static_cast<float>(iteration + 1) / burn_in;
+    return lr * f * f * f * f;  // darknet power = 4
+  }
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (iteration >= steps[i]) {
+      lr *= i < scales.size() ? scales[i] : 0.1f;
+    }
+  }
+  return lr;
+}
+
+void SgdOptimizer::Step(Network& net, int iteration, float batch_scale) {
+  const float lr = opts_.lr.LearningRateAt(iteration);
+  std::vector<Param> params = net.TrainableParams();
+
+  // (Re)build momentum buffers if the trainable set changed (e.g. layers
+  // were frozen/unfrozen between steps).
+  bool rebuild = velocity_.size() != params.size();
+  if (!rebuild) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (velocity_keys_[i] != params[i].value->data()) {
+        rebuild = true;
+        break;
+      }
+    }
+  }
+  if (rebuild) {
+    velocity_.clear();
+    velocity_keys_.clear();
+    for (const Param& p : params) {
+      velocity_.emplace_back(static_cast<size_t>(p.value->size()), 0.0f);
+      velocity_keys_.push_back(p.value->data());
+    }
+  }
+
+  for (size_t i = 0; i < params.size(); ++i) {
+    float* w = params[i].value->data();
+    float* g = params[i].grad->data();
+    std::vector<float>& v = velocity_[i];
+    const int64_t n = params[i].value->size();
+    const float decay = params[i].apply_decay ? opts_.weight_decay : 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] * batch_scale + decay * w[j];
+      v[static_cast<size_t>(j)] =
+          opts_.momentum * v[static_cast<size_t>(j)] - lr * grad;
+      w[j] += v[static_cast<size_t>(j)];
+      g[j] = 0.0f;
+    }
+  }
+}
+
+}  // namespace thali

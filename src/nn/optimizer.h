@@ -1,0 +1,58 @@
+#ifndef THALI_NN_OPTIMIZER_H_
+#define THALI_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/network.h"
+
+namespace thali {
+
+// Darknet's learning-rate schedule: linear^4 warm-up ("burn-in") followed
+// by step decays (lr *= scale at each step boundary). This is the exact
+// policy yolov4.cfg trains with.
+struct LrPolicy {
+  float base_lr = 1e-3f;
+  int burn_in = 0;       // iterations of warm-up (darknet power=4)
+  std::vector<int> steps;
+  std::vector<float> scales;
+
+  // Learning rate at (1-based counting not required; pass the completed
+  // iteration count).
+  float LearningRateAt(int iteration) const;
+};
+
+// SGD with momentum and decoupled L2 weight decay, matching Darknet's
+// update rule:
+//   v <- momentum*v - lr*(grad + decay*w)   [decay only on conv weights]
+//   w <- w + v
+// Gradients are accumulated by the network's backward pass and cleared by
+// Step.
+class SgdOptimizer {
+ public:
+  struct Options {
+    float momentum = 0.9f;
+    float weight_decay = 5e-4f;
+    LrPolicy lr;
+  };
+
+  explicit SgdOptimizer(const Options& options) : opts_(options) {}
+
+  // Applies one update to every trainable parameter of `net` using the
+  // learning rate for `iteration`, then zeroes the gradients it consumed.
+  // `batch_scale` divides gradients by the batch size (Darknet divides by
+  // batch*subdivisions).
+  void Step(Network& net, int iteration, float batch_scale = 1.0f);
+
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  // Momentum buffers keyed by parameter order; allocated lazily on the
+  // first Step and invalidated if the parameter set changes size.
+  std::vector<std::vector<float>> velocity_;
+  std::vector<const float*> velocity_keys_;
+};
+
+}  // namespace thali
+
+#endif  // THALI_NN_OPTIMIZER_H_

@@ -1,0 +1,54 @@
+#include "nn/shortcut_layer.h"
+
+#include "nn/network.h"
+
+namespace thali {
+
+Status ShortcutLayer::Configure(const Shape& input_shape, const Network& net) {
+  from_ = opts_.from < 0 ? index() + opts_.from : opts_.from;
+  if (from_ < 0 || from_ >= index()) {
+    return Status::InvalidArgument("shortcut source must precede it");
+  }
+  const Shape& from_shape = net.layer(from_).output_shape();
+  if (from_shape != input_shape) {
+    return Status::InvalidArgument(
+        "shortcut shape mismatch: " + from_shape.ToString() + " vs " +
+        input_shape.ToString());
+  }
+  SetShapes(input_shape, input_shape);
+  if (opts_.activation != Activation::kLinear) {
+    pre_activation_.Resize(out_shape_);
+  }
+  return Status::OK();
+}
+
+void ShortcutLayer::Forward(const Tensor& input, Network& net, bool) {
+  const Tensor& from = net.layer(from_).output();
+  const float* a = input.data();
+  const float* b = from.data();
+  float* o = output_.data();
+  const int64_t n = output_.size();
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
+  if (opts_.activation != Activation::kLinear) {
+    std::copy(o, o + n, pre_activation_.data());
+    ApplyActivation(opts_.activation, o, n);
+  }
+}
+
+void ShortcutLayer::Backward(const Tensor&, Tensor* input_delta,
+                             Network& net) {
+  if (opts_.activation != Activation::kLinear) {
+    GradientActivation(opts_.activation, pre_activation_.data(), delta_.data(),
+                       delta_.size());
+  }
+  const float* d = delta_.data();
+  const int64_t n = delta_.size();
+  if (input_delta != nullptr) {
+    float* id = input_delta->data();
+    for (int64_t i = 0; i < n; ++i) id[i] += d[i];
+  }
+  float* fd = net.layer(from_).delta().data();
+  for (int64_t i = 0; i < n; ++i) fd[i] += d[i];
+}
+
+}  // namespace thali

@@ -1,0 +1,22 @@
+#ifndef THALI_NN_TRUTH_H_
+#define THALI_NN_TRUTH_H_
+
+#include <vector>
+
+#include "eval/box.h"
+
+namespace thali {
+
+// One ground-truth object for training, with the box normalized to [0,1]
+// image fractions (the YOLO label convention).
+struct TruthBox {
+  Box box;
+  int class_id = -1;
+};
+
+// Ground truths for a training batch: truths[b] labels batch item b.
+using TruthBatch = std::vector<std::vector<TruthBox>>;
+
+}  // namespace thali
+
+#endif  // THALI_NN_TRUTH_H_

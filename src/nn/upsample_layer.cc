@@ -1,0 +1,51 @@
+#include "nn/upsample_layer.h"
+
+#include "nn/network.h"
+
+namespace thali {
+
+Status UpsampleLayer::Configure(const Shape& input_shape, const Network&) {
+  if (input_shape.rank() != 4) {
+    return Status::InvalidArgument("upsample input must be NCHW");
+  }
+  if (stride_ <= 0) return Status::InvalidArgument("bad upsample stride");
+  SetShapes(input_shape,
+            Shape({input_shape.dim(0), input_shape.dim(1),
+                   input_shape.dim(2) * stride_, input_shape.dim(3) * stride_}));
+  return Status::OK();
+}
+
+void UpsampleLayer::Forward(const Tensor& input, Network&, bool) {
+  const int64_t planes = in_shape_.dim(0) * in_shape_.dim(1);
+  const int64_t ih = in_shape_.dim(2);
+  const int64_t iw = in_shape_.dim(3);
+  const int64_t ow = iw * stride_;
+  for (int64_t p = 0; p < planes; ++p) {
+    const float* src = input.data() + p * ih * iw;
+    float* dst = output_.data() + p * ih * iw * stride_ * stride_;
+    for (int64_t y = 0; y < ih * stride_; ++y) {
+      const float* srow = src + (y / stride_) * iw;
+      float* drow = dst + y * ow;
+      for (int64_t x = 0; x < ow; ++x) drow[x] = srow[x / stride_];
+    }
+  }
+}
+
+void UpsampleLayer::Backward(const Tensor&, Tensor* input_delta, Network&) {
+  if (input_delta == nullptr) return;
+  const int64_t planes = in_shape_.dim(0) * in_shape_.dim(1);
+  const int64_t ih = in_shape_.dim(2);
+  const int64_t iw = in_shape_.dim(3);
+  const int64_t ow = iw * stride_;
+  for (int64_t p = 0; p < planes; ++p) {
+    float* dst = input_delta->data() + p * ih * iw;
+    const float* src = delta_.data() + p * ih * iw * stride_ * stride_;
+    for (int64_t y = 0; y < ih * stride_; ++y) {
+      const float* srow = src + y * ow;
+      float* drow = dst + (y / stride_) * iw;
+      for (int64_t x = 0; x < ow; ++x) drow[x / stride_] += srow[x];
+    }
+  }
+}
+
+}  // namespace thali

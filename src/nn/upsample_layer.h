@@ -1,0 +1,28 @@
+#ifndef THALI_NN_UPSAMPLE_LAYER_H_
+#define THALI_NN_UPSAMPLE_LAYER_H_
+
+#include "nn/layer.h"
+
+namespace thali {
+
+// Nearest-neighbour spatial upsampling by an integer stride — the PAN/FPN
+// top-down path of YOLOv3/v4.
+class UpsampleLayer : public Layer {
+ public:
+  explicit UpsampleLayer(int stride) : stride_(stride) {}
+
+  const char* kind() const override { return "upsample"; }
+  Status Configure(const Shape& input_shape, const Network& net) override;
+  void Forward(const Tensor& input, Network& net, bool train) override;
+  void Backward(const Tensor& input, Tensor* input_delta,
+                Network& net) override;
+
+  int stride() const { return stride_; }
+
+ private:
+  int stride_;
+};
+
+}  // namespace thali
+
+#endif  // THALI_NN_UPSAMPLE_LAYER_H_

@@ -1,0 +1,119 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace thali {
+
+namespace {
+
+// Register-blocked kernel for C += A*B on row-major packed panels.
+// The j-loop body is written so GCC auto-vectorizes over columns.
+void GemmNnAccum(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+                 int64_t lda, const float* b, int64_t ldb, float* c,
+                 int64_t ldc) {
+  constexpr int64_t kBlockK = 128;
+  constexpr int64_t kBlockM = 64;
+  for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const int64_t k1 = std::min(k, k0 + kBlockK);
+    for (int64_t m0 = 0; m0 < m; m0 += kBlockM) {
+      const int64_t m1 = std::min(m, m0 + kBlockM);
+      for (int64_t i = m0; i < m1; ++i) {
+        float* ci = c + i * ldc;
+        for (int64_t p = k0; p < k1; ++p) {
+          const float aip = alpha * a[i * lda + p];
+          const float* bp = b + p * ldb;
+          for (int64_t j = 0; j < n; ++j) {
+            ci[j] += aip * bp[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void GemmTnAccum(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+                 int64_t lda, const float* b, int64_t ldb, float* c,
+                 int64_t ldc) {
+  // A is stored KxM; A^T(i,p) = a[p*lda + i].
+  for (int64_t p = 0; p < k; ++p) {
+    const float* ap = a + p * lda;
+    const float* bp = b + p * ldb;
+    for (int64_t i = 0; i < m; ++i) {
+      const float aip = alpha * ap[i];
+      float* ci = c + i * ldc;
+      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void GemmNtAccum(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+                 int64_t lda, const float* b, int64_t ldb, float* c,
+                 int64_t ldc) {
+  // B is stored NxK; B^T(p,j) = b[j*ldb + p]. Dot-product form.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * ldb;
+      float sum = 0.0f;
+      for (int64_t p = 0; p < k; ++p) sum += ai[p] * bj[p];
+      ci[j] += alpha * sum;
+    }
+  }
+}
+
+void GemmTtAccum(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+                 int64_t lda, const float* b, int64_t ldb, float* c,
+                 int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      float sum = 0.0f;
+      for (int64_t p = 0; p < k; ++p) sum += a[p * lda + i] * b[j * ldb + p];
+      ci[j] += alpha * sum;
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
+          const float* a, int64_t lda, const float* b, int64_t ldb, float beta,
+          float* c, int64_t ldc) {
+  THALI_CHECK_GE(m, 0);
+  THALI_CHECK_GE(n, 0);
+  THALI_CHECK_GE(k, 0);
+  if (m == 0 || n == 0) return;
+
+  if (beta != 1.0f) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* ci = c + i * ldc;
+      if (beta == 0.0f) {
+        std::fill(ci, ci + n, 0.0f);
+      } else {
+        for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
+      }
+    }
+  }
+  if (k == 0 || alpha == 0.0f) return;
+
+  if (!ta && !tb) {
+    GemmNnAccum(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (ta && !tb) {
+    GemmTnAccum(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (!ta && tb) {
+    GemmNtAccum(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else {
+    GemmTtAccum(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  }
+}
+
+void MatMulAccumulate(int64_t m, int64_t n, int64_t k, const float* a,
+                      const float* b, float* c) {
+  Gemm(false, false, m, n, k, 1.0f, a, k, b, n, 1.0f, c, n);
+}
+
+}  // namespace thali

@@ -1,0 +1,26 @@
+#ifndef THALI_TENSOR_GEMM_H_
+#define THALI_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace thali {
+
+// C[MxN] = alpha * op(A) * op(B) + beta * C, row-major, single precision.
+// ta/tb select transposition of A/B. lda/ldb/ldc are leading dimensions
+// (row strides) of the *stored* matrices.
+//
+// This is the compute core of every convolutional layer (via im2col), so a
+// cache-blocked kernel with a vectorizable inner loop is used for the
+// non-transposed case; transposed variants fall back to a simple loop nest
+// (they only appear on the backward pass).
+void Gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
+          const float* a, int64_t lda, const float* b, int64_t ldb, float beta,
+          float* c, int64_t ldc);
+
+// Convenience wrapper: C[MxN] += A[MxK] * B[KxN], all tightly packed.
+void MatMulAccumulate(int64_t m, int64_t n, int64_t k, const float* a,
+                      const float* b, float* c);
+
+}  // namespace thali
+
+#endif  // THALI_TENSOR_GEMM_H_

@@ -1,0 +1,64 @@
+#include "tensor/im2col.h"
+
+namespace thali {
+
+void Im2Col(const float* im, int64_t channels, int64_t height, int64_t width,
+            int64_t ksize, int64_t stride, int64_t pad, float* col) {
+  const int64_t out_h = ConvOutSize(height, ksize, stride, pad);
+  const int64_t out_w = ConvOutSize(width, ksize, stride, pad);
+  const int64_t cols = out_h * out_w;
+
+  int64_t row = 0;
+  for (int64_t c = 0; c < channels; ++c) {
+    const float* imc = im + c * height * width;
+    for (int64_t kh = 0; kh < ksize; ++kh) {
+      for (int64_t kw = 0; kw < ksize; ++kw, ++row) {
+        float* out = col + row * cols;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= height) {
+            for (int64_t ow = 0; ow < out_w; ++ow) *out++ = 0.0f;
+            continue;
+          }
+          const float* imrow = imc + ih * width;
+          int64_t iw = -pad + kw;
+          for (int64_t ow = 0; ow < out_w; ++ow, iw += stride) {
+            *out++ = (iw >= 0 && iw < width) ? imrow[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const float* col, int64_t channels, int64_t height, int64_t width,
+            int64_t ksize, int64_t stride, int64_t pad, float* im) {
+  const int64_t out_h = ConvOutSize(height, ksize, stride, pad);
+  const int64_t out_w = ConvOutSize(width, ksize, stride, pad);
+  const int64_t cols = out_h * out_w;
+
+  int64_t row = 0;
+  for (int64_t c = 0; c < channels; ++c) {
+    float* imc = im + c * height * width;
+    for (int64_t kh = 0; kh < ksize; ++kh) {
+      for (int64_t kw = 0; kw < ksize; ++kw, ++row) {
+        const float* in = col + row * cols;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= height) {
+            in += out_w;
+            continue;
+          }
+          float* imrow = imc + ih * width;
+          int64_t iw = -pad + kw;
+          for (int64_t ow = 0; ow < out_w; ++ow, iw += stride) {
+            if (iw >= 0 && iw < width) imrow[iw] += *in;
+            ++in;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace thali

@@ -1,0 +1,28 @@
+#ifndef THALI_TENSOR_IM2COL_H_
+#define THALI_TENSOR_IM2COL_H_
+
+#include <cstdint>
+
+namespace thali {
+
+// Unrolls one image (CHW) into a column matrix of shape
+// (channels*ksize*ksize) x (out_h*out_w), so a convolution becomes a GEMM
+// with the (out_channels) x (channels*ksize*ksize) weight matrix.
+// `pad` is symmetric zero padding; out-of-image taps read as 0.
+void Im2Col(const float* im, int64_t channels, int64_t height, int64_t width,
+            int64_t ksize, int64_t stride, int64_t pad, float* col);
+
+// Inverse scatter-add of Im2Col used on the backward pass: accumulates the
+// column-matrix gradient back into the (pre-zeroed) image gradient buffer.
+void Col2Im(const float* col, int64_t channels, int64_t height, int64_t width,
+            int64_t ksize, int64_t stride, int64_t pad, float* im);
+
+// Output spatial size of a convolution/pool with the given geometry.
+inline int64_t ConvOutSize(int64_t in, int64_t ksize, int64_t stride,
+                           int64_t pad) {
+  return (in + 2 * pad - ksize) / stride + 1;
+}
+
+}  // namespace thali
+
+#endif  // THALI_TENSOR_IM2COL_H_

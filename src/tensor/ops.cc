@@ -1,0 +1,72 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thali {
+
+void Axpy(float alpha, const Tensor& x, Tensor& y) {
+  THALI_CHECK_EQ(x.size(), y.size());
+  const float* xp = x.data();
+  float* yp = y.data();
+  const int64_t n = x.size();
+  for (int64_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+}
+
+void Scale(float alpha, Tensor& x) {
+  float* xp = x.data();
+  const int64_t n = x.size();
+  for (int64_t i = 0; i < n; ++i) xp[i] *= alpha;
+}
+
+float Sum(const Tensor& x) {
+  double s = 0.0;
+  for (int64_t i = 0; i < x.size(); ++i) s += x.data()[i];
+  return static_cast<float>(s);
+}
+
+float Mean(const Tensor& x) {
+  return x.size() == 0 ? 0.0f : Sum(x) / static_cast<float>(x.size());
+}
+
+float MinValue(const Tensor& x) {
+  THALI_CHECK_GT(x.size(), 0);
+  return *std::min_element(x.data(), x.data() + x.size());
+}
+
+float MaxValue(const Tensor& x) {
+  THALI_CHECK_GT(x.size(), 0);
+  return *std::max_element(x.data(), x.data() + x.size());
+}
+
+float L2Norm(const Tensor& x) {
+  double s = 0.0;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    s += static_cast<double>(x.data()[i]) * x.data()[i];
+  }
+  return static_cast<float>(std::sqrt(s));
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  THALI_CHECK_EQ(a.size(), b.size());
+  float m = 0.0f;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+void Softmax(const float* x, int64_t n, float* y) {
+  if (n == 0) return;
+  float mx = x[0];
+  for (int64_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  double denom = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    y[i] = std::exp(x[i] - mx);
+    denom += y[i];
+  }
+  const float inv = static_cast<float>(1.0 / denom);
+  for (int64_t i = 0; i < n; ++i) y[i] *= inv;
+}
+
+}  // namespace thali

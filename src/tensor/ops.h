@@ -1,0 +1,39 @@
+#ifndef THALI_TENSOR_OPS_H_
+#define THALI_TENSOR_OPS_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace thali {
+
+// y += alpha * x (axpy). Shapes must match.
+void Axpy(float alpha, const Tensor& x, Tensor& y);
+
+// x *= alpha.
+void Scale(float alpha, Tensor& x);
+
+// Sum, mean, min, max over all elements.
+float Sum(const Tensor& x);
+float Mean(const Tensor& x);
+float MinValue(const Tensor& x);
+float MaxValue(const Tensor& x);
+
+// L2 norm of all elements.
+float L2Norm(const Tensor& x);
+
+// Largest absolute elementwise difference between a and b (shapes must
+// match). Used heavily by gradient-check and serialization tests.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+// Numerically stable softmax over the innermost `n` elements starting at
+// `x`, written to `y` (may alias x).
+void Softmax(const float* x, int64_t n, float* y);
+
+// Logistic sigmoid (scalar helper used by the YOLO head).
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace thali
+
+#endif  // THALI_TENSOR_OPS_H_

@@ -1,0 +1,58 @@
+#ifndef THALI_TENSOR_SHAPE_H_
+#define THALI_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace thali {
+
+// Dimension list of a dense row-major tensor. Rank up to 4 is used in
+// practice (NCHW activations); arbitrary rank is supported.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { Validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  int64_t dim(int i) const {
+    THALI_CHECK_GE(i, 0);
+    THALI_CHECK_LT(i, rank());
+    return dims_[i];
+  }
+
+  int64_t operator[](int i) const { return dim(i); }
+
+  // Product of all dimensions; 1 for rank-0.
+  int64_t num_elements() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  // "[2, 3, 4]"
+  std::string ToString() const;
+
+ private:
+  void Validate() const {
+    for (int64_t d : dims_) THALI_CHECK_GE(d, 0) << "negative dim";
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace thali
+
+#endif  // THALI_TENSOR_SHAPE_H_

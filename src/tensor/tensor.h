@@ -1,0 +1,94 @@
+#ifndef THALI_TENSOR_TENSOR_H_
+#define THALI_TENSOR_TENSOR_H_
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "base/logging.h"
+#include "tensor/shape.h"
+
+namespace thali {
+
+// Dense float32 tensor with contiguous row-major storage. Copy is a deep
+// copy; Tensor is the value type the whole NN substrate computes on.
+//
+// Activations use NCHW layout; convolution weights use (out, in, kh, kw).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.num_elements()), 0.0f) {}
+
+  Tensor(Shape shape, std::vector<float> values)
+      : shape_(std::move(shape)), data_(std::move(values)) {
+    THALI_CHECK_EQ(static_cast<int64_t>(data_.size()), shape_.num_elements());
+  }
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  const Shape& shape() const { return shape_; }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) {
+    THALI_CHECK_GE(i, 0);
+    THALI_CHECK_LT(i, size());
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    THALI_CHECK_GE(i, 0);
+    THALI_CHECK_LT(i, size());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  // Unchecked 4-d accessors for hot loops (NCHW).
+  float& at4(int64_t n, int64_t c, int64_t h, int64_t w) {
+    return data_[static_cast<size_t>(
+        ((n * shape_.dim(1) + c) * shape_.dim(2) + h) * shape_.dim(3) + w)];
+  }
+  float at4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    return data_[static_cast<size_t>(
+        ((n * shape_.dim(1) + c) * shape_.dim(2) + h) * shape_.dim(3) + w)];
+  }
+
+  // Sets every element to `v`.
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  // Reinterprets the storage with a new shape of equal element count.
+  void Reshape(Shape new_shape) {
+    THALI_CHECK_EQ(new_shape.num_elements(), shape_.num_elements());
+    shape_ = std::move(new_shape);
+  }
+
+  // Resizes to `new_shape`, discarding contents (re-zeroed) if the element
+  // count changes. Compares against the actual storage size, not the old
+  // shape: a default-constructed Tensor has a rank-0 shape whose element
+  // product is 1 but owns no storage.
+  void Resize(Shape new_shape) {
+    if (static_cast<size_t>(new_shape.num_elements()) != data_.size()) {
+      data_.assign(static_cast<size_t>(new_shape.num_elements()), 0.0f);
+    }
+    shape_ = std::move(new_shape);
+  }
+
+  const std::vector<float>& vec() const { return data_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace thali
+
+#endif  // THALI_TENSOR_TENSOR_H_

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "base/file_util.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/statusor.h"
+#include "base/string_util.h"
+#include "base/table_printer.h"
+
+namespace thali {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad width");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad width");
+}
+
+TEST(Status, FactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::NotFound("gone"); };
+  auto outer = [&]() -> Status {
+    THALI_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, AssignOrReturnUnwraps) {
+  auto f = [](bool fail) -> StatusOr<int> {
+    if (fail) return Status::Internal("boom");
+    return 7;
+  };
+  auto g = [&](bool fail) -> StatusOr<int> {
+    THALI_ASSIGN_OR_RETURN(int x, f(fail));
+    return x + 1;
+  };
+  EXPECT_EQ(*g(false), 8);
+  EXPECT_EQ(g(true).status().code(), StatusCode::kInternal);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, FloatInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.NextFloat();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, IntRangeInclusive) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.NextInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const float g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedSamplingRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.NextWeighted(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtil, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtil, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t\n"), "");
+}
+
+TEST(StringUtil, JoinAndAffixes) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_TRUE(StartsWith("convolutional", "conv"));
+  EXPECT_FALSE(StartsWith("conv", "convolutional"));
+  EXPECT_TRUE(EndsWith("image.ppm", ".ppm"));
+  EXPECT_EQ(ToLower("MiXeD"), "mixed");
+}
+
+TEST(StringUtil, ParseIntStrict) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt(" -7 "), -7);
+  EXPECT_FALSE(ParseInt("4.2").ok());
+  EXPECT_FALSE(ParseInt("x").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+}
+
+TEST(StringUtil, ParseFloatStrict) {
+  EXPECT_FLOAT_EQ(*ParseFloat("0.25"), 0.25f);
+  EXPECT_FLOAT_EQ(*ParseFloat("-1e-3"), -1e-3f);
+  EXPECT_FALSE(ParseFloat("1.0x").ok());
+}
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(FileUtil, WriteReadRoundtrip) {
+  const std::string path = testing::TempDir() + "/thali_file_test.bin";
+  const std::string payload("binary\0data\n\xff ok", 16);
+  ASSERT_TRUE(WriteStringToFile(path, payload).ok());
+  auto back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+  std::remove(path.c_str());
+}
+
+TEST(FileUtil, ReadMissingFileFails) {
+  EXPECT_EQ(ReadFileToString("/nonexistent/definitely/missing").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(FileUtil, ReadLines) {
+  const std::string path = testing::TempDir() + "/thali_lines_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "one\ntwo\r\nthree\n").ok());
+  auto lines = ReadLines(path);
+  ASSERT_TRUE(lines.ok());
+  EXPECT_EQ(*lines, (std::vector<std::string>{"one", "two", "three"}));
+  std::remove(path.c_str());
+}
+
+TEST(FileUtil, JoinPath) {
+  EXPECT_EQ(JoinPath("a", "b"), "a/b");
+  EXPECT_EQ(JoinPath("a/", "/b"), "a/b");
+  EXPECT_EQ(JoinPath("", "b"), "b");
+  EXPECT_EQ(JoinPath("a", ""), "a");
+}
+
+TEST(FileUtil, MakeDirsAndExists) {
+  const std::string dir = testing::TempDir() + "/thali_mkdir/x/y";
+  ASSERT_TRUE(MakeDirs(dir).ok());
+  EXPECT_TRUE(PathExists(dir));
+}
+
+TEST(TablePrinter, RendersAlignedTable) {
+  TablePrinter t("Title");
+  t.SetHeader({"Class", "AP"});
+  t.AddRow({"Biryani", "93.0"});
+  t.AddRow({"Chapati", "79.4"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| Biryani | 93.0 |"), std::string::npos);
+  EXPECT_NE(out.find("| Chapati | 79.4 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace thali

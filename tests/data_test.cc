@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "base/file_util.h"
+#include "data/annotation.h"
+#include "data/augment.h"
+#include "data/dataset.h"
+#include "data/food_classes.h"
+#include "data/hashtag_catalog.h"
+#include "data/nutrition.h"
+#include "data/renderer.h"
+
+namespace thali {
+namespace {
+
+TEST(FoodClasses, IndianFood10MatchesPaperTableI) {
+  const auto& c = IndianFood10();
+  ASSERT_EQ(c.size(), 10u);
+  // Table I order.
+  EXPECT_EQ(c[0].display_name, "Aloo Paratha");
+  EXPECT_EQ(c[1].display_name, "Biryani");
+  EXPECT_EQ(c[2].display_name, "Chapati");
+  EXPECT_EQ(c[3].display_name, "Chicken Tikka");
+  EXPECT_EQ(c[4].display_name, "Khichdi");
+  EXPECT_EQ(c[5].display_name, "Omelette");
+  EXPECT_EQ(c[6].display_name, "Palak Paneer");
+  EXPECT_EQ(c[7].display_name, "Plain rice");
+  EXPECT_EQ(c[8].display_name, "Poha");
+  EXPECT_EQ(c[9].display_name, "Rasgulla");
+}
+
+TEST(FoodClasses, IndianFood20MatchesPaperTableIV) {
+  const auto& c = IndianFood20();
+  ASSERT_EQ(c.size(), 20u);
+  std::set<std::string> names;
+  for (const auto& s : c) names.insert(s.display_name);
+  for (const char* want :
+       {"Indian Bread", "Dosa", "Rasgulla", "Rajma", "Biryani", "Poori",
+        "Uttapam", "Chole", "Paneer", "Dal", "Poha", "Sambhar", "Khichdi",
+        "Papad", "Omelette", "Gulab Jamun", "Plain Rice", "Idli",
+        "Dal Makhni", "Vada"}) {
+    EXPECT_TRUE(names.count(want)) << "missing " << want;
+  }
+}
+
+TEST(FoodClasses, NamesUniqueAndHashtagsWellFormed) {
+  for (const auto* reg : {&IndianFood10(), &IndianFood20()}) {
+    std::set<std::string> seen;
+    for (const auto& s : *reg) {
+      EXPECT_TRUE(seen.insert(s.name).second) << "duplicate " << s.name;
+      EXPECT_EQ(s.hashtag[0], '#');
+      EXPECT_EQ(s.hashtag.find('_'), std::string::npos);
+      EXPECT_GT(s.kcal_per_serving, 0.0f);
+    }
+  }
+}
+
+TEST(FoodClasses, FindClassByName) {
+  EXPECT_EQ(FindClassByName(IndianFood10(), "biryani"), 1);
+  EXPECT_EQ(FindClassByName(IndianFood10(), "sushi"), -1);
+}
+
+TEST(FoodClasses, ConfusablePairSharesSignature) {
+  // The designed-in bread confusion: similar base colors, same shape.
+  const auto& c = IndianFood10();
+  const auto& paratha = c[0];
+  const auto& chapati = c[2];
+  EXPECT_EQ(static_cast<int>(paratha.shape),
+            static_cast<int>(DishShape::kFlatDisc));
+  EXPECT_EQ(static_cast<int>(chapati.shape),
+            static_cast<int>(DishShape::kFlatDisc));
+  EXPECT_NEAR(paratha.base.r, chapati.base.r, 0.15f);
+  EXPECT_NEAR(paratha.base.g, chapati.base.g, 0.15f);
+}
+
+class RendererTest : public ::testing::Test {
+ protected:
+  RendererTest() : renderer_(IndianFood10(), PlatterRenderer::Options{}) {}
+  PlatterRenderer renderer_;
+};
+
+TEST_F(RendererTest, SingleDishHasOneTruthInBounds) {
+  Rng rng(1);
+  for (int cls = 0; cls < 10; ++cls) {
+    RenderedScene s = renderer_.RenderSingleDish(cls, rng);
+    ASSERT_EQ(s.truths.size(), 1u);
+    EXPECT_FALSE(s.is_platter);
+    EXPECT_EQ(s.truths[0].class_id, cls);
+    const Box& b = s.truths[0].box;
+    EXPECT_GE(b.Left(), -1e-4f);
+    EXPECT_LE(b.Right(), 1.0f + 1e-4f);
+    EXPECT_GE(b.Top(), -1e-4f);
+    EXPECT_LE(b.Bottom(), 1.0f + 1e-4f);
+    EXPECT_GT(b.w, 0.1f);  // the dish is a prominent subject
+    EXPECT_GT(b.h, 0.05f);
+  }
+}
+
+TEST_F(RendererTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  RenderedScene sa = renderer_.RenderSingleDish(3, a);
+  RenderedScene sb = renderer_.RenderSingleDish(3, b);
+  ASSERT_EQ(sa.image.size(), sb.image.size());
+  for (int64_t i = 0; i < sa.image.size(); ++i) {
+    EXPECT_EQ(sa.image.data()[i], sb.image.data()[i]);
+  }
+  EXPECT_EQ(sa.truths[0].box.x, sb.truths[0].box.x);
+}
+
+TEST_F(RendererTest, DifferentSeedsVary) {
+  Rng a(1), b(2);
+  RenderedScene sa = renderer_.RenderSingleDish(1, a);
+  RenderedScene sb = renderer_.RenderSingleDish(1, b);
+  float diff = 0;
+  for (int64_t i = 0; i < sa.image.size(); ++i) {
+    diff += std::fabs(sa.image.data()[i] - sb.image.data()[i]);
+  }
+  EXPECT_GT(diff / sa.image.size(), 0.01f);  // visibly different instance
+}
+
+TEST_F(RendererTest, PlatterHasRequestedDishes) {
+  Rng rng(7);
+  RenderedScene s = renderer_.RenderPlatter({1, 6, 9}, rng);
+  EXPECT_TRUE(s.is_platter);
+  ASSERT_EQ(s.truths.size(), 3u);
+  EXPECT_EQ(s.truths[0].class_id, 1);
+  EXPECT_EQ(s.truths[1].class_id, 6);
+  EXPECT_EQ(s.truths[2].class_id, 9);
+}
+
+TEST_F(RendererTest, RandomPlatterUsesDistinctClasses) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    RenderedScene s = renderer_.RenderRandomPlatter(3, rng);
+    std::set<int> classes;
+    for (const TruthBox& t : s.truths) classes.insert(t.class_id);
+    EXPECT_EQ(classes.size(), 3u);
+  }
+}
+
+TEST(AnnotationTest, YoloTextRoundTrip) {
+  std::vector<TruthBox> truths = {
+      {{0.5f, 0.5f, 0.25f, 0.3f}, 3},
+      {{0.1f, 0.9f, 0.05f, 0.08f}, 0},
+  };
+  const std::string text = TruthsToYoloText(truths);
+  auto back = YoloTextToTruths(text);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].class_id, 3);
+  EXPECT_NEAR((*back)[0].box.w, 0.25f, 1e-5f);
+  EXPECT_NEAR((*back)[1].box.y, 0.9f, 1e-5f);
+}
+
+TEST(AnnotationTest, RejectsMalformedLines) {
+  EXPECT_FALSE(YoloTextToTruths("3 0.5 0.5 0.5\n").ok());       // 4 fields
+  EXPECT_FALSE(YoloTextToTruths("-1 0.5 0.5 0.5 0.5\n").ok());  // neg class
+  EXPECT_FALSE(YoloTextToTruths("0 1.5 0.5 0.5 0.5\n").ok());   // out of range
+  EXPECT_FALSE(YoloTextToTruths("a b c d e\n").ok());
+  EXPECT_TRUE(YoloTextToTruths("")->empty());
+}
+
+TEST(AnnotationTest, NamesAndDataFiles) {
+  const std::string dir = testing::TempDir();
+  const std::string names_path = JoinPath(dir, "thali_test.names");
+  ASSERT_TRUE(WriteNamesFile({"Biryani", "Chapati"}, names_path).ok());
+  auto names = ReadNamesFile(names_path);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ((*names)[1], "Chapati");
+
+  DataFileSpec spec;
+  spec.classes = 2;
+  spec.train_list = "/tmp/train.txt";
+  spec.valid_list = "/tmp/valid.txt";
+  spec.names_file = names_path;
+  const std::string data_path = JoinPath(dir, "thali_test.data");
+  ASSERT_TRUE(WriteDataFile(spec, data_path).ok());
+  auto back = ReadDataFile(data_path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->classes, 2);
+  EXPECT_EQ(back->train_list, "/tmp/train.txt");
+}
+
+TEST(DatasetTest, StatisticsMatchSpec) {
+  DatasetSpec spec;
+  spec.num_images = 200;
+  FoodDataset ds = FoodDataset::Generate(IndianFood10(), spec);
+  EXPECT_EQ(ds.size(), 200);
+  EXPECT_EQ(ds.num_classes(), 10);
+
+  DatasetStats st = ds.ComputeStats();
+  // 7.3% platters, rounded.
+  EXPECT_NEAR(static_cast<float>(st.num_platters) / st.num_images, 0.073f,
+              0.01f);
+  EXPECT_GT(st.avg_dishes_per_platter, 1.9f);
+  EXPECT_LT(st.avg_dishes_per_platter, 3.1f);
+  // Every class appears.
+  for (int c : st.per_class_boxes) EXPECT_GT(c, 0);
+}
+
+TEST(DatasetTest, SplitIsDisjointAndComplete) {
+  DatasetSpec spec;
+  spec.num_images = 100;
+  FoodDataset ds = FoodDataset::Generate(IndianFood10(), spec);
+  EXPECT_EQ(ds.train_indices().size(), 80u);
+  EXPECT_EQ(ds.val_indices().size(), 20u);
+  std::set<int> all(ds.train_indices().begin(), ds.train_indices().end());
+  for (int i : ds.val_indices()) {
+    EXPECT_TRUE(all.insert(i).second) << "index in both splits: " << i;
+  }
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(DatasetTest, GenerationIsDeterministic) {
+  DatasetSpec spec;
+  spec.num_images = 20;
+  FoodDataset a = FoodDataset::Generate(IndianFood10(), spec);
+  FoodDataset b = FoodDataset::Generate(IndianFood10(), spec);
+  for (int i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.item(i).truths.size(), b.item(i).truths.size());
+    EXPECT_EQ(a.item(i).image.data()[100], b.item(i).image.data()[100]);
+  }
+}
+
+TEST(DatasetTest, WriteLoadRoundTrip) {
+  DatasetSpec spec;
+  spec.num_images = 12;
+  spec.width = 32;
+  spec.height = 32;
+  FoodDataset ds = FoodDataset::Generate(IndianFood10(), spec);
+  const std::string dir = JoinPath(testing::TempDir(), "thali_ds_test");
+  ASSERT_TRUE(ds.WriteTo(dir, ClassDisplayNames(IndianFood10())).ok());
+  EXPECT_TRUE(PathExists(JoinPath(dir, "obj.data")));
+  EXPECT_TRUE(PathExists(JoinPath(dir, "obj.names")));
+  EXPECT_TRUE(PathExists(JoinPath(dir, "images/000000.ppm")));
+  EXPECT_TRUE(PathExists(JoinPath(dir, "labels/000000.txt")));
+
+  auto back = FoodDataset::LoadFrom(dir);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->size(), 12);
+  EXPECT_EQ(back->num_classes(), 10);
+  EXPECT_EQ(back->train_indices().size(), ds.train_indices().size());
+  // Truths survive the round trip (order within the split lists).
+  const auto& orig = ds.item(ds.train_indices()[0]);
+  const auto& loaded = back->item(back->train_indices()[0]);
+  ASSERT_EQ(orig.truths.size(), loaded.truths.size());
+  EXPECT_NEAR(orig.truths[0].box.x, loaded.truths[0].box.x, 1e-4f);
+  EXPECT_EQ(orig.truths[0].class_id, loaded.truths[0].class_id);
+}
+
+TEST(AugmentTest, CropTruthsRenormalizes) {
+  std::vector<TruthBox> truths = {{{0.5f, 0.5f, 0.2f, 0.2f}, 1}};
+  // Window = right half of the image.
+  auto out = CropTruths(truths, 0.5f, 0.0f, 1.0f, 1.0f, 0.01f);
+  ASSERT_EQ(out.size(), 1u);
+  // Box half clipped: left edge at window origin, width 0.1 of 0.5 window.
+  EXPECT_NEAR(out[0].box.w, 0.2f, 1e-5f);
+  EXPECT_NEAR(out[0].box.x, 0.1f, 1e-5f);
+}
+
+TEST(AugmentTest, CropDropsTinyRemnants) {
+  std::vector<TruthBox> truths = {{{0.05f, 0.05f, 0.08f, 0.08f}, 0}};
+  // Window excludes almost the whole box.
+  auto out = CropTruths(truths, 0.088f, 0.0f, 1.0f, 1.0f, 0.01f);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(AugmentTest, NeutralOptionsKeepTruthCount) {
+  Rng rng(3);
+  PlatterRenderer renderer(IndianFood10(), PlatterRenderer::Options{});
+  RenderedScene scene = renderer.RenderSingleDish(2, rng);
+  Sample s{scene.image, scene.truths};
+  AugmentOptions opts;
+  opts.flip = false;
+  opts.jitter = 0.0f;
+  opts.hue = 0.0f;
+  opts.saturation = 1.0f;
+  opts.exposure = 1.0f;
+  Sample out = AugmentSample(s, opts, rng);
+  ASSERT_EQ(out.truths.size(), 1u);
+  EXPECT_NEAR(out.truths[0].box.x, s.truths[0].box.x, 1e-4f);
+}
+
+TEST(AugmentTest, FlipMirrorsBoxes) {
+  Rng rng(5);
+  Sample s;
+  s.image = Image(32, 32, 3);
+  s.truths = {{{0.3f, 0.4f, 0.1f, 0.1f}, 0}};
+  AugmentOptions opts;
+  opts.jitter = 0.0f;
+  opts.hue = 0.0f;
+  opts.saturation = 1.0f;
+  opts.exposure = 1.0f;
+  opts.flip = true;
+  // Flip is random; run until both outcomes observed.
+  bool saw_flip = false, saw_noflip = false;
+  for (int i = 0; i < 32 && !(saw_flip && saw_noflip); ++i) {
+    Sample out = AugmentSample(s, opts, rng);
+    ASSERT_EQ(out.truths.size(), 1u);
+    if (std::fabs(out.truths[0].box.x - 0.7f) < 1e-4f) saw_flip = true;
+    if (std::fabs(out.truths[0].box.x - 0.3f) < 1e-4f) saw_noflip = true;
+  }
+  EXPECT_TRUE(saw_flip);
+  EXPECT_TRUE(saw_noflip);
+}
+
+TEST(AugmentTest, MosaicBoxesStayNormalized) {
+  Rng rng(9);
+  PlatterRenderer renderer(IndianFood10(), PlatterRenderer::Options{});
+  std::array<Sample, 4> parts;
+  for (int i = 0; i < 4; ++i) {
+    RenderedScene sc = renderer.RenderSingleDish(i, rng);
+    parts[static_cast<size_t>(i)] = Sample{sc.image, sc.truths};
+  }
+  AugmentOptions opts;
+  Sample out = MosaicCombine(parts, opts, rng);
+  EXPECT_EQ(out.image.width(), parts[0].image.width());
+  for (const TruthBox& t : out.truths) {
+    EXPECT_GE(t.box.Left(), -1e-4f);
+    EXPECT_LE(t.box.Right(), 1.0f + 1e-4f);
+    EXPECT_GE(t.box.Top(), -1e-4f);
+    EXPECT_LE(t.box.Bottom(), 1.0f + 1e-4f);
+  }
+}
+
+TEST(NutritionTest, ServingsClampAndScale) {
+  NutritionEstimator est(IndianFood10());
+  EXPECT_FLOAT_EQ(est.ServingsForArea(0.12f), 1.0f);
+  EXPECT_FLOAT_EQ(est.ServingsForArea(0.24f), 2.0f);
+  EXPECT_FLOAT_EQ(est.ServingsForArea(0.0f), 0.25f);   // clamped low
+  EXPECT_FLOAT_EQ(est.ServingsForArea(10.0f), 2.5f);   // clamped high
+}
+
+TEST(NutritionTest, EstimateSumsDishes) {
+  NutritionEstimator est(IndianFood10());
+  std::vector<Detection> dets;
+  dets.push_back({Box{0.5f, 0.5f, 0.4f, 0.3f}, 1, 0.9f});   // biryani, 1 sv
+  dets.push_back({Box{0.2f, 0.2f, 0.2f, 0.2f}, 9, 0.8f});   // rasgulla
+  MealEstimate meal = est.Estimate(dets);
+  ASSERT_EQ(meal.items.size(), 2u);
+  EXPECT_EQ(meal.items[0].dish, "Biryani");
+  EXPECT_NEAR(meal.items[0].kcal, 480.0f, 1.0f);  // 0.12 area = 1 serving
+  EXPECT_NEAR(meal.total_kcal, meal.items[0].kcal + meal.items[1].kcal,
+              1e-3f);
+}
+
+TEST(NutritionTest, SkipsUnknownClassIds) {
+  NutritionEstimator est(IndianFood10());
+  MealEstimate meal = est.Estimate({{Box{0.5f, 0.5f, 0.2f, 0.2f}, 42, 0.9f}});
+  EXPECT_TRUE(meal.items.empty());
+  EXPECT_EQ(meal.total_kcal, 0.0f);
+}
+
+TEST(NutritionTest, ReceiptContainsTotal) {
+  NutritionEstimator est(IndianFood10());
+  MealEstimate meal =
+      est.Estimate({{Box{0.5f, 0.5f, 0.4f, 0.3f}, 1, 0.9f}});
+  const std::string receipt = RenderMealReceipt(meal);
+  EXPECT_NE(receipt.find("Biryani"), std::string::npos);
+  EXPECT_NE(receipt.find("TOTAL"), std::string::npos);
+}
+
+TEST(HashtagCatalogTest, Has100PlusDishesSortedByPopularity) {
+  HashtagCatalog cat = HashtagCatalog::BuildIndianFoodCatalog();
+  EXPECT_GE(cat.size(), 100);
+  const auto& e = cat.entries();
+  for (size_t i = 1; i < e.size(); ++i) {
+    EXPECT_GE(e[i - 1].posts, e[i].posts);
+  }
+}
+
+TEST(HashtagCatalogTest, PaperClassesRankHigh) {
+  HashtagCatalog cat = HashtagCatalog::BuildIndianFoodCatalog();
+  auto top = cat.TopK(24);
+  std::set<std::string> names;
+  for (const auto& e : top) names.insert(e.dish);
+  // All IndianFood20 dishes fall inside the top 24 hashtags.
+  for (const auto& sig : IndianFood20()) {
+    EXPECT_TRUE(names.count(sig.name)) << sig.name << " not in top-24";
+  }
+}
+
+TEST(HashtagCatalogTest, ScrapeYieldsUniqueUrls) {
+  HashtagCatalog cat = HashtagCatalog::BuildIndianFoodCatalog();
+  Rng rng(1);
+  auto posts = cat.Scrape("#biryani", 50, rng);
+  ASSERT_EQ(posts.size(), 50u);
+  std::set<std::string> urls;
+  for (const auto& p : posts) {
+    EXPECT_EQ(p.hashtag, "#biryani");
+    urls.insert(p.url);
+  }
+  EXPECT_EQ(urls.size(), 50u);
+}
+
+TEST(HashtagCatalogTest, FindByDish) {
+  HashtagCatalog cat = HashtagCatalog::BuildIndianFoodCatalog();
+  const HashtagEntry* e = cat.Find("biryani");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->hashtag, "#biryani");
+  EXPECT_EQ(cat.Find("pizza"), nullptr);
+}
+
+}  // namespace
+}  // namespace thali

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "eval/box.h"
+#include "eval/detection.h"
+#include "eval/metrics.h"
+
+namespace thali {
+namespace {
+
+Box B(float x, float y, float w, float h) { return Box{x, y, w, h}; }
+
+TEST(BoxTest, CornersAndArea) {
+  Box b = B(0.5f, 0.5f, 0.4f, 0.2f);
+  EXPECT_FLOAT_EQ(b.Left(), 0.3f);
+  EXPECT_FLOAT_EQ(b.Right(), 0.7f);
+  EXPECT_FLOAT_EQ(b.Top(), 0.4f);
+  EXPECT_FLOAT_EQ(b.Bottom(), 0.6f);
+  EXPECT_NEAR(b.Area(), 0.08f, 1e-6f);
+  Box r = BoxFromCorners(0.3f, 0.4f, 0.7f, 0.6f);
+  EXPECT_NEAR(r.x, b.x, 1e-6f);
+  EXPECT_NEAR(r.h, b.h, 1e-6f);
+}
+
+TEST(BoxTest, IouIdenticalIsOne) {
+  Box b = B(0.4f, 0.4f, 0.2f, 0.3f);
+  EXPECT_NEAR(Iou(b, b), 1.0f, 1e-6f);
+}
+
+TEST(BoxTest, IouDisjointIsZero) {
+  EXPECT_EQ(Iou(B(0.2f, 0.2f, 0.1f, 0.1f), B(0.8f, 0.8f, 0.1f, 0.1f)), 0.0f);
+}
+
+TEST(BoxTest, IouKnownValue) {
+  // Two unit squares offset by half: intersection 0.5, union 1.5.
+  EXPECT_NEAR(Iou(B(0.5f, 0.5f, 1, 1), B(1.0f, 0.5f, 1, 1)), 1.0f / 3.0f,
+              1e-6f);
+}
+
+TEST(BoxTest, IouIsSymmetric) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    Box a = B(rng.NextFloat(), rng.NextFloat(), rng.NextFloat(0.05f, 0.5f),
+              rng.NextFloat(0.05f, 0.5f));
+    Box b = B(rng.NextFloat(), rng.NextFloat(), rng.NextFloat(0.05f, 0.5f),
+              rng.NextFloat(0.05f, 0.5f));
+    EXPECT_NEAR(Iou(a, b), Iou(b, a), 1e-6f);
+    EXPECT_NEAR(Giou(a, b), Giou(b, a), 1e-6f);
+    EXPECT_NEAR(Diou(a, b), Diou(b, a), 1e-6f);
+  }
+}
+
+TEST(BoxTest, IouFamilyOrderingProperty) {
+  // For any box pair: CIoU <= DIoU <= IoU, and GIoU <= IoU, with equality
+  // when the boxes coincide.
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    Box a = B(rng.NextFloat(), rng.NextFloat(), rng.NextFloat(0.05f, 0.6f),
+              rng.NextFloat(0.05f, 0.6f));
+    Box b = B(rng.NextFloat(), rng.NextFloat(), rng.NextFloat(0.05f, 0.6f),
+              rng.NextFloat(0.05f, 0.6f));
+    const float iou = Iou(a, b);
+    EXPECT_LE(Diou(a, b), iou + 1e-6f);
+    EXPECT_LE(Ciou(a, b), Diou(a, b) + 1e-6f);
+    EXPECT_LE(Giou(a, b), iou + 1e-6f);
+    EXPECT_GE(Giou(a, b), -1.0f - 1e-6f);
+  }
+  Box s = B(0.5f, 0.5f, 0.2f, 0.2f);
+  EXPECT_NEAR(Ciou(s, s), 1.0f, 1e-5f);
+  EXPECT_NEAR(Giou(s, s), 1.0f, 1e-5f);
+}
+
+TEST(BoxTest, GiouPenalizesDistance) {
+  // Disjoint boxes: IoU is 0 for both, GIoU must be lower for the farther
+  // pair.
+  const float near_g = Giou(B(0.2f, 0.5f, 0.1f, 0.1f), B(0.4f, 0.5f, 0.1f, 0.1f));
+  const float far_g = Giou(B(0.2f, 0.5f, 0.1f, 0.1f), B(0.9f, 0.5f, 0.1f, 0.1f));
+  EXPECT_GT(near_g, far_g);
+}
+
+TEST(BoxTest, CiouGradMatchesFiniteDifferenceOnXY) {
+  // x/y gradients have no alpha-approximation; they must match numerics
+  // tightly.
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    // Square boxes: the aspect term v is 0, so alpha-held-constant and
+    // full derivatives coincide on x/y.
+    const float pw = rng.NextFloat(0.1f, 0.5f);
+    const float tw = rng.NextFloat(0.1f, 0.5f);
+    Box p = B(rng.NextFloat(0.3f, 0.7f), rng.NextFloat(0.3f, 0.7f), pw, pw);
+    Box t = B(rng.NextFloat(0.3f, 0.7f), rng.NextFloat(0.3f, 0.7f), tw, tw);
+    float g[4];
+    CiouGrad(p, t, g);
+    const float eps = 1e-4f;
+    float* coords[2] = {&p.x, &p.y};
+    for (int c = 0; c < 2; ++c) {
+      const float orig = *coords[c];
+      *coords[c] = orig + eps;
+      const float fp = Ciou(p, t);
+      *coords[c] = orig - eps;
+      const float fm = Ciou(p, t);
+      *coords[c] = orig;
+      const float numeric = (fp - fm) / (2 * eps);
+      EXPECT_NEAR(g[c], numeric, 5e-2f * std::max(1.0f, std::fabs(numeric)));
+    }
+  }
+}
+
+TEST(BoxTest, CiouGradValueMatchesCiou) {
+  Box p = B(0.4f, 0.45f, 0.3f, 0.2f);
+  Box t = B(0.5f, 0.5f, 0.25f, 0.25f);
+  float g[4];
+  EXPECT_NEAR(CiouGrad(p, t, g), Ciou(p, t), 1e-5f);
+}
+
+TEST(BoxTest, WhIou) {
+  EXPECT_NEAR(WhIou(2, 2, 2, 2), 1.0f, 1e-6f);
+  EXPECT_NEAR(WhIou(2, 2, 1, 1), 0.25f, 1e-6f);
+  EXPECT_NEAR(WhIou(4, 1, 1, 4), 1.0f / 7.0f, 1e-6f);
+}
+
+Detection D(float x, float y, float w, float h, int cls, float conf) {
+  return Detection{B(x, y, w, h), cls, conf};
+}
+
+TEST(NmsTest, SuppressesOverlappingSameClass) {
+  std::vector<Detection> dets = {
+      D(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.9f),
+      D(0.52f, 0.5f, 0.2f, 0.2f, 0, 0.8f),  // heavy overlap, lower conf
+      D(0.9f, 0.9f, 0.1f, 0.1f, 0, 0.7f),   // far away
+  };
+  auto kept = Nms(dets, 0.45f);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_FLOAT_EQ(kept[0].confidence, 0.9f);
+  EXPECT_FLOAT_EQ(kept[1].confidence, 0.7f);
+}
+
+TEST(NmsTest, KeepsDifferentClasses) {
+  std::vector<Detection> dets = {
+      D(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.9f),
+      D(0.5f, 0.5f, 0.2f, 0.2f, 1, 0.8f),  // same box, other class
+  };
+  EXPECT_EQ(Nms(dets, 0.45f).size(), 2u);
+  EXPECT_EQ(NmsClassAgnostic(dets, 0.45f).size(), 1u);
+}
+
+TEST(NmsTest, OutputSortedByConfidence) {
+  std::vector<Detection> dets = {
+      D(0.1f, 0.1f, 0.05f, 0.05f, 0, 0.2f),
+      D(0.5f, 0.5f, 0.05f, 0.05f, 0, 0.9f),
+      D(0.9f, 0.9f, 0.05f, 0.05f, 0, 0.5f),
+  };
+  auto kept = Nms(dets, 0.45f);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_GE(kept[0].confidence, kept[1].confidence);
+  EXPECT_GE(kept[1].confidence, kept[2].confidence);
+}
+
+TEST(NmsTest, EmptyInput) { EXPECT_TRUE(Nms({}, 0.5f).empty()); }
+
+// --- Average precision ------------------------------------------------
+
+TEST(ApTest, PerfectDetectorHasApOne) {
+  std::vector<PrPoint> curve = {{0.5f, 1.0f, 0.9f}, {1.0f, 1.0f, 0.8f}};
+  EXPECT_NEAR(AveragePrecision(curve, ApInterpolation::kEveryPoint), 1.0f,
+              1e-6f);
+  EXPECT_NEAR(AveragePrecision(curve, ApInterpolation::kElevenPoint), 1.0f,
+              1e-6f);
+}
+
+TEST(ApTest, HandComputedEveryPoint) {
+  // Three detections sorted by confidence: TP, FP, TP; 2 ground truths.
+  //   after det1: R=0.5,  P=1.0
+  //   after det2: R=0.5,  P=0.5
+  //   after det3: R=1.0,  P=2/3
+  // Every-point AP = 0.5*1.0 + 0.5*(2/3) = 0.8333...
+  std::vector<PrPoint> curve = {
+      {0.5f, 1.0f, 0.9f}, {0.5f, 0.5f, 0.8f}, {1.0f, 2.0f / 3.0f, 0.7f}};
+  EXPECT_NEAR(AveragePrecision(curve, ApInterpolation::kEveryPoint),
+              0.5f * 1.0f + 0.5f * 2.0f / 3.0f, 1e-5f);
+}
+
+TEST(ApTest, HandComputedElevenPoint) {
+  // Same curve; 11-point: max precision at recall >= r.
+  //   r in {0,...,0.5}: 1.0 (6 points); r in {0.6,...,1.0}: 2/3 (5 points)
+  std::vector<PrPoint> curve = {
+      {0.5f, 1.0f, 0.9f}, {0.5f, 0.5f, 0.8f}, {1.0f, 2.0f / 3.0f, 0.7f}};
+  EXPECT_NEAR(AveragePrecision(curve, ApInterpolation::kElevenPoint),
+              (6 * 1.0f + 5 * 2.0f / 3.0f) / 11.0f, 1e-5f);
+}
+
+TEST(ApTest, EmptyCurveIsZero) {
+  EXPECT_EQ(AveragePrecision({}, ApInterpolation::kEveryPoint), 0.0f);
+}
+
+// --- End-to-end Evaluate ----------------------------------------------
+
+ImageEval MakeImage(int id, std::vector<Detection> dets,
+                    std::vector<GroundTruth> gts) {
+  ImageEval ev;
+  ev.image_id = id;
+  ev.detections = std::move(dets);
+  ev.truths = std::move(gts);
+  return ev;
+}
+
+TEST(EvaluateTest, PerfectDetections) {
+  std::vector<ImageEval> images;
+  images.push_back(MakeImage(
+      0, {D(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.9f)},
+      {{B(0.5f, 0.5f, 0.2f, 0.2f), 0}}));
+  images.push_back(MakeImage(
+      1, {D(0.3f, 0.3f, 0.1f, 0.1f, 1, 0.8f)},
+      {{B(0.3f, 0.3f, 0.1f, 0.1f), 1}}));
+  EvalResult r = Evaluate(images, 2);
+  EXPECT_NEAR(r.map, 1.0f, 1e-6f);
+  EXPECT_NEAR(r.f1, 1.0f, 1e-6f);
+  EXPECT_NEAR(r.precision, 1.0f, 1e-6f);
+  EXPECT_NEAR(r.recall, 1.0f, 1e-6f);
+}
+
+TEST(EvaluateTest, DuplicateDetectionCountsOnceAsTp) {
+  // Two detections on the same truth: greedy matching takes the higher
+  // confidence as TP, the second becomes FP (Padilla rule).
+  std::vector<ImageEval> images;
+  images.push_back(MakeImage(0,
+                             {D(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.9f),
+                              D(0.5f, 0.5f, 0.21f, 0.2f, 0, 0.7f)},
+                             {{B(0.5f, 0.5f, 0.2f, 0.2f), 0}}));
+  EvalResult r = Evaluate(images, 1);
+  EXPECT_EQ(r.per_class[0].true_positives, 1);
+  EXPECT_EQ(r.per_class[0].false_positives, 1);
+  EXPECT_NEAR(r.per_class[0].ap, 1.0f, 1e-6f);  // TP ranked first
+}
+
+TEST(EvaluateTest, IouThresholdGatesTp) {
+  std::vector<ImageEval> images;
+  // Detection shifted so IoU ~ 0.39 (< 0.5 threshold).
+  images.push_back(MakeImage(0, {D(0.58f, 0.5f, 0.2f, 0.2f, 0, 0.9f)},
+                             {{B(0.5f, 0.5f, 0.2f, 0.2f), 0}}));
+  EvalResult strict = Evaluate(images, 1, 0.5f);
+  EXPECT_EQ(strict.per_class[0].true_positives, 0);
+  EvalResult loose = Evaluate(images, 1, 0.3f);
+  EXPECT_EQ(loose.per_class[0].true_positives, 1);
+}
+
+TEST(EvaluateTest, WrongClassNeverMatches) {
+  std::vector<ImageEval> images;
+  images.push_back(MakeImage(0, {D(0.5f, 0.5f, 0.2f, 0.2f, 1, 0.9f)},
+                             {{B(0.5f, 0.5f, 0.2f, 0.2f), 0}}));
+  EvalResult r = Evaluate(images, 2);
+  EXPECT_EQ(r.per_class[0].true_positives, 0);
+  EXPECT_EQ(r.per_class[1].false_positives, 1);
+}
+
+TEST(EvaluateTest, DetectionsNeverMatchAcrossImages) {
+  std::vector<ImageEval> images;
+  images.push_back(
+      MakeImage(0, {D(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.9f)}, {}));
+  images.push_back(
+      MakeImage(1, {}, {{B(0.5f, 0.5f, 0.2f, 0.2f), 0}}));
+  EvalResult r = Evaluate(images, 1);
+  EXPECT_EQ(r.per_class[0].true_positives, 0);
+  EXPECT_EQ(r.per_class[0].false_positives, 1);
+}
+
+TEST(EvaluateTest, MapExcludesClassesWithoutTruths) {
+  std::vector<ImageEval> images;
+  images.push_back(MakeImage(0, {D(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.9f)},
+                             {{B(0.5f, 0.5f, 0.2f, 0.2f), 0}}));
+  // Class 1 never appears in ground truth: excluded from mAP.
+  EvalResult r = Evaluate(images, 2);
+  EXPECT_NEAR(r.map, 1.0f, 1e-6f);
+}
+
+TEST(EvaluateTest, ConfThresholdAffectsF1NotAp) {
+  std::vector<ImageEval> images;
+  images.push_back(MakeImage(0, {D(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.1f)},
+                             {{B(0.5f, 0.5f, 0.2f, 0.2f), 0}}));
+  EvalResult r = Evaluate(images, 1, 0.5f, /*conf_threshold=*/0.25f);
+  EXPECT_NEAR(r.per_class[0].ap, 1.0f, 1e-6f);  // AP integrates all conf
+  EXPECT_EQ(r.recall, 0.0f);                     // below the F1 threshold
+}
+
+TEST(IouSweepTest, PerfectDetectionsScoreOneEverywhere) {
+  std::vector<ImageEval> images;
+  images.push_back(MakeImage(0, {D(0.5f, 0.5f, 0.2f, 0.2f, 0, 0.9f)},
+                             {{B(0.5f, 0.5f, 0.2f, 0.2f), 0}}));
+  IouSweepResult r = EvaluateIouSweep(images, 1);
+  ASSERT_EQ(r.thresholds.size(), 10u);
+  EXPECT_NEAR(r.map_50, 1.0f, 1e-6f);
+  EXPECT_NEAR(r.map_75, 1.0f, 1e-6f);
+  EXPECT_NEAR(r.map_5095, 1.0f, 1e-6f);
+}
+
+TEST(IouSweepTest, MapIsNonIncreasingInThreshold) {
+  // A slightly offset detection: IoU ~0.72, so AP drops to zero somewhere
+  // inside the sweep and must never increase with the threshold.
+  std::vector<ImageEval> images;
+  images.push_back(MakeImage(0, {D(0.53f, 0.5f, 0.2f, 0.2f, 0, 0.9f)},
+                             {{B(0.5f, 0.5f, 0.2f, 0.2f), 0}}));
+  IouSweepResult r = EvaluateIouSweep(images, 1);
+  for (size_t i = 1; i < r.map_at.size(); ++i) {
+    EXPECT_LE(r.map_at[i], r.map_at[i - 1] + 1e-6f);
+  }
+  EXPECT_NEAR(r.map_50, 1.0f, 1e-6f);
+  EXPECT_EQ(r.map_at.back(), 0.0f);  // IoU < 0.95
+  EXPECT_GT(r.map_50, r.map_5095);
+}
+
+// --- Confusion matrix ---------------------------------------------------
+
+TEST(ConfusionMatrixTest, AccumulatesAndNormalizes) {
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0);
+  cm.Add(0, 0);
+  cm.Add(0, 1);
+  cm.Add(1, 1);
+  cm.Add(2, -1);  // predicted nothing -> None column
+  EXPECT_EQ(cm.count(0, 0), 2);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_EQ(cm.count(2, -1), 1);
+  EXPECT_NEAR(cm.RowAccuracy(0), 2.0f / 3.0f, 1e-6f);
+  EXPECT_NEAR(cm.OverallAccuracy(), 3.0f / 5.0f, 1e-6f);
+}
+
+TEST(ConfusionMatrixTest, RendersWithNames) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 1);
+  const std::string s = cm.ToString({"Chapati", "Biryani"});
+  EXPECT_NE(s.find("Chapati"), std::string::npos);
+  EXPECT_NE(s.find("None"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace thali

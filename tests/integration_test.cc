@@ -1,0 +1,213 @@
+// Cross-module integration tests: train -> evaluate -> serialize ->
+// detect, the SSD baseline, transfer loading, and the Fig. 3 pipeline.
+// Kept intentionally tiny (seconds, not minutes): the benches carry the
+// full-scale experiments.
+
+#include <gtest/gtest.h>
+
+#include "base/file_util.h"
+#include "baseline/ssd_detector.h"
+#include "core/detector.h"
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "darknet/model_zoo.h"
+#include "darknet/weights_io.h"
+#include "data/food_classes.h"
+
+namespace thali {
+namespace {
+
+// Shared tiny dataset: 3 easy classes, small images would break the /32
+// stride so stick to 96 but keep counts low.
+FoodDataset TinyDataset(int images = 40) {
+  DatasetSpec spec;
+  spec.num_images = images;
+  spec.seed = 777;
+  return FoodDataset::Generate(IndianFood10(), spec);
+}
+
+YoloThaliOptions TinyYoloOptions(int iters) {
+  YoloThaliOptions o;
+  o.classes = 10;
+  o.batch = 2;
+  o.max_batches = iters;
+  o.burn_in = 5;
+  o.mosaic = false;
+  return o;
+}
+
+TEST(TrainingIntegration, LossDecreasesOverTraining) {
+  FoodDataset ds = TinyDataset(16);
+  TransferTrainer::Options topts;
+  topts.cfg_text = YoloThaliCfg(TinyYoloOptions(80));
+  topts.log_every = 0;
+  auto trainer_or = TransferTrainer::Create(topts);
+  ASSERT_TRUE(trainer_or.ok()) << trainer_or.status().ToString();
+  TransferTrainer trainer = std::move(trainer_or).value();
+
+  // Per-iteration losses are noisy (each batch differs); compare window
+  // averages between the start and the end of training.
+  std::vector<double> losses;
+  ASSERT_TRUE(trainer
+                  .Train(ds, 120, 1,
+                         [&](int) {
+                           losses.push_back(trainer.last_loss().total);
+                         })
+                  .ok());
+  ASSERT_EQ(losses.size(), 120u);
+  double head = 0, tail = 0;
+  for (int i = 0; i < 20; ++i) {
+    head += losses[static_cast<size_t>(i)];
+    tail += losses[losses.size() - 1 - static_cast<size_t>(i)];
+  }
+  EXPECT_LT(tail, head * 0.6) << "training did not reduce the loss";
+}
+
+TEST(TrainingIntegration, EvaluateProducesSaneMetrics) {
+  FoodDataset ds = TinyDataset(30);
+  TransferTrainer::Options topts;
+  topts.cfg_text = YoloThaliCfg(TinyYoloOptions(60));
+  topts.log_every = 0;
+  auto trainer = TransferTrainer::Create(topts);
+  ASSERT_TRUE(trainer.ok());
+  ASSERT_TRUE(trainer->Train(ds, 60).ok());
+  EvalResult r = trainer->Evaluate(ds, ds.val_indices());
+  EXPECT_GE(r.map, 0.0f);
+  EXPECT_LE(r.map, 1.0f);
+  EXPECT_EQ(r.per_class.size(), 10u);
+}
+
+TEST(TrainingIntegration, DetectorRoundTripsThroughWeightsFile) {
+  FoodDataset ds = TinyDataset(16);
+  const std::string cfg = YoloThaliCfg(TinyYoloOptions(40));
+  TransferTrainer::Options topts;
+  topts.cfg_text = cfg;
+  topts.log_every = 0;
+  auto trainer = TransferTrainer::Create(topts);
+  ASSERT_TRUE(trainer.ok());
+  ASSERT_TRUE(trainer->Train(ds, 40).ok());
+
+  const std::string scratch =
+      JoinPath(testing::TempDir(), "thali_integration.weights");
+  auto detector_or = trainer->MakeDetector(scratch);
+  ASSERT_TRUE(detector_or.ok()) << detector_or.status().ToString();
+  Detector detector = std::move(detector_or).value();
+
+  // Same weights => identical detections from trainer-net and detector.
+  const auto& item = ds.item(ds.val_indices()[0]);
+  std::vector<Detection> via_detector =
+      detector.Detect(item.image, 0.05f, 0.45f);
+  // Compare against evaluating through the trainer's own network.
+  std::vector<ImageEval> evals =
+      CollectImageEvals(trainer->network(),
+                        trainer->heads(), ds, {ds.val_indices()[0]}, 0.05f,
+                        0.45f);
+  ASSERT_EQ(evals.size(), 1u);
+  ASSERT_EQ(via_detector.size(), evals[0].detections.size());
+  for (size_t i = 0; i < via_detector.size(); ++i) {
+    EXPECT_NEAR(via_detector[i].confidence, evals[0].detections[i].confidence,
+                1e-4f);
+    EXPECT_EQ(via_detector[i].class_id, evals[0].detections[i].class_id);
+  }
+  std::remove(scratch.c_str());
+}
+
+TEST(TrainingIntegration, FusedBatchNormKeepsDetections) {
+  FoodDataset ds = TinyDataset(12);
+  const std::string cfg = YoloThaliCfg(TinyYoloOptions(30));
+  TransferTrainer::Options topts;
+  topts.cfg_text = cfg;
+  topts.log_every = 0;
+  auto trainer = TransferTrainer::Create(topts);
+  ASSERT_TRUE(trainer.ok());
+  ASSERT_TRUE(trainer->Train(ds, 30).ok());
+  const std::string scratch =
+      JoinPath(testing::TempDir(), "thali_fuse.weights");
+  auto det_or = trainer->MakeDetector(scratch);
+  ASSERT_TRUE(det_or.ok());
+  Detector det = std::move(det_or).value();
+
+  const Image& img = ds.item(0).image;
+  auto before = det.Detect(img, 0.05f, 0.45f);
+  det.FuseBatchNorm();
+  auto after = det.Detect(img, 0.05f, 0.45f);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i].confidence, after[i].confidence, 1e-3f);
+    EXPECT_EQ(before[i].class_id, after[i].class_id);
+  }
+  std::remove(scratch.c_str());
+}
+
+TEST(TrainingIntegration, TransferLoadInitializesBackboneOnly) {
+  // Pretrain 2 iterations on the shapes task, save the backbone, reload
+  // into a 10-class net: backbone convs must match, heads must not.
+  const std::string dir = JoinPath(testing::TempDir(), "thali_transfer");
+  ASSERT_TRUE(MakeDirs(dir).ok());
+  auto backbone = PretrainBackbone(dir, /*iterations=*/2, 96, 3);
+  ASSERT_TRUE(backbone.ok()) << backbone.status().ToString();
+
+  TransferTrainer::Options topts;
+  topts.cfg_text = YoloThaliCfg(TinyYoloOptions(10));
+  topts.pretrained_weights = *backbone;
+  topts.transfer_cutoff = kYoloThaliBackboneCutoff;
+  topts.freeze_cutoff = kYoloThaliBackboneCutoff;
+  topts.log_every = 0;
+  auto trainer = TransferTrainer::Create(topts);
+  ASSERT_TRUE(trainer.ok()) << trainer.status().ToString();
+  // Frozen layers report frozen; head layers do not.
+  EXPECT_TRUE(trainer->network().layer(0).frozen());
+  EXPECT_FALSE(
+      trainer->network().layer(kYoloThaliBackboneCutoff + 1).frozen());
+}
+
+TEST(BaselineIntegration, SsdTrainsAndEvaluates) {
+  FoodDataset ds = TinyDataset(20);
+  Rng rng(21);
+  auto baseline =
+      BuildSsdBaseline(10, 96, 96, 2, BaselineTier::kModern, rng);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  std::vector<DetectionHead*> heads = {baseline->head};
+  SgdOptimizer::Options so;
+  so.lr.base_lr = 1e-3f;
+  so.lr.burn_in = 5;
+  SgdOptimizer opt(so);
+  TrainLoopOptions lo;
+  lo.iterations = 40;
+  lo.log_every = 0;
+  lo.augment.mosaic = false;
+  lo.augment.jitter = 0.0f;
+  lo.augment.hue = 0.0f;
+  lo.augment.saturation = 1.0f;
+  lo.augment.exposure = 1.0f;
+  HeadLossStats last = RunTrainingLoop(*baseline->net, heads, ds,
+                                       ds.train_indices(), opt, lo);
+  EXPECT_GT(last.total, 0.0);
+
+  EvalOptions eo;
+  EvalResult r =
+      EvaluateDetections(*baseline->net, heads, ds, ds.val_indices(), 10, eo);
+  EXPECT_GE(r.map, 0.0f);
+  EXPECT_LE(r.map, 1.0f);
+}
+
+TEST(PipelineIntegration, RunsEndToEnd) {
+  Pipeline::Options popts;
+  popts.num_classes = 10;
+  popts.dataset.num_images = 24;
+  popts.pretrain_iterations = 4;
+  popts.finetune_iterations = 8;
+  popts.work_dir = JoinPath(testing::TempDir(), "thali_pipeline");
+  popts.log_every = 0;
+  Pipeline pipeline(popts);
+  auto report = pipeline.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->selected_classes.size(), 10u);
+  EXPECT_EQ(report->dataset_stats.num_images, 24);
+  EXPECT_GE(report->stages.size(), 6u);
+  EXPECT_TRUE(PathExists(report->weights_path));
+}
+
+}  // namespace
+}  // namespace thali

@@ -1,0 +1,304 @@
+// Property-based finite-difference verification of the analytic backward
+// passes: for assorted small layer stacks, analytic input/parameter
+// gradients must agree with central differences of a scalar loss.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "base/rng.h"
+#include "nn/conv_layer.h"
+#include "nn/gradient_check.h"
+#include "nn/maxpool_layer.h"
+#include "nn/network.h"
+#include "nn/route_layer.h"
+#include "nn/shortcut_layer.h"
+#include "nn/upsample_layer.h"
+#include "nn/yolo_layer.h"
+
+namespace thali {
+namespace {
+
+std::unique_ptr<ConvLayer> Conv(int filters, int ksize, int stride, int pad,
+                                bool bn, Activation act) {
+  ConvLayer::Options o;
+  o.filters = filters;
+  o.ksize = ksize;
+  o.stride = stride;
+  o.pad = pad;
+  o.batch_normalize = bn;
+  o.activation = act;
+  return std::make_unique<ConvLayer>(o);
+}
+
+Tensor RandomTensor(const Shape& shape, Rng& rng, float scale = 1.0f) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = rng.NextGaussian(0.0f, scale);
+  }
+  return t;
+}
+
+void InitNet(Network& net, Rng& rng) {
+  for (int i = 0; i < net.num_layers(); ++i) {
+    if (std::string_view(net.layer(i).kind()) == "convolutional") {
+      static_cast<ConvLayer&>(net.layer(i)).InitWeights(rng);
+    }
+  }
+}
+
+// Runs both input and parameter checks. A genuine backward bug (sign
+// flip, missing chain factor, wrong indexing) corrupts essentially every
+// probe; a probe that straddles a leaky/maxpool kink corrupts only
+// itself. So: at most 10% of probes may exceed `tol`, and no probe may
+// reach sign-flip magnitude.
+void ExpectGradientsMatch(Network& net, Rng& rng, float tol = 5e-2f) {
+  const Tensor input = RandomTensor(net.input_shape(), rng, 0.5f);
+  const Tensor& out = net.Forward(input, /*train=*/true);
+  const Tensor target = RandomTensor(out.shape(), rng, 0.5f);
+  const ScalarLoss loss = SquaredErrorLoss(target);
+
+  GradCheckResult in = CheckInputGradients(net, input, loss, 40, rng);
+  EXPECT_GT(in.checked, 0);
+  EXPECT_LE(in.FractionAbove(tol), 0.10f)
+      << "input gradients diverge, max_rel=" << in.max_rel_err;
+  EXPECT_LT(in.max_rel_err, 1.2f) << "input gradient sign/scale error";
+
+  GradCheckResult par = CheckParamGradients(net, input, loss, 40, rng);
+  EXPECT_GT(par.checked, 0);
+  EXPECT_LE(par.FractionAbove(tol), 0.10f)
+      << "parameter gradients diverge, max_rel=" << par.max_rel_err;
+  EXPECT_LT(par.max_rel_err, 1.2f) << "parameter gradient sign/scale error";
+}
+
+TEST(GradientCheck, PlainConvLinear) {
+  Network net(6, 6, 2, 2);
+  net.Add(Conv(3, 3, 1, 1, false, Activation::kLinear));
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(1);
+  InitNet(net, rng);
+  ExpectGradientsMatch(net, rng);
+}
+
+TEST(GradientCheck, ConvLeakyStride2) {
+  Network net(8, 8, 3, 2);
+  net.Add(Conv(4, 3, 2, 1, false, Activation::kLeaky));
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(2);
+  InitNet(net, rng);
+  ExpectGradientsMatch(net, rng);
+}
+
+TEST(GradientCheck, ConvBatchNormMish) {
+  Network net(6, 6, 2, 3);
+  net.Add(Conv(4, 3, 1, 1, true, Activation::kMish));
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(3);
+  InitNet(net, rng);
+  ExpectGradientsMatch(net, rng);
+}
+
+TEST(GradientCheck, TwoConvStackWithBn) {
+  Network net(8, 8, 2, 2);
+  net.Add(Conv(4, 3, 1, 1, true, Activation::kLeaky));
+  net.Add(Conv(3, 1, 1, 0, true, Activation::kMish));
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(4);
+  InitNet(net, rng);
+  ExpectGradientsMatch(net, rng);
+}
+
+TEST(GradientCheck, MaxPool) {
+  Network net(8, 8, 2, 2);
+  net.Add(Conv(3, 3, 1, 1, false, Activation::kLeaky));
+  net.Add(std::make_unique<MaxPoolLayer>(MaxPoolLayer::Options{2, 2, -1}));
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(5);
+  InitNet(net, rng);
+  ExpectGradientsMatch(net, rng);
+}
+
+TEST(GradientCheck, SppStyleMaxPoolStride1) {
+  Network net(6, 6, 2, 2);
+  net.Add(Conv(3, 3, 1, 1, false, Activation::kLinear));
+  net.Add(std::make_unique<MaxPoolLayer>(MaxPoolLayer::Options{5, 1, -1}));
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(6);
+  InitNet(net, rng);
+  ExpectGradientsMatch(net, rng);
+}
+
+TEST(GradientCheck, Upsample) {
+  Network net(6, 6, 2, 2);
+  net.Add(Conv(3, 3, 1, 1, false, Activation::kLeaky));
+  net.Add(std::make_unique<UpsampleLayer>(2));
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(7);
+  InitNet(net, rng);
+  ExpectGradientsMatch(net, rng);
+}
+
+TEST(GradientCheck, RouteConcat) {
+  Network net(6, 6, 2, 2);
+  net.Add(Conv(3, 3, 1, 1, false, Activation::kLeaky));   // 0
+  net.Add(Conv(4, 3, 1, 1, false, Activation::kLeaky));   // 1
+  RouteLayer::Options ro;
+  ro.layers = {0, 1};
+  net.Add(std::make_unique<RouteLayer>(ro));              // 2: 7 channels
+  net.Add(Conv(2, 1, 1, 0, false, Activation::kLinear));  // 3
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(8);
+  InitNet(net, rng);
+  ExpectGradientsMatch(net, rng);
+}
+
+TEST(GradientCheck, RouteGroups) {
+  Network net(6, 6, 2, 2);
+  net.Add(Conv(4, 3, 1, 1, false, Activation::kLeaky));  // 0
+  RouteLayer::Options ro;
+  ro.layers = {-1};
+  ro.groups = 2;
+  ro.group_id = 1;
+  net.Add(std::make_unique<RouteLayer>(ro));              // 1: 2 channels
+  net.Add(Conv(2, 3, 1, 1, false, Activation::kLinear));  // 2
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(9);
+  InitNet(net, rng);
+  ExpectGradientsMatch(net, rng);
+}
+
+TEST(GradientCheck, Shortcut) {
+  Network net(6, 6, 3, 2);
+  net.Add(Conv(4, 3, 1, 1, false, Activation::kLeaky));  // 0
+  net.Add(Conv(4, 3, 1, 1, false, Activation::kLeaky));  // 1
+  ShortcutLayer::Options so;
+  so.from = 0;
+  so.activation = Activation::kLeaky;
+  net.Add(std::make_unique<ShortcutLayer>(so));           // 2
+  net.Add(Conv(2, 1, 1, 0, false, Activation::kLinear));  // 3
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(10);
+  InitNet(net, rng);
+  ExpectGradientsMatch(net, rng);
+}
+
+// Parameterized sweep: random conv geometries must all pass the check.
+struct ConvGeom {
+  int in_c, filters, ksize, stride, pad, width;
+  bool bn;
+  Activation act;
+};
+
+class ConvGeometrySweep : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(ConvGeometrySweep, GradientsMatch) {
+  const ConvGeom g = GetParam();
+  Network net(g.width, g.width, g.in_c, 2);
+  ConvLayer::Options o;
+  o.filters = g.filters;
+  o.ksize = g.ksize;
+  o.stride = g.stride;
+  o.pad = g.pad;
+  o.batch_normalize = g.bn;
+  o.activation = g.act;
+  net.Add(std::make_unique<ConvLayer>(o));
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(42 + g.filters);
+  InitNet(net, rng);
+  ExpectGradientsMatch(net, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGeometrySweep,
+    ::testing::Values(
+        ConvGeom{1, 2, 1, 1, 0, 5, false, Activation::kLinear},
+        ConvGeom{2, 3, 3, 1, 1, 6, false, Activation::kRelu},
+        ConvGeom{3, 2, 3, 2, 1, 8, false, Activation::kLeaky},
+        ConvGeom{2, 4, 5, 1, 2, 7, false, Activation::kMish},
+        ConvGeom{2, 2, 3, 1, 1, 6, true, Activation::kLeaky},
+        ConvGeom{4, 3, 1, 1, 0, 5, true, Activation::kMish},
+        ConvGeom{2, 3, 3, 2, 1, 9, true, Activation::kLinear},
+        ConvGeom{3, 6, 3, 1, 1, 6, true, Activation::kLogistic}));
+
+// The YOLO head: finite differences of the full detection loss with
+// respect to the head's input logits must match the seeded deltas.
+TEST(GradientCheck, YoloLossDeltas) {
+  const int classes = 3;
+  const int n_anchors = 2;
+  const int gw = 4, gh = 4, net_w = 32, net_h = 32;
+  const int channels = n_anchors * (5 + classes);
+
+  YoloLayer::Options yo;
+  yo.anchors = {{8, 8}, {16, 20}};
+  yo.mask = {0, 1};
+  yo.classes = classes;
+  yo.ignore_thresh = 0.7f;
+  yo.scale_x_y = 1.1f;
+  yo.iou_normalizer = 0.5f;
+
+  Network net(gw, gh, channels, 2);
+  net.Add(std::make_unique<YoloLayer>(yo));
+  THALI_CHECK_OK(net.Finalize());
+
+  Rng rng(77);
+  Tensor input = RandomTensor(net.input_shape(), rng, 0.8f);
+
+  TruthBatch truths(2);
+  truths[0].push_back({Box{0.4f, 0.4f, 0.3f, 0.35f}, 1});
+  truths[0].push_back({Box{0.75f, 0.7f, 0.2f, 0.25f}, 0});
+  truths[1].push_back({Box{0.5f, 0.55f, 0.5f, 0.4f}, 2});
+
+  auto* yolo = static_cast<YoloLayer*>(&net.layer(0));
+  auto loss_value = [&](const Tensor& in) -> double {
+    net.Forward(in, /*train=*/true);
+    net.ZeroDeltas();
+    return yolo->ComputeLoss(truths, net_w, net_h).total;
+  };
+
+  // Analytic deltas.
+  loss_value(input);
+  Tensor analytic = net.layer(0).delta();
+
+  // Probe a sample of coordinates with central differences. Objectness
+  // and class channels go through exact BCE-with-logits gradients and
+  // must match tightly; box channels use the CIoU-paper convention of
+  // holding alpha constant, so their analytic gradient legitimately
+  // deviates from the full numeric derivative by up to ~40%.
+  const float eps = 2e-3f;
+  int checked = 0;
+  float max_rel_bce = 0.0f;
+  float max_rel_box = 0.0f;
+  for (int probe = 0; probe < 80; ++probe) {
+    const int64_t idx =
+        static_cast<int64_t>(rng.NextU64Below(
+            static_cast<uint64_t>(input.size())));
+    const float orig = input[idx];
+    input[idx] = orig + eps;
+    const double lp = loss_value(input);
+    input[idx] = orig - eps;
+    const double lm = loss_value(input);
+    input[idx] = orig;
+    const float numeric = static_cast<float>((lp - lm) / (2 * eps));
+    const float a = analytic[idx];
+    const float abs_err = std::fabs(a - numeric);
+    if (abs_err > 5e-3f) {
+      const float denom = std::max({std::fabs(a), std::fabs(numeric), 5e-2f});
+      const int64_t attr = (idx / (gw * gh)) % (5 + classes);
+      if (attr < 4) {
+        max_rel_box = std::max(max_rel_box, abs_err / denom);
+      } else {
+        max_rel_bce = std::max(max_rel_bce, abs_err / denom);
+      }
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, 80);
+  EXPECT_LT(max_rel_bce, 0.08f) << "obj/class deltas diverge from numeric";
+  EXPECT_LT(max_rel_box, 0.60f) << "box deltas diverge beyond the alpha-"
+                                   "constant approximation";
+}
+
+}  // namespace
+}  // namespace thali

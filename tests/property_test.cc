@@ -1,0 +1,230 @@
+// Randomized property tests across module boundaries: invariants that
+// must hold for *any* input, checked over seeded random sweeps. These
+// complement the example-based tests with fuzz-lite coverage of the
+// parsing/serialization surfaces.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "base/file_util.h"
+#include "base/rng.h"
+#include "darknet/cfg.h"
+#include "darknet/weights_io.h"
+#include "data/augment.h"
+#include "data/food_classes.h"
+#include "data/renderer.h"
+#include "eval/detection.h"
+#include "eval/metrics.h"
+#include "nn/optimizer.h"
+
+namespace thali {
+namespace {
+
+std::vector<Detection> RandomDetections(Rng& rng, int n, int classes) {
+  std::vector<Detection> dets(static_cast<size_t>(n));
+  for (auto& d : dets) {
+    d.box = Box{rng.NextFloat(), rng.NextFloat(), rng.NextFloat(0.02f, 0.5f),
+                rng.NextFloat(0.02f, 0.5f)};
+    d.class_id = rng.NextInt(0, classes - 1);
+    d.confidence = rng.NextFloat();
+  }
+  return dets;
+}
+
+TEST(NmsProperty, Idempotent) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto dets = RandomDetections(rng, rng.NextInt(0, 60), 4);
+    auto once = Nms(dets, 0.45f);
+    auto twice = Nms(once, 0.45f);
+    ASSERT_EQ(once.size(), twice.size());
+    for (size_t i = 0; i < once.size(); ++i) {
+      EXPECT_EQ(once[i].confidence, twice[i].confidence);
+    }
+  }
+}
+
+TEST(NmsProperty, SurvivorsRespectThreshold) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto kept = Nms(RandomDetections(rng, 50, 3), 0.45f);
+    for (size_t i = 0; i < kept.size(); ++i) {
+      for (size_t j = i + 1; j < kept.size(); ++j) {
+        if (kept[i].class_id != kept[j].class_id) continue;
+        EXPECT_LE(Iou(kept[i].box, kept[j].box), 0.45f + 1e-6f);
+      }
+    }
+  }
+}
+
+TEST(NmsProperty, NeverIncreasesCount) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto dets = RandomDetections(rng, rng.NextInt(1, 80), 5);
+    EXPECT_LE(Nms(dets, 0.3f).size(), dets.size());
+    // Lower threshold suppresses at least as much.
+    EXPECT_LE(Nms(dets, 0.3f).size(), Nms(dets, 0.7f).size());
+  }
+}
+
+TEST(EvaluateProperty, MetricsAlwaysBounded) {
+  Rng rng(4);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<ImageEval> images(static_cast<size_t>(rng.NextInt(1, 4)));
+    for (auto& img : images) {
+      img.detections = RandomDetections(rng, rng.NextInt(0, 20), 3);
+      const int truths = rng.NextInt(0, 5);
+      for (int t = 0; t < truths; ++t) {
+        img.truths.push_back({Box{rng.NextFloat(), rng.NextFloat(),
+                                  rng.NextFloat(0.05f, 0.4f),
+                                  rng.NextFloat(0.05f, 0.4f)},
+                              rng.NextInt(0, 2)});
+      }
+    }
+    const EvalResult r = Evaluate(images, 3);
+    EXPECT_GE(r.map, 0.0f);
+    EXPECT_LE(r.map, 1.0f);
+    EXPECT_GE(r.f1, 0.0f);
+    EXPECT_LE(r.f1, 1.0f);
+    for (const ClassMetrics& cm : r.per_class) {
+      EXPECT_GE(cm.ap, 0.0f);
+      EXPECT_LE(cm.ap, 1.0f);
+      EXPECT_EQ(cm.true_positives + cm.false_positives, cm.num_detections);
+      // PR curve recalls are non-decreasing.
+      for (size_t i = 1; i < cm.pr_curve.size(); ++i) {
+        EXPECT_GE(cm.pr_curve[i].recall, cm.pr_curve[i - 1].recall - 1e-6f);
+      }
+    }
+  }
+}
+
+TEST(WeightsIoProperty, ArbitraryTruncationNeverCrashes) {
+  const char* cfg =
+      "[net]\nwidth=16\nheight=16\nchannels=3\nbatch=1\n"
+      "[convolutional]\nbatch_normalize=1\nfilters=4\nsize=3\nstride=2\n"
+      "pad=1\nactivation=leaky\n"
+      "[convolutional]\nfilters=8\nsize=1\nstride=1\nactivation=linear\n";
+  Rng rng(5);
+  auto built = BuildNetworkFromCfg(cfg, 0, rng);
+  ASSERT_TRUE(built.ok());
+  const std::string path = testing::TempDir() + "/thali_trunc_fuzz.weights";
+  ASSERT_TRUE(SaveWeights(*built->net, path).ok());
+  auto full = ReadFileToString(path);
+  ASSERT_TRUE(full.ok());
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t cut = rng.NextU64Below(full->size());
+    ASSERT_TRUE(WriteStringToFile(path, full->substr(0, cut)).ok());
+    // Must return a Status (any code) — never crash or hang.
+    auto loaded = LoadWeights(*built->net, path);
+    if (loaded.ok()) {
+      EXPECT_LE(*loaded, 2);
+    }
+  }
+  // Restore valid file and confirm a clean load still works.
+  ASSERT_TRUE(WriteStringToFile(path, *full).ok());
+  auto loaded = LoadWeights(*built->net, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 2);
+  std::remove(path.c_str());
+}
+
+TEST(CfgProperty, RandomLineNoiseYieldsStatusNotCrash) {
+  Rng rng(6);
+  const char* fragments[] = {"[net]",  "width=32", "height=",  "=5",
+                             "[[bad]", "a=b=c",    "filters",  "[]",
+                             "#x",     "size=3",   "[yolo]",   "mask=0,",
+                             "anchors=1,2", "stride=0", "pad=-1"};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string cfg;
+    const int lines = rng.NextInt(1, 12);
+    for (int i = 0; i < lines; ++i) {
+      cfg += fragments[rng.NextU64Below(15)];
+      cfg += '\n';
+    }
+    auto parsed = ParseCfg(cfg);  // either ok or error; must not crash
+    if (parsed.ok()) {
+      Rng wrng(7);
+      auto built = BuildNetworkFromCfg(cfg, 1, wrng);
+      (void)built;  // Status either way
+    }
+  }
+}
+
+TEST(AugmentProperty, PixelsStayInUnitRange) {
+  PlatterRenderer renderer(IndianFood10(), PlatterRenderer::Options{});
+  Rng rng(8);
+  AugmentOptions opts;
+  opts.mosaic = true;
+  for (int trial = 0; trial < 10; ++trial) {
+    RenderedScene scene = renderer.RenderSingleDish(trial % 10, rng);
+    Sample s = AugmentSample({scene.image, scene.truths}, opts, rng);
+    for (int64_t i = 0; i < s.image.size(); ++i) {
+      EXPECT_GE(s.image.data()[i], -1e-5f);
+      EXPECT_LE(s.image.data()[i], 1.0f + 1e-5f);
+    }
+    for (const TruthBox& t : s.truths) {
+      EXPECT_GE(t.box.w, 0.0f);
+      EXPECT_GE(t.box.h, 0.0f);
+    }
+  }
+}
+
+TEST(RendererProperty, AllClassesAllSizesProduceValidScenes) {
+  // Renders every IndianFood20 class at several canvas sizes: boxes must
+  // be positive-area, in-bounds, and the image must contain non-background
+  // content inside the box.
+  for (int size : {64, 96, 128}) {
+    PlatterRenderer::Options ro;
+    ro.width = size;
+    ro.height = size;
+    PlatterRenderer renderer(IndianFood20(), ro);
+    Rng rng(static_cast<uint64_t>(size));
+    for (int cls = 0; cls < 20; ++cls) {
+      RenderedScene s = renderer.RenderSingleDish(cls, rng);
+      ASSERT_EQ(s.truths.size(), 1u);
+      const Box& b = s.truths[0].box;
+      EXPECT_GT(b.w * size, 3.0f) << "class " << cls << " size " << size;
+      EXPECT_GT(b.h * size, 3.0f);
+      EXPECT_GE(b.Left(), -1e-4f);
+      EXPECT_LE(b.Right(), 1.0f + 1e-4f);
+    }
+  }
+}
+
+TEST(LrPolicyProperty, NonIncreasingAfterBurnIn) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    LrPolicy p;
+    p.base_lr = rng.NextFloat(1e-4f, 1e-2f);
+    p.burn_in = rng.NextInt(0, 50);
+    const int s1 = rng.NextInt(60, 200);
+    p.steps = {s1, s1 + rng.NextInt(1, 200)};
+    p.scales = {rng.NextFloat(0.05f, 0.9f), rng.NextFloat(0.05f, 0.9f)};
+    float prev = p.LearningRateAt(p.burn_in);
+    for (int it = p.burn_in + 1; it < 500; ++it) {
+      const float lr = p.LearningRateAt(it);
+      EXPECT_LE(lr, prev + 1e-9f) << "iteration " << it;
+      prev = lr;
+    }
+  }
+}
+
+TEST(BoxProperty, CornerRoundTrip) {
+  Rng rng(10);
+  for (int trial = 0; trial < 200; ++trial) {
+    Box b{rng.NextFloat(), rng.NextFloat(), rng.NextFloat(0.01f, 0.9f),
+          rng.NextFloat(0.01f, 0.9f)};
+    Box r = BoxFromCorners(b.Left(), b.Top(), b.Right(), b.Bottom());
+    EXPECT_NEAR(r.x, b.x, 1e-5f);
+    EXPECT_NEAR(r.y, b.y, 1e-5f);
+    EXPECT_NEAR(r.w, b.w, 1e-5f);
+    EXPECT_NEAR(r.h, b.h, 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace thali
