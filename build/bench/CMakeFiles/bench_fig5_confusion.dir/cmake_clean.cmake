@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_confusion.dir/bench_fig5_confusion.cc.o"
+  "CMakeFiles/bench_fig5_confusion.dir/bench_fig5_confusion.cc.o.d"
+  "bench_fig5_confusion"
+  "bench_fig5_confusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_confusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

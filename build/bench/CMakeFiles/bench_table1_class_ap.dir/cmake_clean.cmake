@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_class_ap.dir/bench_table1_class_ap.cc.o"
+  "CMakeFiles/bench_table1_class_ap.dir/bench_table1_class_ap.cc.o.d"
+  "bench_table1_class_ap"
+  "bench_table1_class_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_class_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_iterations.dir/bench_table2_iterations.cc.o"
+  "CMakeFiles/bench_table2_iterations.dir/bench_table2_iterations.cc.o.d"
+  "bench_table2_iterations"
+  "bench_table2_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

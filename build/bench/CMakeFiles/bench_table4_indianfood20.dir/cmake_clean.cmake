@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_indianfood20.dir/bench_table4_indianfood20.cc.o"
+  "CMakeFiles/bench_table4_indianfood20.dir/bench_table4_indianfood20.cc.o.d"
+  "bench_table4_indianfood20"
+  "bench_table4_indianfood20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_indianfood20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

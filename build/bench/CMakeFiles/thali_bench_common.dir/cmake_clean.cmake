@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thali_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/thali_bench_common.dir/bench_common.cc.o.d"
+  "libthali_bench_common.a"
+  "libthali_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thali_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

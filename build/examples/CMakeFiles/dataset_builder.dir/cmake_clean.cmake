@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_builder.dir/dataset_builder.cpp.o"
+  "CMakeFiles/dataset_builder.dir/dataset_builder.cpp.o.d"
+  "dataset_builder"
+  "dataset_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thali_cli.dir/thali_cli.cpp.o"
+  "CMakeFiles/thali_cli.dir/thali_cli.cpp.o.d"
+  "thali_cli"
+  "thali_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thali_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thali_scanner.dir/thali_scanner.cpp.o"
+  "CMakeFiles/thali_scanner.dir/thali_scanner.cpp.o.d"
+  "thali_scanner"
+  "thali_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thali_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_custom.dir/train_custom.cpp.o"
+  "CMakeFiles/train_custom.dir/train_custom.cpp.o.d"
+  "train_custom"
+  "train_custom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_custom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

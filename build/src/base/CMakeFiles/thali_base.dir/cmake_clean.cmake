@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thali_base.dir/file_util.cc.o"
+  "CMakeFiles/thali_base.dir/file_util.cc.o.d"
+  "CMakeFiles/thali_base.dir/logging.cc.o"
+  "CMakeFiles/thali_base.dir/logging.cc.o.d"
+  "CMakeFiles/thali_base.dir/rng.cc.o"
+  "CMakeFiles/thali_base.dir/rng.cc.o.d"
+  "CMakeFiles/thali_base.dir/status.cc.o"
+  "CMakeFiles/thali_base.dir/status.cc.o.d"
+  "CMakeFiles/thali_base.dir/string_util.cc.o"
+  "CMakeFiles/thali_base.dir/string_util.cc.o.d"
+  "CMakeFiles/thali_base.dir/table_printer.cc.o"
+  "CMakeFiles/thali_base.dir/table_printer.cc.o.d"
+  "libthali_base.a"
+  "libthali_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thali_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

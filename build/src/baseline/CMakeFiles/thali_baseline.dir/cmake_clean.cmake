@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thali_baseline.dir/ssd_detector.cc.o"
+  "CMakeFiles/thali_baseline.dir/ssd_detector.cc.o.d"
+  "CMakeFiles/thali_baseline.dir/ssd_head_layer.cc.o"
+  "CMakeFiles/thali_baseline.dir/ssd_head_layer.cc.o.d"
+  "libthali_baseline.a"
+  "libthali_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thali_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thali_core.dir/detector.cc.o"
+  "CMakeFiles/thali_core.dir/detector.cc.o.d"
+  "CMakeFiles/thali_core.dir/pipeline.cc.o"
+  "CMakeFiles/thali_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/thali_core.dir/trainer.cc.o"
+  "CMakeFiles/thali_core.dir/trainer.cc.o.d"
+  "libthali_core.a"
+  "libthali_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thali_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

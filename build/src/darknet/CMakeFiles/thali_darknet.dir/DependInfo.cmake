@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darknet/cfg.cc" "src/darknet/CMakeFiles/thali_darknet.dir/cfg.cc.o" "gcc" "src/darknet/CMakeFiles/thali_darknet.dir/cfg.cc.o.d"
+  "/root/repo/src/darknet/model_zoo.cc" "src/darknet/CMakeFiles/thali_darknet.dir/model_zoo.cc.o" "gcc" "src/darknet/CMakeFiles/thali_darknet.dir/model_zoo.cc.o.d"
+  "/root/repo/src/darknet/summary.cc" "src/darknet/CMakeFiles/thali_darknet.dir/summary.cc.o" "gcc" "src/darknet/CMakeFiles/thali_darknet.dir/summary.cc.o.d"
+  "/root/repo/src/darknet/weights_io.cc" "src/darknet/CMakeFiles/thali_darknet.dir/weights_io.cc.o" "gcc" "src/darknet/CMakeFiles/thali_darknet.dir/weights_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/thali_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/thali_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/thali_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/thali_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thali_darknet.dir/cfg.cc.o"
+  "CMakeFiles/thali_darknet.dir/cfg.cc.o.d"
+  "CMakeFiles/thali_darknet.dir/model_zoo.cc.o"
+  "CMakeFiles/thali_darknet.dir/model_zoo.cc.o.d"
+  "CMakeFiles/thali_darknet.dir/summary.cc.o"
+  "CMakeFiles/thali_darknet.dir/summary.cc.o.d"
+  "CMakeFiles/thali_darknet.dir/weights_io.cc.o"
+  "CMakeFiles/thali_darknet.dir/weights_io.cc.o.d"
+  "libthali_darknet.a"
+  "libthali_darknet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thali_darknet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for thali_darknet.
+# This may be replaced when dependencies are built.

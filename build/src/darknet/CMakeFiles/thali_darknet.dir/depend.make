@@ -1,0 +1,2 @@
+# Empty dependencies file for thali_darknet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/annotation.cc" "src/data/CMakeFiles/thali_data.dir/annotation.cc.o" "gcc" "src/data/CMakeFiles/thali_data.dir/annotation.cc.o.d"
+  "/root/repo/src/data/augment.cc" "src/data/CMakeFiles/thali_data.dir/augment.cc.o" "gcc" "src/data/CMakeFiles/thali_data.dir/augment.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/thali_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/thali_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/food_classes.cc" "src/data/CMakeFiles/thali_data.dir/food_classes.cc.o" "gcc" "src/data/CMakeFiles/thali_data.dir/food_classes.cc.o.d"
+  "/root/repo/src/data/hashtag_catalog.cc" "src/data/CMakeFiles/thali_data.dir/hashtag_catalog.cc.o" "gcc" "src/data/CMakeFiles/thali_data.dir/hashtag_catalog.cc.o.d"
+  "/root/repo/src/data/nutrition.cc" "src/data/CMakeFiles/thali_data.dir/nutrition.cc.o" "gcc" "src/data/CMakeFiles/thali_data.dir/nutrition.cc.o.d"
+  "/root/repo/src/data/renderer.cc" "src/data/CMakeFiles/thali_data.dir/renderer.cc.o" "gcc" "src/data/CMakeFiles/thali_data.dir/renderer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/thali_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/thali_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/thali_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/thali_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/thali_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thali_data.dir/annotation.cc.o"
+  "CMakeFiles/thali_data.dir/annotation.cc.o.d"
+  "CMakeFiles/thali_data.dir/augment.cc.o"
+  "CMakeFiles/thali_data.dir/augment.cc.o.d"
+  "CMakeFiles/thali_data.dir/dataset.cc.o"
+  "CMakeFiles/thali_data.dir/dataset.cc.o.d"
+  "CMakeFiles/thali_data.dir/food_classes.cc.o"
+  "CMakeFiles/thali_data.dir/food_classes.cc.o.d"
+  "CMakeFiles/thali_data.dir/hashtag_catalog.cc.o"
+  "CMakeFiles/thali_data.dir/hashtag_catalog.cc.o.d"
+  "CMakeFiles/thali_data.dir/nutrition.cc.o"
+  "CMakeFiles/thali_data.dir/nutrition.cc.o.d"
+  "CMakeFiles/thali_data.dir/renderer.cc.o"
+  "CMakeFiles/thali_data.dir/renderer.cc.o.d"
+  "libthali_data.a"
+  "libthali_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thali_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

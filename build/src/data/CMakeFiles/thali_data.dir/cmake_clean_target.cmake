@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libthali_data.a"
+)

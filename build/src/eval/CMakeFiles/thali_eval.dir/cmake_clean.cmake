@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thali_eval.dir/box.cc.o"
+  "CMakeFiles/thali_eval.dir/box.cc.o.d"
+  "CMakeFiles/thali_eval.dir/detection.cc.o"
+  "CMakeFiles/thali_eval.dir/detection.cc.o.d"
+  "CMakeFiles/thali_eval.dir/metrics.cc.o"
+  "CMakeFiles/thali_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/thali_eval.dir/report.cc.o"
+  "CMakeFiles/thali_eval.dir/report.cc.o.d"
+  "libthali_eval.a"
+  "libthali_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thali_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/draw.cc" "src/image/CMakeFiles/thali_image.dir/draw.cc.o" "gcc" "src/image/CMakeFiles/thali_image.dir/draw.cc.o.d"
+  "/root/repo/src/image/image.cc" "src/image/CMakeFiles/thali_image.dir/image.cc.o" "gcc" "src/image/CMakeFiles/thali_image.dir/image.cc.o.d"
+  "/root/repo/src/image/image_io.cc" "src/image/CMakeFiles/thali_image.dir/image_io.cc.o" "gcc" "src/image/CMakeFiles/thali_image.dir/image_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/thali_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thali_image.dir/draw.cc.o"
+  "CMakeFiles/thali_image.dir/draw.cc.o.d"
+  "CMakeFiles/thali_image.dir/image.cc.o"
+  "CMakeFiles/thali_image.dir/image.cc.o.d"
+  "CMakeFiles/thali_image.dir/image_io.cc.o"
+  "CMakeFiles/thali_image.dir/image_io.cc.o.d"
+  "libthali_image.a"
+  "libthali_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thali_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

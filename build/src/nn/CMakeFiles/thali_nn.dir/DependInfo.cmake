@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/thali_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/thali_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/conv_layer.cc" "src/nn/CMakeFiles/thali_nn.dir/conv_layer.cc.o" "gcc" "src/nn/CMakeFiles/thali_nn.dir/conv_layer.cc.o.d"
+  "/root/repo/src/nn/gradient_check.cc" "src/nn/CMakeFiles/thali_nn.dir/gradient_check.cc.o" "gcc" "src/nn/CMakeFiles/thali_nn.dir/gradient_check.cc.o.d"
+  "/root/repo/src/nn/maxpool_layer.cc" "src/nn/CMakeFiles/thali_nn.dir/maxpool_layer.cc.o" "gcc" "src/nn/CMakeFiles/thali_nn.dir/maxpool_layer.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/thali_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/thali_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/thali_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/thali_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/route_layer.cc" "src/nn/CMakeFiles/thali_nn.dir/route_layer.cc.o" "gcc" "src/nn/CMakeFiles/thali_nn.dir/route_layer.cc.o.d"
+  "/root/repo/src/nn/shortcut_layer.cc" "src/nn/CMakeFiles/thali_nn.dir/shortcut_layer.cc.o" "gcc" "src/nn/CMakeFiles/thali_nn.dir/shortcut_layer.cc.o.d"
+  "/root/repo/src/nn/upsample_layer.cc" "src/nn/CMakeFiles/thali_nn.dir/upsample_layer.cc.o" "gcc" "src/nn/CMakeFiles/thali_nn.dir/upsample_layer.cc.o.d"
+  "/root/repo/src/nn/yolo_layer.cc" "src/nn/CMakeFiles/thali_nn.dir/yolo_layer.cc.o" "gcc" "src/nn/CMakeFiles/thali_nn.dir/yolo_layer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/thali_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/thali_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/thali_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

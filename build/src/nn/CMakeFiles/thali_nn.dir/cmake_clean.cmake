@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thali_nn.dir/activation.cc.o"
+  "CMakeFiles/thali_nn.dir/activation.cc.o.d"
+  "CMakeFiles/thali_nn.dir/conv_layer.cc.o"
+  "CMakeFiles/thali_nn.dir/conv_layer.cc.o.d"
+  "CMakeFiles/thali_nn.dir/gradient_check.cc.o"
+  "CMakeFiles/thali_nn.dir/gradient_check.cc.o.d"
+  "CMakeFiles/thali_nn.dir/maxpool_layer.cc.o"
+  "CMakeFiles/thali_nn.dir/maxpool_layer.cc.o.d"
+  "CMakeFiles/thali_nn.dir/network.cc.o"
+  "CMakeFiles/thali_nn.dir/network.cc.o.d"
+  "CMakeFiles/thali_nn.dir/optimizer.cc.o"
+  "CMakeFiles/thali_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/thali_nn.dir/route_layer.cc.o"
+  "CMakeFiles/thali_nn.dir/route_layer.cc.o.d"
+  "CMakeFiles/thali_nn.dir/shortcut_layer.cc.o"
+  "CMakeFiles/thali_nn.dir/shortcut_layer.cc.o.d"
+  "CMakeFiles/thali_nn.dir/upsample_layer.cc.o"
+  "CMakeFiles/thali_nn.dir/upsample_layer.cc.o.d"
+  "CMakeFiles/thali_nn.dir/yolo_layer.cc.o"
+  "CMakeFiles/thali_nn.dir/yolo_layer.cc.o.d"
+  "libthali_nn.a"
+  "libthali_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thali_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

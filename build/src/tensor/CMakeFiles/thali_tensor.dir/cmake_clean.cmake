@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thali_tensor.dir/gemm.cc.o"
+  "CMakeFiles/thali_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/thali_tensor.dir/im2col.cc.o"
+  "CMakeFiles/thali_tensor.dir/im2col.cc.o.d"
+  "CMakeFiles/thali_tensor.dir/ops.cc.o"
+  "CMakeFiles/thali_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/thali_tensor.dir/shape.cc.o"
+  "CMakeFiles/thali_tensor.dir/shape.cc.o.d"
+  "libthali_tensor.a"
+  "libthali_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thali_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

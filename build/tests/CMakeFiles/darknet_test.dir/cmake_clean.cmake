@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darknet_test.dir/darknet_test.cc.o"
+  "CMakeFiles/darknet_test.dir/darknet_test.cc.o.d"
+  "darknet_test"
+  "darknet_test.pdb"
+  "darknet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darknet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

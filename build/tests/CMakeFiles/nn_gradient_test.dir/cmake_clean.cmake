@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_gradient_test.dir/nn_gradient_test.cc.o"
+  "CMakeFiles/nn_gradient_test.dir/nn_gradient_test.cc.o.d"
+  "nn_gradient_test"
+  "nn_gradient_test.pdb"
+  "nn_gradient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_gradient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
