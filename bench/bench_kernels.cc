@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "base/thread_pool.h"
 #include "data/augment.h"
+#include "data/dataset.h"
 #include "data/food_classes.h"
 #include "data/renderer.h"
 #include "eval/box.h"
@@ -21,6 +23,15 @@
 
 namespace thali {
 namespace {
+
+// Pins the global pool to `threads` for the duration of one benchmark
+// run, restoring single-thread afterwards so the plain (unsuffixed)
+// benches always measure the 1-thread baseline.
+class ScopedParallelism {
+ public:
+  explicit ScopedParallelism(int threads) { SetMaxParallelism(threads); }
+  ~ScopedParallelism() { SetMaxParallelism(1); }
+};
 
 void BM_Gemm(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -198,6 +209,101 @@ void BM_MosaicAugment(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MosaicAugment);
+
+// --- Threaded variants: the second benchmark argument is the thread
+// count, so `--benchmark_filter=Threaded` sweeps the scaling curve.
+
+void BM_GemmThreaded(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ScopedParallelism parallelism(static_cast<int>(state.range(1)));
+  Rng rng(1);
+  std::vector<float> a(static_cast<size_t>(n) * n), b(a.size()), c(a.size());
+  for (auto& v : a) v = rng.NextGaussian();
+  for (auto& v : b) v = rng.NextGaussian();
+  for (auto _ : state) {
+    Gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+         c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmThreaded)
+    ->ArgNames({"n", "threads"})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
+
+void BM_ConvForwardThreaded(benchmark::State& state) {
+  const int channels = static_cast<int>(state.range(0));
+  ScopedParallelism parallelism(static_cast<int>(state.range(1)));
+  Network net(24, 24, channels, 4);  // batch 4: exercises batch parallelism
+  ConvLayer::Options o;
+  o.filters = channels;
+  o.ksize = 3;
+  o.stride = 1;
+  o.pad = 1;
+  o.batch_normalize = true;
+  o.activation = Activation::kMish;
+  net.Add(std::make_unique<ConvLayer>(o));
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(3);
+  static_cast<ConvLayer&>(net.layer(0)).InitWeights(rng);
+  Tensor input(net.input_shape());
+  for (int64_t i = 0; i < input.size(); ++i) input[i] = rng.NextGaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(input).data());
+  }
+}
+BENCHMARK(BM_ConvForwardThreaded)
+    ->ArgNames({"channels", "threads"})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4});
+
+void BM_ConvTrainStepThreaded(benchmark::State& state) {
+  ScopedParallelism parallelism(static_cast<int>(state.range(0)));
+  Network net(24, 24, 16, 4);
+  ConvLayer::Options o;
+  o.filters = 32;
+  o.ksize = 3;
+  o.stride = 1;
+  o.pad = 1;
+  o.batch_normalize = true;
+  o.activation = Activation::kLeaky;
+  net.Add(std::make_unique<ConvLayer>(o));
+  THALI_CHECK_OK(net.Finalize());
+  Rng rng(4);
+  static_cast<ConvLayer&>(net.layer(0)).InitWeights(rng);
+  Tensor input(net.input_shape());
+  for (int64_t i = 0; i < input.size(); ++i) input[i] = rng.NextGaussian();
+  for (auto _ : state) {
+    net.Forward(input, /*train=*/true);
+    net.layer(0).delta().Fill(0.01f);
+    net.Backward(input);
+    net.ZeroGrads();
+  }
+}
+BENCHMARK(BM_ConvTrainStepThreaded)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
+
+void BM_RenderDatasetThreaded(benchmark::State& state) {
+  ScopedParallelism parallelism(static_cast<int>(state.range(0)));
+  DatasetSpec spec;
+  spec.num_images = 32;
+  for (auto _ : state) {
+    FoodDataset ds = FoodDataset::Generate(IndianFood10(), spec);
+    benchmark::DoNotOptimize(ds.item(0).image.data());
+  }
+  state.SetItemsProcessed(state.iterations() * spec.num_images);
+}
+BENCHMARK(BM_RenderDatasetThreaded)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
 
 }  // namespace
 }  // namespace thali

@@ -212,17 +212,33 @@ bench/CMakeFiles/bench_kernels.dir/bench_kernels.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/base/rng.h \
- /root/repo/src/data/augment.h /usr/include/c++/12/array \
- /root/repo/src/image/image.h /root/repo/src/base/logging.h \
- /usr/include/c++/12/iostream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/nn/truth.h \
- /root/repo/src/eval/box.h /root/repo/src/data/food_classes.h \
- /root/repo/src/data/renderer.h /root/repo/src/eval/detection.h \
- /root/repo/src/nn/conv_layer.h /root/repo/src/nn/activation.h \
- /root/repo/src/base/statusor.h /usr/include/c++/12/optional \
+ /root/repo/src/base/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/base/status.h /root/repo/src/nn/layer.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/data/augment.h /root/repo/src/image/image.h \
+ /root/repo/src/base/logging.h /usr/include/c++/12/iostream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/nn/truth.h /root/repo/src/eval/box.h \
+ /root/repo/src/data/dataset.h /root/repo/src/base/statusor.h \
+ /usr/include/c++/12/optional /root/repo/src/base/status.h \
+ /root/repo/src/data/renderer.h /root/repo/src/data/food_classes.h \
+ /root/repo/src/eval/detection.h /root/repo/src/nn/conv_layer.h \
+ /root/repo/src/nn/activation.h /root/repo/src/nn/layer.h \
  /root/repo/src/tensor/tensor.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/tensor/shape.h /root/repo/src/nn/network.h \

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/base/status.cc" "src/base/CMakeFiles/thali_base.dir/status.cc.o" "gcc" "src/base/CMakeFiles/thali_base.dir/status.cc.o.d"
   "/root/repo/src/base/string_util.cc" "src/base/CMakeFiles/thali_base.dir/string_util.cc.o" "gcc" "src/base/CMakeFiles/thali_base.dir/string_util.cc.o.d"
   "/root/repo/src/base/table_printer.cc" "src/base/CMakeFiles/thali_base.dir/table_printer.cc.o" "gcc" "src/base/CMakeFiles/thali_base.dir/table_printer.cc.o.d"
+  "/root/repo/src/base/thread_pool.cc" "src/base/CMakeFiles/thali_base.dir/thread_pool.cc.o" "gcc" "src/base/CMakeFiles/thali_base.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/thali_base.dir/string_util.cc.o.d"
   "CMakeFiles/thali_base.dir/table_printer.cc.o"
   "CMakeFiles/thali_base.dir/table_printer.cc.o.d"
+  "CMakeFiles/thali_base.dir/thread_pool.cc.o"
+  "CMakeFiles/thali_base.dir/thread_pool.cc.o.d"
   "libthali_base.a"
   "libthali_base.pdb"
 )

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/thali_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/darknet/CMakeFiles/thali_darknet.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/thali_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/thali_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/thali_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/thali_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/thali_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/thali_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/thali_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

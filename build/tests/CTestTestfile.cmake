@@ -15,3 +15,4 @@ include("/root/repo/build/tests/data_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")

@@ -5,6 +5,7 @@
 
 #include "base/logging.h"
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "darknet/weights_io.h"
 
 namespace thali {
@@ -91,30 +92,41 @@ HeadLossStats RunTrainingLoop(Network& net,
   Tensor input(net.input_shape());
   HeadLossStats last;
 
-  auto draw_sample = [&]() -> Sample {
+  auto draw_sample = [&](Rng& r) -> Sample {
     const int idx = train_indices[static_cast<size_t>(
-        rng.NextU64Below(train_indices.size()))];
+        r.NextU64Below(train_indices.size()))];
     return ItemToSample(dataset.item(idx));
   };
+
+  // Per-item Rng streams are forked sequentially from the loop Rng each
+  // iteration, so batch items can augment in parallel while the sampled
+  // batch stays a pure function of the seed at any parallelism level.
+  std::vector<Rng> item_rngs(static_cast<size_t>(batch));
 
   for (int iter = 1; iter <= options.iterations; ++iter) {
     TruthBatch truths(static_cast<size_t>(batch));
     for (int b = 0; b < batch; ++b) {
-      Sample s;
-      if (options.augment.mosaic && rng.NextBool(options.mosaic_probability)) {
-        std::array<Sample, 4> parts = {draw_sample(), draw_sample(),
-                                       draw_sample(), draw_sample()};
-        s = MosaicCombine(parts, options.augment, rng);
-        // HSV/flip also applied on top, as Darknet does.
-        AugmentOptions post = options.augment;
-        post.jitter = 0.0f;
-        s = AugmentSample(s, post, rng);
-      } else {
-        s = AugmentSample(draw_sample(), options.augment, rng);
-      }
-      LoadInputSlot(s.image, b, input);
-      truths[static_cast<size_t>(b)] = std::move(s.truths);
+      item_rngs[static_cast<size_t>(b)] = rng.Fork();
     }
+    ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1, int) {
+      for (int64_t b = b0; b < b1; ++b) {
+        Rng& r = item_rngs[static_cast<size_t>(b)];
+        Sample s;
+        if (options.augment.mosaic && r.NextBool(options.mosaic_probability)) {
+          std::array<Sample, 4> parts = {draw_sample(r), draw_sample(r),
+                                         draw_sample(r), draw_sample(r)};
+          s = MosaicCombine(parts, options.augment, r);
+          // HSV/flip also applied on top, as Darknet does.
+          AugmentOptions post = options.augment;
+          post.jitter = 0.0f;
+          s = AugmentSample(s, post, r);
+        } else {
+          s = AugmentSample(draw_sample(r), options.augment, r);
+        }
+        LoadInputSlot(s.image, static_cast<int>(b), input);
+        truths[static_cast<size_t>(b)] = std::move(s.truths);
+      }
+    });
 
     net.Forward(input, /*train=*/true);
     net.ZeroDeltas();

@@ -71,7 +71,7 @@ std::string NetworkSummary(const Network& net) {
                     static_cast<long long>(params));
   }
   os << StrFormat(
-      "total: %lld parameters, %lld floats of shared workspace, batch %d\n",
+      "total: %lld parameters, %lld floats of per-thread workspace, batch %d\n",
       static_cast<long long>(total_params),
       static_cast<long long>(net.workspace_size()), net.batch());
   return os.str();

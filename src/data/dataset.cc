@@ -4,6 +4,7 @@
 
 #include "base/file_util.h"
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "data/annotation.h"
 #include "image/image_io.h"
 
@@ -25,23 +26,35 @@ FoodDataset FoodDataset::Generate(const std::vector<FoodSignature>& classes,
 
   const int num_platters =
       static_cast<int>(spec.num_images * spec.multi_dish_fraction + 0.5f);
-  for (int i = 0; i < spec.num_images; ++i) {
-    Item item;
-    if (i < num_platters) {
-      const int dishes = rng.NextBool(spec.three_dish_fraction) ? 3 : 2;
-      RenderedScene s = renderer.RenderRandomPlatter(dishes, rng);
-      item.image = std::move(s.image);
-      item.truths = std::move(s.truths);
-      item.is_platter = true;
-    } else {
-      // Round-robin classes for a balanced single-dish majority.
-      const int cls = (i - num_platters) % ds.num_classes_;
-      RenderedScene s = renderer.RenderSingleDish(cls, rng);
-      item.image = std::move(s.image);
-      item.truths = std::move(s.truths);
+
+  // Each image renders from its own Rng stream, forked sequentially from
+  // the master seed, so the images can render in parallel while the
+  // dataset stays a pure function of the seed at any parallelism level.
+  std::vector<Rng> image_rngs;
+  image_rngs.reserve(static_cast<size_t>(spec.num_images));
+  for (int i = 0; i < spec.num_images; ++i) image_rngs.push_back(rng.Fork());
+
+  ds.items_.resize(static_cast<size_t>(spec.num_images));
+  ParallelFor(0, spec.num_images, 1, [&](int64_t i0, int64_t i1, int) {
+    for (int64_t i = i0; i < i1; ++i) {
+      Rng& r = image_rngs[static_cast<size_t>(i)];
+      Item& item = ds.items_[static_cast<size_t>(i)];
+      if (i < num_platters) {
+        const int dishes = r.NextBool(spec.three_dish_fraction) ? 3 : 2;
+        RenderedScene s = renderer.RenderRandomPlatter(dishes, r);
+        item.image = std::move(s.image);
+        item.truths = std::move(s.truths);
+        item.is_platter = true;
+      } else {
+        // Round-robin classes for a balanced single-dish majority.
+        const int cls =
+            static_cast<int>(i - num_platters) % ds.num_classes_;
+        RenderedScene s = renderer.RenderSingleDish(cls, r);
+        item.image = std::move(s.image);
+        item.truths = std::move(s.truths);
+      }
     }
-    ds.items_.push_back(std::move(item));
-  }
+  });
 
   // Shuffled 80/20 split, deterministic in the seed.
   std::vector<int> order(static_cast<size_t>(spec.num_images));

@@ -6,6 +6,7 @@
 
 #include "base/logging.h"
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 
 namespace thali {
 
@@ -68,12 +69,15 @@ EvalResult Evaluate(const std::vector<ImageEval>& images, int num_classes,
 
   // Micro P/R/F1 at the confidence threshold (computed alongside AP using
   // the same greedy matching, restricted to detections above threshold).
-  int micro_tp = 0, micro_fp = 0, micro_fn = 0;
+  // Classes are scored independently and in parallel — each strand fills
+  // its own per_class slots and per-class counter entries; the reductions
+  // below run sequentially in class order, so results are deterministic
+  // at any parallelism level.
+  std::vector<int> tp_at_conf_per_class(static_cast<size_t>(num_classes), 0);
+  std::vector<int> fp_at_conf_per_class(static_cast<size_t>(num_classes), 0);
 
-  int classes_with_truths = 0;
-  double ap_sum = 0.0;
-
-  for (int cls = 0; cls < num_classes; ++cls) {
+  ParallelFor(0, num_classes, 1, [&](int64_t c0, int64_t c1, int) {
+  for (int cls = static_cast<int>(c0); cls < static_cast<int>(c1); ++cls) {
     ClassMetrics& cm = result.per_class[cls];
     cm.class_id = cls;
 
@@ -147,11 +151,21 @@ EvalResult Evaluate(const std::vector<ImageEval>& images, int num_classes,
     cm.false_positives = fp;
     cm.ap = total_truths > 0 ? AveragePrecision(cm.pr_curve, interp) : 0.0f;
 
-    micro_tp += tp_at_conf;
-    micro_fp += fp_at_conf;
-    micro_fn += total_truths - tp_at_conf;
+    tp_at_conf_per_class[static_cast<size_t>(cls)] = tp_at_conf;
+    fp_at_conf_per_class[static_cast<size_t>(cls)] = fp_at_conf;
+  }
+  });
 
-    if (total_truths > 0) {
+  // Sequential reductions in class order.
+  int micro_tp = 0, micro_fp = 0, micro_fn = 0;
+  int classes_with_truths = 0;
+  double ap_sum = 0.0;
+  for (int cls = 0; cls < num_classes; ++cls) {
+    const ClassMetrics& cm = result.per_class[cls];
+    micro_tp += tp_at_conf_per_class[static_cast<size_t>(cls)];
+    micro_fp += fp_at_conf_per_class[static_cast<size_t>(cls)];
+    micro_fn += cm.num_truths - tp_at_conf_per_class[static_cast<size_t>(cls)];
+    if (cm.num_truths > 0) {
       ++classes_with_truths;
       ap_sum += cm.ap;
     }

@@ -1,7 +1,9 @@
 #include "nn/conv_layer.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "base/thread_pool.h"
 #include "nn/network.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
@@ -11,6 +13,12 @@ namespace thali {
 namespace {
 constexpr float kBnEps = 1e-5f;
 constexpr float kBnMomentum = 0.99f;  // rolling = m*rolling + (1-m)*batch
+// Training caches the forward im2col panels (so Backward need not redo
+// them) only while batch * panel stays below this many floats (64 MB).
+constexpr int64_t kColCacheMaxFloats = int64_t{1} << 24;
+// Per-filter loops below this many batch*spatial elements are not worth
+// a chunk of their own.
+constexpr int64_t kBnGrainElems = int64_t{1} << 14;
 }  // namespace
 
 Status ConvLayer::Configure(const Shape& input_shape, const Network&) {
@@ -55,6 +63,7 @@ Status ConvLayer::Configure(const Shape& input_shape, const Network&) {
 }
 
 int64_t ConvLayer::WorkspaceSize() const {
+  if (IsDirect1x1()) return 0;  // input planes already form the col matrix
   return in_c_ * opts_.ksize * opts_.ksize * out_h_ * out_w_;
 }
 
@@ -73,82 +82,117 @@ void ConvLayer::InitWeights(Rng& rng) {
   }
 }
 
-void ConvLayer::ForwardOne(const float* in, float* out, float* ws) const {
-  const int64_t m = opts_.filters;
-  const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
-  const int64_t n = out_h_ * out_w_;
-  if (opts_.ksize == 1 && opts_.stride == 1 && opts_.pad == 0) {
-    // 1x1 conv needs no im2col: input planes are already the col matrix.
-    Gemm(false, false, m, n, k, 1.0f, weights_.data(), k, in, n, 0.0f, out, n);
-    return;
-  }
+bool ConvLayer::IsDirect1x1() const {
+  return opts_.ksize == 1 && opts_.stride == 1 && opts_.pad == 0;
+}
+
+const float* ConvLayer::PrepareCol(const float* in, float* ws) const {
+  if (IsDirect1x1()) return in;
   Im2Col(in, in_c_, in_shape_.dim(2), in_shape_.dim(3), opts_.ksize,
          opts_.stride, opts_.pad, ws);
-  Gemm(false, false, m, n, k, 1.0f, weights_.data(), k, ws, n, 0.0f, out, n);
+  return ws;
 }
 
 void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
   const int64_t batch = in_shape_.dim(0);
   const int64_t in_plane = in_c_ * in_shape_.dim(2) * in_shape_.dim(3);
   const int64_t out_plane = opts_.filters * out_h_ * out_w_;
+  const int64_t m = opts_.filters;
+  const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
+  const int64_t n = out_h_ * out_w_;
+  const bool direct = IsDirect1x1();
+  const int64_t col_plane = WorkspaceSize();
 
-  Tensor& raw = opts_.batch_normalize ? conv_out_ : output_;
-  for (int64_t b = 0; b < batch; ++b) {
-    ForwardOne(input.data() + b * in_plane, raw.data() + b * out_plane,
-               net.workspace());
+  // During training, keep the per-item im2col panels around so Backward's
+  // weight-gradient GEMM reuses them instead of recomputing (bounded by
+  // kColCacheMaxFloats; larger layers fall back to recompute).
+  cols_cached_ =
+      train && !direct && batch * col_plane <= kColCacheMaxFloats;
+  if (cols_cached_ && col_cache_.size() != batch * col_plane) {
+    col_cache_.Resize(Shape({batch, col_plane}));
   }
+
+  // Batch items are independent: each strand owns disjoint output planes
+  // and its own im2col scratch.
+  Tensor& raw = opts_.batch_normalize ? conv_out_ : output_;
+  ParallelForBounded(
+      0, batch, 1, net.workspace_slots(),
+      [&](int64_t b0, int64_t b1, int tid) {
+        float* ws = nullptr;
+        if (!direct && !cols_cached_) ws = net.workspace(tid, col_plane);
+        for (int64_t b = b0; b < b1; ++b) {
+          float* dst = cols_cached_ ? col_cache_.data() + b * col_plane : ws;
+          const float* col = PrepareCol(input.data() + b * in_plane, dst);
+          Gemm(false, false, m, n, k, 1.0f, weights_.data(), k, col, n, 0.0f,
+               raw.data() + b * out_plane, n);
+        }
+      });
 
   if (opts_.batch_normalize) {
     BatchNormForward(train);
   } else {
-    // Plain bias add.
+    // Plain bias add; (batch, filter) planes are independent.
     const int64_t spatial = out_h_ * out_w_;
-    for (int64_t b = 0; b < batch; ++b) {
-      for (int64_t f = 0; f < opts_.filters; ++f) {
-        float* p = output_.data() + (b * opts_.filters + f) * spatial;
-        const float bias = biases_[f];
-        for (int64_t i = 0; i < spatial; ++i) p[i] += bias;
-      }
-    }
+    ParallelFor(0, batch * opts_.filters,
+                std::max<int64_t>(1, kBnGrainElems / std::max<int64_t>(
+                                                         1, spatial)),
+                [&](int64_t p0, int64_t p1, int) {
+                  for (int64_t pl = p0; pl < p1; ++pl) {
+                    float* p = output_.data() + pl * spatial;
+                    const float bias = biases_[pl % opts_.filters];
+                    for (int64_t i = 0; i < spatial; ++i) p[i] += bias;
+                  }
+                });
   }
 
   // Cache pre-activation values for the backward pass, then activate.
-  std::copy(output_.data(), output_.data() + output_.size(),
-            pre_activation_.data());
-  ApplyActivation(opts_.activation, output_.data(), output_.size());
+  ParallelFor(0, output_.size(), kBnGrainElems,
+              [&](int64_t i0, int64_t i1, int) {
+                std::copy(output_.data() + i0, output_.data() + i1,
+                          pre_activation_.data() + i0);
+                ApplyActivation(opts_.activation, output_.data() + i0,
+                                i1 - i0);
+              });
 }
 
 void ConvLayer::BatchNormForward(bool train) {
   const int64_t batch = out_shape_.dim(0);
   const int64_t spatial = out_h_ * out_w_;
   const int64_t m = batch * spatial;
+  const int64_t filter_grain =
+      std::max<int64_t>(1, kBnGrainElems / std::max<int64_t>(1, m));
 
   const float* use_mean;
   const float* use_var;
   if (train) {
-    for (int64_t f = 0; f < opts_.filters; ++f) {
-      double s = 0.0;
-      for (int64_t b = 0; b < batch; ++b) {
-        const float* p = conv_out_.data() + (b * opts_.filters + f) * spatial;
-        for (int64_t i = 0; i < spatial; ++i) s += p[i];
-      }
-      mean_[f] = static_cast<float>(s / m);
-    }
-    for (int64_t f = 0; f < opts_.filters; ++f) {
-      double s = 0.0;
-      for (int64_t b = 0; b < batch; ++b) {
-        const float* p = conv_out_.data() + (b * opts_.filters + f) * spatial;
-        for (int64_t i = 0; i < spatial; ++i) {
-          const double d = p[i] - mean_[f];
-          s += d * d;
-        }
-      }
-      var_[f] = static_cast<float>(s / m);
-      rolling_mean_[f] =
-          kBnMomentum * rolling_mean_[f] + (1 - kBnMomentum) * mean_[f];
-      rolling_var_[f] =
-          kBnMomentum * rolling_var_[f] + (1 - kBnMomentum) * var_[f];
-    }
+    // Filters are independent, and each filter's reduction runs in the
+    // same (batch, spatial) order at any parallelism level.
+    ParallelFor(0, opts_.filters, filter_grain,
+                [&](int64_t f0, int64_t f1, int) {
+                  for (int64_t f = f0; f < f1; ++f) {
+                    double s = 0.0;
+                    for (int64_t b = 0; b < batch; ++b) {
+                      const float* p =
+                          conv_out_.data() + (b * opts_.filters + f) * spatial;
+                      for (int64_t i = 0; i < spatial; ++i) s += p[i];
+                    }
+                    mean_[f] = static_cast<float>(s / m);
+                    double v = 0.0;
+                    for (int64_t b = 0; b < batch; ++b) {
+                      const float* p =
+                          conv_out_.data() + (b * opts_.filters + f) * spatial;
+                      for (int64_t i = 0; i < spatial; ++i) {
+                        const double d = p[i] - mean_[f];
+                        v += d * d;
+                      }
+                    }
+                    var_[f] = static_cast<float>(v / m);
+                    rolling_mean_[f] = kBnMomentum * rolling_mean_[f] +
+                                       (1 - kBnMomentum) * mean_[f];
+                    rolling_var_[f] = kBnMomentum * rolling_var_[f] +
+                                      (1 - kBnMomentum) * var_[f];
+                  }
+                });
     use_mean = mean_.data();
     use_var = var_.data();
   } else {
@@ -156,62 +200,74 @@ void ConvLayer::BatchNormForward(bool train) {
     use_var = rolling_var_.data();
   }
 
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t f = 0; f < opts_.filters; ++f) {
-      const float inv_std = 1.0f / std::sqrt(use_var[f] + kBnEps);
-      const float mu = use_mean[f];
-      const float gamma = scales_[f];
-      const float beta = biases_[f];
-      const float* src = conv_out_.data() + (b * opts_.filters + f) * spatial;
-      float* xn = x_norm_.data() + (b * opts_.filters + f) * spatial;
-      float* dst = output_.data() + (b * opts_.filters + f) * spatial;
-      for (int64_t i = 0; i < spatial; ++i) {
-        const float norm = (src[i] - mu) * inv_std;
-        xn[i] = norm;
-        dst[i] = gamma * norm + beta;
-      }
-    }
-  }
+  // Normalize: (batch, filter) planes are independent.
+  ParallelFor(
+      0, batch * opts_.filters,
+      std::max<int64_t>(1, kBnGrainElems / std::max<int64_t>(1, spatial)),
+      [&](int64_t p0, int64_t p1, int) {
+        for (int64_t pl = p0; pl < p1; ++pl) {
+          const int64_t f = pl % opts_.filters;
+          const float inv_std = 1.0f / std::sqrt(use_var[f] + kBnEps);
+          const float mu = use_mean[f];
+          const float gamma = scales_[f];
+          const float beta = biases_[f];
+          const float* src = conv_out_.data() + pl * spatial;
+          float* xn = x_norm_.data() + pl * spatial;
+          float* dst = output_.data() + pl * spatial;
+          for (int64_t i = 0; i < spatial; ++i) {
+            const float norm = (src[i] - mu) * inv_std;
+            xn[i] = norm;
+            dst[i] = gamma * norm + beta;
+          }
+        }
+      });
 }
 
 void ConvLayer::BatchNormBackward() {
   // Input: delta_ holds dL/d(pre-activation). Transforms it in place into
-  // dL/d(conv_out) and accumulates scale/bias gradients.
+  // dL/d(conv_out) and accumulates scale/bias gradients. Filters are
+  // independent, so the per-filter loop parallelizes without changing
+  // any accumulation order.
   const int64_t batch = out_shape_.dim(0);
   const int64_t spatial = out_h_ * out_w_;
   const int64_t m = batch * spatial;
+  const int64_t filter_grain =
+      std::max<int64_t>(1, kBnGrainElems / std::max<int64_t>(1, m));
 
-  for (int64_t f = 0; f < opts_.filters; ++f) {
-    const float inv_std = 1.0f / std::sqrt(var_[f] + kBnEps);
-    const float gamma = scales_[f];
+  ParallelFor(0, opts_.filters, filter_grain, [&](int64_t f0, int64_t f1,
+                                                  int) {
+    for (int64_t f = f0; f < f1; ++f) {
+      const float inv_std = 1.0f / std::sqrt(var_[f] + kBnEps);
+      const float gamma = scales_[f];
 
-    double dbeta = 0.0, dgamma = 0.0, sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
-    for (int64_t b = 0; b < batch; ++b) {
-      const float* d = delta_.data() + (b * opts_.filters + f) * spatial;
-      const float* xn = x_norm_.data() + (b * opts_.filters + f) * spatial;
-      for (int64_t i = 0; i < spatial; ++i) {
-        dbeta += d[i];
-        dgamma += d[i] * xn[i];
-        const float dxhat = d[i] * gamma;
-        sum_dxhat += dxhat;
-        sum_dxhat_xhat += dxhat * xn[i];
+      double dbeta = 0.0, dgamma = 0.0, sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+      for (int64_t b = 0; b < batch; ++b) {
+        const float* d = delta_.data() + (b * opts_.filters + f) * spatial;
+        const float* xn = x_norm_.data() + (b * opts_.filters + f) * spatial;
+        for (int64_t i = 0; i < spatial; ++i) {
+          dbeta += d[i];
+          dgamma += d[i] * xn[i];
+          const float dxhat = d[i] * gamma;
+          sum_dxhat += dxhat;
+          sum_dxhat_xhat += dxhat * xn[i];
+        }
+      }
+      bias_grads_[f] += static_cast<float>(dbeta);
+      scale_grads_[f] += static_cast<float>(dgamma);
+
+      // dL/dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat))
+      const float mean_dxhat = static_cast<float>(sum_dxhat / m);
+      const float mean_dxhat_xhat = static_cast<float>(sum_dxhat_xhat / m);
+      for (int64_t b = 0; b < batch; ++b) {
+        float* d = delta_.data() + (b * opts_.filters + f) * spatial;
+        const float* xn = x_norm_.data() + (b * opts_.filters + f) * spatial;
+        for (int64_t i = 0; i < spatial; ++i) {
+          const float dxhat = d[i] * gamma;
+          d[i] = inv_std * (dxhat - mean_dxhat - xn[i] * mean_dxhat_xhat);
+        }
       }
     }
-    bias_grads_[f] += static_cast<float>(dbeta);
-    scale_grads_[f] += static_cast<float>(dgamma);
-
-    // dL/dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat))
-    const float mean_dxhat = static_cast<float>(sum_dxhat / m);
-    const float mean_dxhat_xhat = static_cast<float>(sum_dxhat_xhat / m);
-    for (int64_t b = 0; b < batch; ++b) {
-      float* d = delta_.data() + (b * opts_.filters + f) * spatial;
-      const float* xn = x_norm_.data() + (b * opts_.filters + f) * spatial;
-      for (int64_t i = 0; i < spatial; ++i) {
-        const float dxhat = d[i] * gamma;
-        d[i] = inv_std * (dxhat - mean_dxhat - xn[i] * mean_dxhat_xhat);
-      }
-    }
-  }
+  });
 }
 
 void ConvLayer::Backward(const Tensor& input, Tensor* input_delta,
@@ -221,57 +277,83 @@ void ConvLayer::Backward(const Tensor& input, Tensor* input_delta,
   const int64_t out_plane = opts_.filters * out_h_ * out_w_;
   const int64_t spatial = out_h_ * out_w_;
   const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
+  const bool direct = IsDirect1x1();
+  const int64_t col_plane = WorkspaceSize();
+  const int64_t wsize = weights_.size();
 
-  // 1. Chain through the activation.
-  GradientActivation(opts_.activation, pre_activation_.data(), delta_.data(),
-                     delta_.size());
+  // 1. Chain through the activation (elementwise).
+  ParallelFor(0, delta_.size(), kBnGrainElems,
+              [&](int64_t i0, int64_t i1, int) {
+                GradientActivation(opts_.activation,
+                                   pre_activation_.data() + i0,
+                                   delta_.data() + i0, i1 - i0);
+              });
 
   // 2. Batch norm (or bias) gradients.
   if (opts_.batch_normalize) {
     BatchNormBackward();
   } else {
+    // Per-filter sums; batch items are visited in ascending order inside
+    // each filter, exactly as the sequential loop nest did.
+    ParallelFor(0, opts_.filters, 1, [&](int64_t f0, int64_t f1, int) {
+      for (int64_t f = f0; f < f1; ++f) {
+        for (int64_t b = 0; b < batch; ++b) {
+          const float* d = delta_.data() + (b * opts_.filters + f) * spatial;
+          double s = 0.0;
+          for (int64_t i = 0; i < spatial; ++i) s += d[i];
+          bias_grads_[f] += static_cast<float>(s);
+        }
+      }
+    });
+  }
+
+  // 3. Weight gradients and input deltas, per batch item. Each item's
+  // gradient goes to its own scratch slot; the reduction below then adds
+  // the slots in ascending batch order, which is bitwise identical to
+  // the sequential per-item accumulation (a beta=0 GEMM computes exactly
+  // the alpha*sum terms a beta=1 GEMM would have added in place).
+  if (wg_scratch_.size() != batch * wsize) {
+    wg_scratch_.Resize(Shape({batch, wsize}));
+  }
+  ParallelForBounded(
+      0, batch, 1, net.workspace_slots(),
+      [&](int64_t b0, int64_t b1, int tid) {
+        float* ws = direct ? nullptr : net.workspace(tid, col_plane);
+        for (int64_t b = b0; b < b1; ++b) {
+          const float* in = input.data() + b * in_plane;
+          const float* d = delta_.data() + b * out_plane;
+          const float* col = cols_cached_
+                                 ? col_cache_.data() + b * col_plane
+                                 : PrepareCol(in, ws);
+          // dW_b[f, ckk] = d[f, hw] * col[ckk, hw]^T into this item's slot.
+          Gemm(false, true, opts_.filters, k, spatial, 1.0f, d, spatial, col,
+               spatial, 0.0f, wg_scratch_.data() + b * wsize, k);
+
+          if (input_delta != nullptr) {
+            // id[ckk, hw] += W^T[ckk, f] * d[f, hw]
+            float* id = input_delta->data() + b * in_plane;
+            if (direct) {
+              Gemm(true, false, k, spatial, opts_.filters, 1.0f,
+                   weights_.data(), k, d, spatial, 1.0f, id, spatial);
+            } else {
+              Gemm(true, false, k, spatial, opts_.filters, 1.0f,
+                   weights_.data(), k, d, spatial, 0.0f, ws, spatial);
+              Col2Im(ws, in_c_, in_shape_.dim(2), in_shape_.dim(3),
+                     opts_.ksize, opts_.stride, opts_.pad, id);
+            }
+          }
+        }
+      });
+
+  // Deterministic reduction: parallel over the weight index (disjoint
+  // writes), sequential in batch order per element.
+  ParallelFor(0, wsize, kBnGrainElems, [&](int64_t i0, int64_t i1, int) {
     for (int64_t b = 0; b < batch; ++b) {
-      for (int64_t f = 0; f < opts_.filters; ++f) {
-        const float* d = delta_.data() + (b * opts_.filters + f) * spatial;
-        double s = 0.0;
-        for (int64_t i = 0; i < spatial; ++i) s += d[i];
-        bias_grads_[f] += static_cast<float>(s);
-      }
+      const float* src = wg_scratch_.data() + b * wsize;
+      float* dst = weight_grads_.data();
+      for (int64_t i = i0; i < i1; ++i) dst[i] += src[i];
     }
-  }
-
-  // 3. Weight gradients and input deltas, per batch item.
-  const bool direct_1x1 =
-      opts_.ksize == 1 && opts_.stride == 1 && opts_.pad == 0;
-  for (int64_t b = 0; b < batch; ++b) {
-    const float* in = input.data() + b * in_plane;
-    const float* d = delta_.data() + b * out_plane;
-    float* ws = net.workspace();
-
-    const float* col = in;
-    if (!direct_1x1) {
-      Im2Col(in, in_c_, in_shape_.dim(2), in_shape_.dim(3), opts_.ksize,
-             opts_.stride, opts_.pad, ws);
-      col = ws;
-    }
-    // dW[f, ckk] += d[f, hw] * col[ckk, hw]^T
-    Gemm(false, true, opts_.filters, k, spatial, 1.0f, d, spatial, col,
-         spatial, 1.0f, weight_grads_.data(), k);
-
-    if (input_delta != nullptr) {
-      float* id = input_delta->data() + b * in_plane;
-      if (direct_1x1) {
-        // id[ckk, hw] += W^T[ckk, f] * d[f, hw]
-        Gemm(true, false, k, spatial, opts_.filters, 1.0f, weights_.data(), k,
-             d, spatial, 1.0f, id, spatial);
-      } else {
-        Gemm(true, false, k, spatial, opts_.filters, 1.0f, weights_.data(), k,
-             d, spatial, 0.0f, ws, spatial);
-        Col2Im(ws, in_c_, in_shape_.dim(2), in_shape_.dim(3), opts_.ksize,
-               opts_.stride, opts_.pad, id);
-      }
-    }
-  }
+  });
 }
 
 std::vector<Param> ConvLayer::Params() {
@@ -301,6 +383,8 @@ void ConvLayer::FoldBatchNorm() {
   rolling_var_ = Tensor();
   conv_out_ = Tensor();
   x_norm_ = Tensor();
+  col_cache_ = Tensor();
+  wg_scratch_ = Tensor();
 }
 
 }  // namespace thali

@@ -57,8 +57,13 @@ class ConvLayer : public Layer {
   void FoldBatchNorm();
 
  private:
-  // Per-image convolution: out[f, oh*ow] = W[f, ckk] * col[ckk, oh*ow].
-  void ForwardOne(const float* in, float* out, float* ws) const;
+  // 1x1/stride-1/pad-0 convs need no im2col: the input planes already
+  // form the col matrix.
+  bool IsDirect1x1() const;
+
+  // Returns the col matrix for one image: the input itself (1x1 fast
+  // path) or `ws` after an im2col into it.
+  const float* PrepareCol(const float* in, float* ws) const;
 
   void BatchNormForward(bool train);
   void BatchNormBackward();
@@ -77,6 +82,9 @@ class ConvLayer : public Layer {
   Tensor conv_out_;          // pre-BN conv output cache
   Tensor x_norm_;            // normalized activations cache
   Tensor pre_activation_;    // post-BN/bias, pre-activation cache
+  Tensor col_cache_;         // per-item im2col panels cached by Forward
+  bool cols_cached_ = false; // whether col_cache_ matches the last Forward
+  Tensor wg_scratch_;        // per-item weight-gradient slots (Backward)
 };
 
 }  // namespace thali

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "base/thread_pool.h"
 
 namespace thali {
 
@@ -30,9 +31,20 @@ Status Network::Finalize() {
     prev = layer->output_shape();
     max_ws = std::max(max_ws, layer->WorkspaceSize());
   }
-  workspace_.Resize(Shape({max_ws}));
+  workspace_floats_ = max_ws;
+  workspaces_.resize(static_cast<size_t>(MaxParallelism()));
+  for (Tensor& ws : workspaces_) ws.Resize(Shape({max_ws}));
   finalized_ = true;
   return Status::OK();
+}
+
+float* Network::workspace(int tid, int64_t required) {
+  THALI_CHECK_GE(tid, 0);
+  THALI_CHECK_LT(tid, workspace_slots());
+  THALI_CHECK_LE(required, workspace_floats_)
+      << "layer requests " << required << " workspace floats but Finalize() "
+      << "sized " << workspace_floats_;
+  return workspaces_[static_cast<size_t>(tid)].data();
 }
 
 const Tensor& Network::Forward(const Tensor& input, bool train) {

@@ -68,9 +68,19 @@ class Network {
     return Shape({batch_, channels_, height_, width_});
   }
 
-  // Shared scratch buffer (im2col panels); sized by Finalize.
-  float* workspace() { return workspace_.data(); }
-  int64_t workspace_size() const { return workspace_.size(); }
+  // Per-thread scratch buffer (im2col panels). Finalize sizes one slot
+  // per strand of parallelism (MaxParallelism() at finalize time), each
+  // holding the largest WorkspaceSize() any layer declared. `tid` is the
+  // strand index a ParallelFor chunk runs as; `required` is the float
+  // count the layer is about to use and is checked against the sized
+  // capacity — an undersized workspace would otherwise be a silent
+  // buffer overrun.
+  float* workspace(int tid, int64_t required);
+  // Scratch floats available per slot.
+  int64_t workspace_size() const { return workspace_floats_; }
+  // Number of per-thread slots; callers running layer code in parallel
+  // must bound their strand count by this (ParallelForBounded).
+  int workspace_slots() const { return static_cast<int>(workspaces_.size()); }
 
   // All learnable parameters of unfrozen layers, in layer order.
   std::vector<Param> TrainableParams();
@@ -92,7 +102,10 @@ class Network {
   int batch_;
   bool finalized_ = false;
   std::vector<std::unique_ptr<Layer>> layers_;
-  Tensor workspace_;
+  // One im2col scratch tensor per parallel strand (distinct allocations,
+  // so concurrent strands never share cache lines).
+  std::vector<Tensor> workspaces_;
+  int64_t workspace_floats_ = 0;
 };
 
 }  // namespace thali

@@ -4,23 +4,32 @@
 #include <vector>
 
 #include "base/logging.h"
+#include "base/thread_pool.h"
 
 namespace thali {
 
 namespace {
 
-// Register-blocked kernel for C += A*B on row-major packed panels.
-// The j-loop body is written so GCC auto-vectorizes over columns.
-void GemmNnAccum(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-                 int64_t lda, const float* b, int64_t ldb, float* c,
-                 int64_t ldc) {
+// Row blocks of C below this many multiply-adds run as one chunk; the
+// ParallelFor grain is derived from it so tiny GEMMs stay inline.
+constexpr int64_t kGrainFlops = 1 << 15;
+
+// Register-blocked kernel for C += A*B on row-major packed panels,
+// restricted to output rows [m0, m1). The j-loop body is written so GCC
+// auto-vectorizes over columns. Every kernel below touches only rows
+// [m0, m1) of C and keeps the per-row accumulation order independent of
+// the row partition, so a row-split parallel run is bitwise identical to
+// the sequential one.
+void GemmNnAccum(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
+                 const float* a, int64_t lda, const float* b, int64_t ldb,
+                 float* c, int64_t ldc) {
   constexpr int64_t kBlockK = 128;
   constexpr int64_t kBlockM = 64;
   for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
     const int64_t k1 = std::min(k, k0 + kBlockK);
-    for (int64_t m0 = 0; m0 < m; m0 += kBlockM) {
-      const int64_t m1 = std::min(m, m0 + kBlockM);
-      for (int64_t i = m0; i < m1; ++i) {
+    for (int64_t mb = m0; mb < m1; mb += kBlockM) {
+      const int64_t mb1 = std::min(m1, mb + kBlockM);
+      for (int64_t i = mb; i < mb1; ++i) {
         float* ci = c + i * ldc;
         for (int64_t p = k0; p < k1; ++p) {
           const float aip = alpha * a[i * lda + p];
@@ -34,14 +43,15 @@ void GemmNnAccum(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
   }
 }
 
-void GemmTnAccum(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-                 int64_t lda, const float* b, int64_t ldb, float* c,
-                 int64_t ldc) {
-  // A is stored KxM; A^T(i,p) = a[p*lda + i].
+void GemmTnAccum(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
+                 const float* a, int64_t lda, const float* b, int64_t ldb,
+                 float* c, int64_t ldc) {
+  // A is stored KxM; A^T(i,p) = a[p*lda + i]. Per row i the updates still
+  // arrive in ascending p order, so row-splitting preserves bit-identity.
   for (int64_t p = 0; p < k; ++p) {
     const float* ap = a + p * lda;
     const float* bp = b + p * ldb;
-    for (int64_t i = 0; i < m; ++i) {
+    for (int64_t i = m0; i < m1; ++i) {
       const float aip = alpha * ap[i];
       float* ci = c + i * ldc;
       for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
@@ -49,11 +59,11 @@ void GemmTnAccum(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
   }
 }
 
-void GemmNtAccum(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-                 int64_t lda, const float* b, int64_t ldb, float* c,
-                 int64_t ldc) {
+void GemmNtAccum(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
+                 const float* a, int64_t lda, const float* b, int64_t ldb,
+                 float* c, int64_t ldc) {
   // B is stored NxK; B^T(p,j) = b[j*ldb + p]. Dot-product form.
-  for (int64_t i = 0; i < m; ++i) {
+  for (int64_t i = m0; i < m1; ++i) {
     const float* ai = a + i * lda;
     float* ci = c + i * ldc;
     for (int64_t j = 0; j < n; ++j) {
@@ -65,10 +75,10 @@ void GemmNtAccum(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
   }
 }
 
-void GemmTtAccum(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-                 int64_t lda, const float* b, int64_t ldb, float* c,
-                 int64_t ldc) {
-  for (int64_t i = 0; i < m; ++i) {
+void GemmTtAccum(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
+                 const float* a, int64_t lda, const float* b, int64_t ldb,
+                 float* c, int64_t ldc) {
+  for (int64_t i = m0; i < m1; ++i) {
     float* ci = c + i * ldc;
     for (int64_t j = 0; j < n; ++j) {
       float sum = 0.0f;
@@ -88,27 +98,34 @@ void Gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
   THALI_CHECK_GE(k, 0);
   if (m == 0 || n == 0) return;
 
-  if (beta != 1.0f) {
-    for (int64_t i = 0; i < m; ++i) {
-      float* ci = c + i * ldc;
-      if (beta == 0.0f) {
-        std::fill(ci, ci + n, 0.0f);
-      } else {
-        for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
+  // Threads own disjoint row blocks of C: beta-scaling and accumulation
+  // both happen inside the block, so no reduction across threads exists
+  // and the result is deterministic at any parallelism level.
+  const int64_t row_flops = std::max<int64_t>(1, n * std::max<int64_t>(1, k));
+  const int64_t grain = std::max<int64_t>(1, kGrainFlops / row_flops);
+  ParallelFor(0, m, grain, [&](int64_t m0, int64_t m1, int) {
+    if (beta != 1.0f) {
+      for (int64_t i = m0; i < m1; ++i) {
+        float* ci = c + i * ldc;
+        if (beta == 0.0f) {
+          std::fill(ci, ci + n, 0.0f);
+        } else {
+          for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
+        }
       }
     }
-  }
-  if (k == 0 || alpha == 0.0f) return;
+    if (k == 0 || alpha == 0.0f) return;
 
-  if (!ta && !tb) {
-    GemmNnAccum(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else if (ta && !tb) {
-    GemmTnAccum(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else if (!ta && tb) {
-    GemmNtAccum(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else {
-    GemmTtAccum(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  }
+    if (!ta && !tb) {
+      GemmNnAccum(m0, m1, n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else if (ta && !tb) {
+      GemmTnAccum(m0, m1, n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else if (!ta && tb) {
+      GemmNtAccum(m0, m1, n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else {
+      GemmTtAccum(m0, m1, n, k, alpha, a, lda, b, ldb, c, ldc);
+    }
+  });
 }
 
 void MatMulAccumulate(int64_t m, int64_t n, int64_t k, const float* a,
