@@ -1,13 +1,25 @@
 // End-to-end inference benchmark: the paper's framing of YOLO as "a fast
 // one-stage object detector". Measures full Detector::Detect latency
 // (forward + decode + NMS) on the yolov4-thali network, with and without
-// batch-norm folding, plus the letterboxed path for off-size inputs.
+// batch-norm folding, plus the letterboxed path for off-size inputs and
+// DetectBatch throughput at batch 1/4/8.
+//
+// Before the google-benchmark suite runs, main() sweeps batch 1/4/8 with
+// the activation arena planned vs disabled (THALI_NO_ARENA) and writes
+// peak activation bytes + images/sec to BENCH_memory.json.
 //
 // Uses randomly initialized weights: inference cost is independent of the
 // weight values, so this bench never needs the trained-model cache.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/file_util.h"
+#include "base/stopwatch.h"
+#include "base/string_util.h"
 #include "bench_common.h"
 #include "core/detector.h"
 #include "data/food_classes.h"
@@ -66,7 +78,85 @@ void BM_DetectorLetterboxedInput(benchmark::State& state) {
 }
 BENCHMARK(BM_DetectorLetterboxedInput)->Unit(benchmark::kMillisecond);
 
+void BM_DetectBatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  auto det_or = Detector::FromCfg(bench::StandardCfg());
+  THALI_CHECK(det_or.ok());
+  Detector det = std::move(det_or).value();
+  std::vector<Image> images(static_cast<size_t>(batch), BenchImage(96));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.DetectBatch(images, 0.25f, 0.45f));
+  }
+  state.counters["img/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * batch,
+      benchmark::Counter::kIsRate);
+  state.counters["act_bytes"] = benchmark::Counter(
+      static_cast<double>(det.network().ActivationBytes()));
+}
+BENCHMARK(BM_DetectBatch)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// One row of the BENCH_memory.json sweep: `planned` toggles the arena
+// via THALI_NO_ARENA before the detector is built.
+std::string MemorySweepRow(int batch, bool planned, bool last) {
+  if (!planned) setenv("THALI_NO_ARENA", "1", 1);
+  auto det_or = Detector::FromCfg(bench::StandardCfg());
+  if (!planned) unsetenv("THALI_NO_ARENA");
+  THALI_CHECK(det_or.ok());
+  Detector det = std::move(det_or).value();
+
+  std::vector<Image> images(static_cast<size_t>(batch), BenchImage(96));
+  det.DetectBatch(images, 0.25f, 0.45f);  // warm up + size buffers
+  const ArenaPlan& plan = det.network().arena_plan();
+  const int64_t bytes = det.network().ActivationBytes();
+
+  int iters = 0;
+  Stopwatch sw;
+  while (sw.ElapsedSeconds() < 0.2 || iters < 3) {
+    det.DetectBatch(images, 0.25f, 0.45f);
+    ++iters;
+  }
+  const double images_per_sec = iters * batch / sw.ElapsedSeconds();
+
+  return StrFormat(
+      "    {\"batch\": %d, \"planned\": %s, \"activation_bytes\": %lld, "
+      "\"arena_floats\": %lld, \"sum_output_floats\": %lld, "
+      "\"images_per_sec\": %.2f}%s\n",
+      batch, planned ? "true" : "false", static_cast<long long>(bytes),
+      static_cast<long long>(plan.arena_floats),
+      static_cast<long long>(plan.sum_output_floats), images_per_sec,
+      last ? "" : ",");
+}
+
+void WriteMemoryBench() {
+  std::string json;
+  json += "{\n";
+  json +=
+      "  \"note\": \"yolov4-thali inference activation footprint: arena "
+      "planner (planned=true) vs one-buffer-per-layer seed allocator "
+      "(planned=false, THALI_NO_ARENA). activation_bytes is "
+      "Network::ActivationBytes() after DetectBatch at the given batch; "
+      "images_per_sec is end-to-end DetectBatch throughput on this "
+      "host.\",\n";
+  json += "  \"model\": \"yolov4-thali 96x96\",\n";
+  json += "  \"rows\": [\n";
+  const int batches[] = {1, 4, 8};
+  for (int i = 0; i < 3; ++i) {
+    json += MemorySweepRow(batches[i], /*planned=*/true, /*last=*/false);
+    json += MemorySweepRow(batches[i], /*planned=*/false, /*last=*/i == 2);
+  }
+  json += "  ]\n}\n";
+  THALI_CHECK_OK(WriteStringToFile("BENCH_memory.json", json));
+  THALI_LOG(Info) << "wrote BENCH_memory.json";
+}
+
 }  // namespace
 }  // namespace thali
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  thali::WriteMemoryBench();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,6 +30,8 @@ class SsdHeadLayer : public Layer, public DetectionHead {
   explicit SsdHeadLayer(const Options& options) : opts_(options) {}
 
   const char* kind() const override { return "ssd_head"; }
+  // Detections are decoded from the head output after the forward pass.
+  bool OutputLiveAfterForward() const override { return true; }
   Status Configure(const Shape& input_shape, const Network& net) override;
   void Forward(const Tensor& input, Network& net, bool train) override;
   void Backward(const Tensor& input, Tensor* input_delta,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/thread_pool.h"
 #include "darknet/weights_io.h"
 #include "nn/conv_layer.h"
 
@@ -12,7 +13,7 @@ StatusOr<Detector> Detector::FromCfg(const std::string& cfg_text,
   Rng rng(seed);
   THALI_ASSIGN_OR_RETURN(BuiltNetwork built,
                          BuildNetworkFromCfg(cfg_text, /*batch_override=*/1,
-                                             rng));
+                                             rng, ExecMode::kInference));
   std::vector<DetectionHead*> heads(built.yolo_layers.begin(),
                                     built.yolo_layers.end());
   return Detector(std::move(built.net), std::move(heads));
@@ -33,7 +34,6 @@ Detector::Detector(std::unique_ptr<Network> net,
     : net_(std::move(net)), heads_(std::move(heads)), opts_(options) {
   THALI_CHECK(net_ != nullptr);
   THALI_CHECK(!heads_.empty()) << "network has no detection heads";
-  THALI_CHECK_EQ(net_->batch(), 1) << "Detector requires a batch-1 network";
 }
 
 std::vector<Detection> CollectDetections(
@@ -55,43 +55,83 @@ std::vector<Detection> Detector::Detect(const Image& image) const {
 std::vector<Detection> Detector::Detect(const Image& image,
                                         float conf_threshold,
                                         float nms_threshold) const {
+  std::vector<std::vector<Detection>> per_image =
+      DetectBatch(std::span<const Image>(&image, 1), conf_threshold,
+                  nms_threshold);
+  return std::move(per_image.front());
+}
+
+std::vector<std::vector<Detection>> Detector::DetectBatch(
+    std::span<const Image> images) const {
+  return DetectBatch(images, opts_.conf_threshold, opts_.nms_threshold);
+}
+
+std::vector<std::vector<Detection>> Detector::DetectBatch(
+    std::span<const Image> images, float conf_threshold,
+    float nms_threshold) const {
+  const int n = static_cast<int>(images.size());
+  if (n == 0) return {};
   const int nw = net_->input_width();
   const int nh = net_->input_height();
 
-  // Letterbox when the image geometry differs from the network.
-  const bool direct = image.width() == nw && image.height() == nh;
-  float scale = 1.0f;
-  int pad_x = 0, pad_y = 0;
-  const Image* net_input = &image;
-  Letterbox lb;
-  if (!direct) {
-    lb = LetterboxImage(image, nw, nh);
-    scale = lb.scale;
-    pad_x = lb.pad_x;
-    pad_y = lb.pad_y;
-    net_input = &lb.image;
-  }
+  // Re-plan buffers when the request size differs from the current batch
+  // (net_ is logically mutable detection state behind the const API).
+  if (net_->batch() != n) THALI_CHECK_OK(net_->SetBatch(n));
 
-  Tensor input(Shape({1, 3, nh, nw}));
-  std::copy(net_input->data(), net_input->data() + net_input->size(),
-            input.data());
+  // Letterbox + load each image into its batch slot. Slots are disjoint
+  // and letterboxing is a pure per-item function, so items parallelize
+  // without changing any result.
+  struct Mapping {
+    bool direct = true;
+    float scale = 1.0f;
+    int pad_x = 0;
+    int pad_y = 0;
+  };
+  std::vector<Mapping> mappings(static_cast<size_t>(n));
+  Tensor input(net_->input_shape());
+  const int64_t plane = static_cast<int64_t>(3) * nh * nw;
+  ParallelFor(0, n, 1, [&](int64_t b0, int64_t b1, int) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const Image& image = images[static_cast<size_t>(b)];
+      Mapping& m = mappings[static_cast<size_t>(b)];
+      m.direct = image.width() == nw && image.height() == nh;
+      const Image* net_input = &image;
+      Letterbox lb;
+      if (!m.direct) {
+        lb = LetterboxImage(image, nw, nh);
+        m.scale = lb.scale;
+        m.pad_x = lb.pad_x;
+        m.pad_y = lb.pad_y;
+        net_input = &lb.image;
+      }
+      THALI_CHECK_EQ(net_input->size(), plane);
+      std::copy(net_input->data(), net_input->data() + plane,
+                input.data() + b * plane);
+    }
+  });
+
   net_->Forward(input, /*train=*/false);
 
-  std::vector<Detection> dets = CollectDetections(
-      heads_, 0, conf_threshold, nms_threshold, nw, nh);
-
-  if (!direct) {
-    // Map boxes from network frame back into image-normalized frame.
-    for (Detection& d : dets) {
-      const float px = d.box.x * nw - pad_x;
-      const float py = d.box.y * nh - pad_y;
-      d.box.x = px / scale / image.width();
-      d.box.y = py / scale / image.height();
-      d.box.w = d.box.w * nw / scale / image.width();
-      d.box.h = d.box.h * nh / scale / image.height();
+  std::vector<std::vector<Detection>> results(static_cast<size_t>(n));
+  for (int b = 0; b < n; ++b) {
+    std::vector<Detection> dets =
+        CollectDetections(heads_, b, conf_threshold, nms_threshold, nw, nh);
+    const Mapping& m = mappings[static_cast<size_t>(b)];
+    if (!m.direct) {
+      // Map boxes from network frame back into image-normalized frame.
+      const Image& image = images[static_cast<size_t>(b)];
+      for (Detection& d : dets) {
+        const float px = d.box.x * nw - m.pad_x;
+        const float py = d.box.y * nh - m.pad_y;
+        d.box.x = px / m.scale / image.width();
+        d.box.y = py / m.scale / image.height();
+        d.box.w = d.box.w * nw / m.scale / image.width();
+        d.box.h = d.box.h * nh / m.scale / image.height();
+      }
     }
+    results[static_cast<size_t>(b)] = std::move(dets);
   }
-  return dets;
+  return results;
 }
 
 void Detector::FuseBatchNorm() {

@@ -2,6 +2,7 @@
 #define THALI_CORE_DETECTOR_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,8 +16,13 @@
 namespace thali {
 
 // The public inference API: owns a network plus its detection heads and
-// turns an Image into a list of Detections (boxes normalized to [0,1] of
+// turns Images into lists of Detections (boxes normalized to [0,1] of
 // the *input image*, so callers never see network coordinates).
+//
+// Networks built through FromCfg/FromFiles run in ExecMode::kInference:
+// no delta tensors, activations arena-planned (see nn/exec_plan.h).
+// Batch size adapts dynamically — Detect runs at batch 1, DetectBatch
+// re-plans buffers to the request size via Network::SetBatch.
 class Detector {
  public:
   struct Options {
@@ -35,7 +41,8 @@ class Detector {
                                       uint64_t seed = 7);
 
   // Takes ownership of an existing network (e.g. a freshly trained one).
-  // `heads` must point into `net`.
+  // `heads` must point into `net`. The network may be in either exec
+  // mode and at any batch size; detection adjusts the batch as needed.
   Detector(std::unique_ptr<Network> net, std::vector<DetectionHead*> heads,
            Options options);
   Detector(std::unique_ptr<Network> net, std::vector<DetectionHead*> heads)
@@ -53,12 +60,24 @@ class Detector {
   std::vector<Detection> Detect(const Image& image, float conf_threshold,
                                 float nms_threshold) const;
 
+  // Runs detection on N images in one forward pass. Per-image results
+  // are bitwise identical to N separate Detect calls (batch items never
+  // interact in inference: rolling batch-norm statistics, per-item
+  // convolutions). The network's batch dimension is re-planned to
+  // images.size() on demand and stays there until the next call.
+  std::vector<std::vector<Detection>> DetectBatch(
+      std::span<const Image> images) const;
+  std::vector<std::vector<Detection>> DetectBatch(
+      std::span<const Image> images, float conf_threshold,
+      float nms_threshold) const;
+
   Network& network() { return *net_; }
   const Options& options() const { return opts_; }
   void set_options(const Options& o) { opts_ = o; }
 
   // Folds batch norms for faster inference (irreversible; do not train
-  // afterwards).
+  // afterwards). Composes with the inference-mode arena plan: folding
+  // touches only weights/biases, never activation buffers.
   void FuseBatchNorm();
 
  private:

@@ -123,6 +123,23 @@ StatusOr<Pipeline::Report> Pipeline::Run() {
 
   report.weights_path = JoinPath(opts_.work_dir, "thali_final.weights");
   THALI_RETURN_IF_ERROR(trainer.SaveWeightsTo(report.weights_path));
+
+  // Stage 7: package for inference. Rebuild the network in inference
+  // mode (no deltas, arena-planned activations) from the saved weights
+  // and report the activation-memory savings of the plan.
+  THALI_ASSIGN_OR_RETURN(
+      Detector detector,
+      Detector::FromFiles(report.cfg_text, report.weights_path,
+                          opts_.seed + 17));
+  const ArenaPlan& plan = detector.network().arena_plan();
+  log_stage("inference packaging",
+            StrFormat("arena %s: %.2f MiB activations (plan peak %lld vs "
+                      "%lld floats summed)",
+                      plan.enabled ? "on" : "off",
+                      static_cast<double>(detector.network().ActivationBytes())
+                          / (1024.0 * 1024.0),
+                      static_cast<long long>(plan.arena_floats),
+                      static_cast<long long>(plan.sum_output_floats)));
   return report;
 }
 

@@ -41,7 +41,13 @@ std::vector<ImageEval> CollectImageEvals(
        start += static_cast<size_t>(batch)) {
     const int n = std::min<int>(batch,
                                 static_cast<int>(indices.size() - start));
-    input.Zero();
+    if (n != net.batch()) {
+      // Dynamic batch: shrink to the tail remainder instead of padding
+      // dead slots (every loaded slot is decoded, so results match the
+      // padded path exactly).
+      THALI_CHECK_OK(net.SetBatch(n));
+      input = Tensor(net.input_shape());
+    }
     for (int b = 0; b < n; ++b) {
       LoadInputSlot(dataset.item(indices[start + static_cast<size_t>(b)]).image,
                     b, input);
@@ -59,6 +65,8 @@ std::vector<ImageEval> CollectImageEvals(
       evals.push_back(std::move(ev));
     }
   }
+  // Leave the network at its configured batch for subsequent training.
+  if (net.batch() != batch) THALI_CHECK_OK(net.SetBatch(batch));
   return evals;
 }
 

@@ -201,7 +201,8 @@ StatusOr<std::unique_ptr<Layer>> MakeLayer(const CfgSection& s) {
 }  // namespace
 
 StatusOr<BuiltNetwork> BuildNetworkFromCfg(const std::string& text,
-                                           int batch_override, Rng& rng) {
+                                           int batch_override, Rng& rng,
+                                           ExecMode mode) {
   THALI_ASSIGN_OR_RETURN(std::vector<CfgSection> sections, ParseCfg(text));
   THALI_ASSIGN_OR_RETURN(NetOptions opts, ParseNetOptions(sections[0]));
   const int batch = batch_override > 0 ? batch_override : opts.batch;
@@ -215,7 +216,7 @@ StatusOr<BuiltNetwork> BuildNetworkFromCfg(const std::string& text,
                            MakeLayer(sections[i]));
     built.net->Add(std::move(layer));
   }
-  THALI_RETURN_IF_ERROR(built.net->Finalize());
+  THALI_RETURN_IF_ERROR(built.net->Finalize(mode));
 
   // Initialize weights and collect heads.
   for (int i = 0; i < built.net->num_layers(); ++i) {

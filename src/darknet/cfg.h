@@ -66,9 +66,13 @@ struct BuiltNetwork {
 
 // Instantiates a network from cfg text. `batch_override` (>0) replaces the
 // cfg batch (training uses the cfg value; inference typically wants 1).
-// Weights are randomly initialized from `rng`.
+// Weights are randomly initialized from `rng`. `mode` selects the buffer
+// plan: kTraining allocates per-layer deltas and backward caches;
+// kInference skips both and arena-plans the activations (see
+// nn/exec_plan.h).
 StatusOr<BuiltNetwork> BuildNetworkFromCfg(const std::string& text,
-                                           int batch_override, Rng& rng);
+                                           int batch_override, Rng& rng,
+                                           ExecMode mode = ExecMode::kTraining);
 
 // Collects the YoloLayer heads of an already-built network.
 std::vector<YoloLayer*> FindYoloLayers(Network& net);

@@ -30,8 +30,7 @@ std::string NetworkSummary(const Network& net) {
 
   int64_t total_params = 0;
   for (int i = 0; i < net.num_layers(); ++i) {
-    // Params() is non-const by interface; summary only reads sizes.
-    Layer& layer = const_cast<Network&>(net).layer(i);
+    const Layer& layer = net.layer(i);
     const std::string_view kind = layer.kind();
 
     std::string filters = "-";
@@ -61,7 +60,7 @@ std::string NetworkSummary(const Network& net) {
     }
 
     int64_t params = 0;
-    for (const Param& p : layer.Params()) params += p.value->size();
+    for (const ConstParam& p : layer.Params()) params += p.value->size();
     total_params += params;
 
     os << StrFormat("%4d  %-14s %8s  %-8s %10s -> %-10s %10lld\n", i,

@@ -43,22 +43,48 @@ Status ConvLayer::Configure(const Shape& input_shape, const Network&) {
             Shape({input_shape.dim(0), opts_.filters, out_h_, out_w_}));
 
   weights_.Resize(Shape({opts_.filters, in_c_, opts_.ksize, opts_.ksize}));
-  weight_grads_.Resize(weights_.shape());
   biases_.Resize(Shape({opts_.filters}));
-  bias_grads_.Resize(biases_.shape());
   if (opts_.batch_normalize) {
     scales_.Resize(Shape({opts_.filters}));
     scales_.Fill(1.0f);
-    scale_grads_.Resize(scales_.shape());
     rolling_mean_.Resize(Shape({opts_.filters}));
     rolling_var_.Resize(Shape({opts_.filters}));
     rolling_var_.Fill(1.0f);
-    mean_.Resize(Shape({opts_.filters}));
-    var_.Resize(Shape({opts_.filters}));
+  }
+  if (!inference()) {
+    weight_grads_.Resize(weights_.shape());
+    bias_grads_.Resize(biases_.shape());
+    if (opts_.batch_normalize) {
+      scale_grads_.Resize(scales_.shape());
+      mean_.Resize(Shape({opts_.filters}));
+      var_.Resize(Shape({opts_.filters}));
+    }
+  }
+  SizeActivationCaches();
+  return Status::OK();
+}
+
+void ConvLayer::SizeActivationCaches() {
+  if (inference()) return;  // no backward pass, no caches
+  if (opts_.batch_normalize) {
     conv_out_.Resize(out_shape_);
     x_norm_.Resize(out_shape_);
   }
   pre_activation_.Resize(out_shape_);
+}
+
+Status ConvLayer::Rebatch(const Shape& input_shape, const Network&) {
+  if (input_shape.rank() != 4 || input_shape.dim(1) != in_c_ ||
+      input_shape.dim(2) != in_shape_.dim(2) ||
+      input_shape.dim(3) != in_shape_.dim(3)) {
+    return Status::InvalidArgument(
+        "conv Rebatch may only change the batch dimension: " +
+        in_shape_.ToString() + " -> " + input_shape.ToString());
+  }
+  SetShapes(input_shape,
+            Shape({input_shape.dim(0), opts_.filters, out_h_, out_w_}));
+  SizeActivationCaches();
+  cols_cached_ = false;
   return Status::OK();
 }
 
@@ -113,8 +139,11 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
   }
 
   // Batch items are independent: each strand owns disjoint output planes
-  // and its own im2col scratch.
-  Tensor& raw = opts_.batch_normalize ? conv_out_ : output_;
+  // and its own im2col scratch. Inference layers keep no pre-BN cache:
+  // the GEMM lands in output_ and BN normalizes it in place (elementwise,
+  // so bitwise identical to the staged path).
+  Tensor& raw =
+      opts_.batch_normalize && !inference() ? conv_out_ : output_;
   ParallelForBounded(
       0, batch, 1, net.workspace_slots(),
       [&](int64_t b0, int64_t b1, int tid) {
@@ -145,14 +174,23 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
                 });
   }
 
-  // Cache pre-activation values for the backward pass, then activate.
-  ParallelFor(0, output_.size(), kBnGrainElems,
-              [&](int64_t i0, int64_t i1, int) {
-                std::copy(output_.data() + i0, output_.data() + i1,
-                          pre_activation_.data() + i0);
-                ApplyActivation(opts_.activation, output_.data() + i0,
-                                i1 - i0);
-              });
+  // Cache pre-activation values for the backward pass (training networks
+  // only), then activate.
+  if (inference()) {
+    ParallelFor(0, output_.size(), kBnGrainElems,
+                [&](int64_t i0, int64_t i1, int) {
+                  ApplyActivation(opts_.activation, output_.data() + i0,
+                                  i1 - i0);
+                });
+  } else {
+    ParallelFor(0, output_.size(), kBnGrainElems,
+                [&](int64_t i0, int64_t i1, int) {
+                  std::copy(output_.data() + i0, output_.data() + i1,
+                            pre_activation_.data() + i0);
+                  ApplyActivation(opts_.activation, output_.data() + i0,
+                                  i1 - i0);
+                });
+  }
 }
 
 void ConvLayer::BatchNormForward(bool train) {
@@ -200,7 +238,12 @@ void ConvLayer::BatchNormForward(bool train) {
     use_var = rolling_var_.data();
   }
 
-  // Normalize: (batch, filter) planes are independent.
+  // Normalize: (batch, filter) planes are independent. Inference layers
+  // read the raw conv output from output_ itself (written there by
+  // Forward) and keep no x_norm_ cache; the per-element arithmetic is
+  // unchanged, so both paths produce bitwise identical activations.
+  const float* src_base = inference() ? output_.data() : conv_out_.data();
+  float* xn_base = inference() ? nullptr : x_norm_.data();
   ParallelFor(
       0, batch * opts_.filters,
       std::max<int64_t>(1, kBnGrainElems / std::max<int64_t>(1, spatial)),
@@ -211,13 +254,20 @@ void ConvLayer::BatchNormForward(bool train) {
           const float mu = use_mean[f];
           const float gamma = scales_[f];
           const float beta = biases_[f];
-          const float* src = conv_out_.data() + pl * spatial;
-          float* xn = x_norm_.data() + pl * spatial;
+          const float* src = src_base + pl * spatial;
           float* dst = output_.data() + pl * spatial;
-          for (int64_t i = 0; i < spatial; ++i) {
-            const float norm = (src[i] - mu) * inv_std;
-            xn[i] = norm;
-            dst[i] = gamma * norm + beta;
+          if (xn_base != nullptr) {
+            float* xn = xn_base + pl * spatial;
+            for (int64_t i = 0; i < spatial; ++i) {
+              const float norm = (src[i] - mu) * inv_std;
+              xn[i] = norm;
+              dst[i] = gamma * norm + beta;
+            }
+          } else {
+            for (int64_t i = 0; i < spatial; ++i) {
+              const float norm = (src[i] - mu) * inv_std;
+              dst[i] = gamma * norm + beta;
+            }
           }
         }
       });
@@ -358,6 +408,16 @@ void ConvLayer::Backward(const Tensor& input, Tensor* input_delta,
 
 std::vector<Param> ConvLayer::Params() {
   std::vector<Param> params;
+  params.push_back({&weights_, &weight_grads_, /*apply_decay=*/true, "weights"});
+  params.push_back({&biases_, &bias_grads_, false, "biases"});
+  if (opts_.batch_normalize) {
+    params.push_back({&scales_, &scale_grads_, false, "scales"});
+  }
+  return params;
+}
+
+std::vector<ConstParam> ConvLayer::Params() const {
+  std::vector<ConstParam> params;
   params.push_back({&weights_, &weight_grads_, /*apply_decay=*/true, "weights"});
   params.push_back({&biases_, &bias_grads_, false, "biases"});
   if (opts_.batch_normalize) {

@@ -31,10 +31,12 @@ class ConvLayer : public Layer {
 
   const char* kind() const override { return "convolutional"; }
   Status Configure(const Shape& input_shape, const Network& net) override;
+  Status Rebatch(const Shape& input_shape, const Network& net) override;
   void Forward(const Tensor& input, Network& net, bool train) override;
   void Backward(const Tensor& input, Tensor* input_delta,
                 Network& net) override;
   std::vector<Param> Params() override;
+  std::vector<ConstParam> Params() const override;
   int64_t WorkspaceSize() const override;
 
   const Options& options() const { return opts_; }
@@ -67,6 +69,10 @@ class ConvLayer : public Layer {
 
   void BatchNormForward(bool train);
   void BatchNormBackward();
+
+  // Sizes the activation-shaped caches for the current out_shape_ and
+  // mode (inference layers keep none); shared by Configure and Rebatch.
+  void SizeActivationCaches();
 
   Options opts_;
   int64_t out_h_ = 0;

@@ -1,0 +1,116 @@
+#include "nn/exec_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/string_util.h"
+#include "nn/network.h"
+
+namespace thali {
+
+namespace {
+
+// Arena offsets are aligned to 16 floats (64 bytes) so no two layers'
+// buffers share a cache line and vectorized kernels see aligned bases.
+constexpr int64_t kArenaAlignFloats = 16;
+
+int64_t AlignUp(int64_t v) {
+  return (v + kArenaAlignFloats - 1) / kArenaAlignFloats * kArenaAlignFloats;
+}
+
+}  // namespace
+
+const char* ExecModeName(ExecMode mode) {
+  return mode == ExecMode::kTraining ? "training" : "inference";
+}
+
+ArenaPlan PlanActivationArena(const Network& net) {
+  const int n = net.num_layers();
+  ArenaPlan plan;
+  plan.assignments.resize(static_cast<size_t>(n));
+
+  // 1. Liveness: last layer index that reads each output. Index n is the
+  // virtual post-forward consumer (detection decoding / returned output).
+  std::vector<int> last_use(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) last_use[static_cast<size_t>(i)] = i;
+  for (int j = 0; j < n; ++j) {
+    const Layer& layer = net.layer(j);
+    if (j > 0 && layer.ReadsPreviousOutput()) {
+      last_use[static_cast<size_t>(j - 1)] =
+          std::max(last_use[static_cast<size_t>(j - 1)], j);
+    }
+    for (int src : layer.ExtraInputIndices()) {
+      THALI_CHECK_GE(src, 0);
+      THALI_CHECK_LT(src, j);
+      last_use[static_cast<size_t>(src)] =
+          std::max(last_use[static_cast<size_t>(src)], j);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (net.layer(i).OutputLiveAfterForward() || i == n - 1) {
+      last_use[static_cast<size_t>(i)] = n;
+    }
+  }
+
+  // 2. Greedy first-fit in execution order. A buffer whose last consumer
+  // precedes the current step is expired and its span becomes a gap; the
+  // new output takes the lowest-offset gap it fits into. The produced
+  // buffer and every buffer still being read at step i stay disjoint by
+  // construction (their intervals all include i).
+  struct LiveBlock {
+    int64_t offset;
+    int64_t floats;
+    int last_use;
+  };
+  std::vector<LiveBlock> live;
+  for (int i = 0; i < n; ++i) {
+    const int64_t floats = net.layer(i).output_shape().num_elements();
+    plan.sum_output_floats += floats;
+
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [i](const LiveBlock& b) { return b.last_use < i; }),
+               live.end());
+    std::sort(live.begin(), live.end(),
+              [](const LiveBlock& a, const LiveBlock& b) {
+                return a.offset < b.offset;
+              });
+    int64_t offset = 0;
+    for (const LiveBlock& b : live) {
+      if (offset + floats <= b.offset) break;
+      offset = AlignUp(std::max(offset, b.offset + b.floats));
+    }
+
+    ArenaAssignment& a = plan.assignments[static_cast<size_t>(i)];
+    a.offset = offset;
+    a.floats = floats;
+    a.first_use = i;
+    a.last_use = last_use[static_cast<size_t>(i)];
+    live.push_back({offset, floats, a.last_use});
+    plan.arena_floats = std::max(plan.arena_floats, offset + floats);
+  }
+  return plan;
+}
+
+std::string ArenaPlan::ToString() const {
+  std::ostringstream os;
+  os << StrFormat("%4s %12s %12s %6s %6s\n", "idx", "offset", "floats",
+                  "live", "until");
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    const ArenaAssignment& a = assignments[i];
+    os << StrFormat("%4d %12lld %12lld %6d %6d\n", static_cast<int>(i),
+                    static_cast<long long>(a.offset),
+                    static_cast<long long>(a.floats), a.first_use, a.last_use);
+  }
+  const double ratio =
+      sum_output_floats > 0
+          ? static_cast<double>(arena_floats) / sum_output_floats
+          : 0.0;
+  os << StrFormat(
+      "arena: %lld floats peak vs %lld sum-of-outputs (%.1f%%), %s\n",
+      static_cast<long long>(arena_floats),
+      static_cast<long long>(sum_output_floats), ratio * 100.0,
+      enabled ? "enabled" : "disabled");
+  return os.str();
+}
+
+}  // namespace thali

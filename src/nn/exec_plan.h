@@ -1,0 +1,64 @@
+#ifndef THALI_NN_EXEC_PLAN_H_
+#define THALI_NN_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace thali {
+
+class Network;
+
+// How a network's buffers are planned at Finalize time.
+//
+//  kTraining  — every layer owns its output and a same-sized delta
+//               tensor plus whatever backward caches it needs; batch
+//               statistics may be updated. This is the seed behaviour.
+//  kInference — no delta tensors, no backward caches, and (unless the
+//               THALI_NO_ARENA environment variable is set) layer
+//               outputs live at planned offsets inside one shared
+//               activation arena, reusing storage between layers whose
+//               liveness intervals do not overlap. Forward(train=true)
+//               is a programming error on an inference network.
+enum class ExecMode { kTraining, kInference };
+
+const char* ExecModeName(ExecMode mode);
+
+// One layer's slot in the activation arena.
+struct ArenaAssignment {
+  int64_t offset = 0;  // float offset into the arena
+  int64_t floats = 0;  // output size in floats
+  int first_use = 0;   // layer index producing the buffer
+  int last_use = 0;    // last layer index reading it (num_layers = post-
+                       // forward consumer: detection heads / final output)
+};
+
+// The planner's result: per-layer offsets plus the headline numbers the
+// acceptance bench reports (peak arena floats vs the no-reuse sum).
+struct ArenaPlan {
+  // False when planning was skipped (training mode or THALI_NO_ARENA);
+  // assignments/arena_floats are still filled so reports can show what
+  // the planner *would* save.
+  bool enabled = false;
+  std::vector<ArenaAssignment> assignments;  // one per layer
+  int64_t arena_floats = 0;       // peak concurrent footprint (arena size)
+  int64_t sum_output_floats = 0;  // one-buffer-per-layer baseline
+
+  // Human-readable planner report: per-layer offset/interval table and
+  // the peak-vs-sum summary.
+  std::string ToString() const;
+};
+
+// Liveness-based first-fit arena planning over the network DAG. A
+// layer's output is live from the step that produces it through its last
+// consumer — the next layer when it reads its input argument, any
+// route/shortcut that references it, and "after the forward pass" for
+// detection-head outputs and the network's final output (modelled as a
+// consumer at index num_layers). Offsets are assigned greedily in layer
+// order, first-fit into gaps left by expired buffers, 16-float aligned.
+// Requires every layer to be configured (shapes known).
+ArenaPlan PlanActivationArena(const Network& net);
+
+}  // namespace thali
+
+#endif  // THALI_NN_EXEC_PLAN_H_

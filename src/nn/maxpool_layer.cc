@@ -22,7 +22,13 @@ Status MaxPoolLayer::Configure(const Shape& input_shape, const Network&) {
   }
   SetShapes(input_shape,
             Shape({input_shape.dim(0), input_shape.dim(1), out_h, out_w}));
-  argmax_.assign(static_cast<size_t>(out_shape_.num_elements()), 0);
+  if (inference()) {
+    // Backward never runs; skip the argmax routing cache entirely.
+    argmax_.clear();
+    argmax_.shrink_to_fit();
+  } else {
+    argmax_.assign(static_cast<size_t>(out_shape_.num_elements()), 0);
+  }
   return Status::OK();
 }
 
@@ -34,6 +40,7 @@ void MaxPoolLayer::Forward(const Tensor& input, Network&, bool) {
   const int64_t oh = out_shape_.dim(2);
   const int64_t ow = out_shape_.dim(3);
   const int64_t offset = -opts_.padding / 2;
+  const bool track_argmax = !argmax_.empty();
 
   int64_t out_idx = 0;
   for (int64_t b = 0; b < batch; ++b) {
@@ -58,7 +65,7 @@ void MaxPoolLayer::Forward(const Tensor& input, Network&, bool) {
             }
           }
           output_.data()[out_idx] = best_idx >= 0 ? best : 0.0f;
-          argmax_[static_cast<size_t>(out_idx)] = best_idx;
+          if (track_argmax) argmax_[static_cast<size_t>(out_idx)] = best_idx;
         }
       }
     }

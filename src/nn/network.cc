@@ -1,11 +1,21 @@
 #include "nn/network.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "base/logging.h"
 #include "base/thread_pool.h"
 
 namespace thali {
+
+namespace {
+
+bool ArenaDisabledByEnv() {
+  const char* env = std::getenv("THALI_NO_ARENA");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+}  // namespace
 
 Network::Network(int width, int height, int channels, int batch)
     : width_(width), height_(height), channels_(channels), batch_(batch) {
@@ -21,12 +31,17 @@ void Network::Add(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
 }
 
-Status Network::Finalize() {
+Status Network::Finalize(ExecMode mode) {
   THALI_CHECK(!finalized_);
   if (layers_.empty()) return Status::InvalidArgument("empty network");
+  mode_ = mode;
+  // Latched here so later SetBatch re-plans keep the same decision even
+  // if the environment changes while the process runs.
+  arena_disabled_ = ArenaDisabledByEnv();
   Shape prev = input_shape();
   int64_t max_ws = 0;
   for (auto& layer : layers_) {
+    layer->set_exec_mode(mode_);
     THALI_RETURN_IF_ERROR(layer->Configure(prev, *this));
     prev = layer->output_shape();
     max_ws = std::max(max_ws, layer->WorkspaceSize());
@@ -34,8 +49,71 @@ Status Network::Finalize() {
   workspace_floats_ = max_ws;
   workspaces_.resize(static_cast<size_t>(MaxParallelism()));
   for (Tensor& ws : workspaces_) ws.Resize(Shape({max_ws}));
+  PlanBuffers();
   finalized_ = true;
   return Status::OK();
+}
+
+Status Network::SetBatch(int batch) {
+  THALI_CHECK(finalized_) << "SetBatch before Finalize";
+  THALI_CHECK_GT(batch, 0);
+  if (batch == batch_) return Status::OK();
+  batch_ = batch;
+  Shape prev = input_shape();
+  int64_t max_ws = 0;
+  for (auto& layer : layers_) {
+    THALI_RETURN_IF_ERROR(layer->Rebatch(prev, *this));
+    prev = layer->output_shape();
+    max_ws = std::max(max_ws, layer->WorkspaceSize());
+  }
+  // Per-item workspace needs are batch-independent for every current
+  // layer, but re-derive anyway in case a layer's geometry logic changes.
+  if (max_ws > workspace_floats_) {
+    workspace_floats_ = max_ws;
+    for (Tensor& ws : workspaces_) ws.Resize(Shape({max_ws}));
+  }
+  PlanBuffers();
+  return Status::OK();
+}
+
+void Network::PlanBuffers() {
+  plan_ = PlanActivationArena(*this);
+  const bool use_arena = mode_ == ExecMode::kInference && !arena_disabled_;
+  plan_.enabled = use_arena;
+  if (mode_ != ExecMode::kInference) return;  // SetShapes owns the buffers
+  if (use_arena) {
+    arena_.Resize(Shape({plan_.arena_floats}));
+    for (int i = 0; i < num_layers(); ++i) {
+      const ArenaAssignment& slot =
+          plan_.assignments[static_cast<size_t>(i)];
+      layers_[static_cast<size_t>(i)]->output().BindExternal(
+          arena_.data() + slot.offset, layers_[static_cast<size_t>(i)]
+                                           ->output_shape());
+    }
+  } else {
+    arena_ = Tensor();
+    for (auto& layer : layers_) {
+      // THALI_NO_ARENA fallback: per-layer owned outputs, as in training
+      // mode (a previously bound output is replaced by owned storage).
+      layer->output() = Tensor(layer->output_shape());
+    }
+  }
+}
+
+int64_t Network::ActivationBytes() const {
+  int64_t floats = 0;
+  if (mode_ == ExecMode::kInference) {
+    if (plan_.enabled) {
+      floats = plan_.arena_floats;
+    } else {
+      floats = plan_.sum_output_floats;
+    }
+  } else {
+    for (const auto& layer : layers_) {
+      floats += layer->output().size() + layer->delta().size();
+    }
+  }
+  return floats * static_cast<int64_t>(sizeof(float));
 }
 
 float* Network::workspace(int tid, int64_t required) {
@@ -49,6 +127,8 @@ float* Network::workspace(int tid, int64_t required) {
 
 const Tensor& Network::Forward(const Tensor& input, bool train) {
   THALI_CHECK(finalized_);
+  THALI_CHECK(!(train && mode_ == ExecMode::kInference))
+      << "Forward(train=true) on an inference-mode network";
   THALI_CHECK(input.shape() == input_shape())
       << "input " << input.shape().ToString() << " vs net "
       << input_shape().ToString();
@@ -62,6 +142,8 @@ const Tensor& Network::Forward(const Tensor& input, bool train) {
 
 void Network::Backward(const Tensor& input) {
   THALI_CHECK(finalized_);
+  THALI_CHECK(mode_ == ExecMode::kTraining)
+      << "Backward on an inference-mode network";
   for (int i = num_layers() - 1; i >= 0; --i) {
     const Tensor& in = i == 0 ? input : layers_[i - 1]->output();
     Tensor* in_delta = i == 0 ? nullptr : &layers_[i - 1]->delta();
@@ -70,6 +152,8 @@ void Network::Backward(const Tensor& input) {
 }
 
 void Network::ZeroDeltas() {
+  THALI_CHECK(mode_ == ExecMode::kTraining)
+      << "ZeroDeltas on an inference-mode network";
   for (auto& layer : layers_) layer->delta().Zero();
 }
 
@@ -106,9 +190,8 @@ std::vector<Param> Network::AllParams() {
 int64_t Network::NumParameters() const {
   int64_t n = 0;
   for (const auto& layer : layers_) {
-    for (const Param& p : const_cast<Layer&>(*layer).Params()) {
-      n += p.value->size();
-    }
+    const Layer& l = *layer;
+    for (const ConstParam& p : l.Params()) n += p.value->size();
   }
   return n;
 }

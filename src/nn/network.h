@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/statusor.h"
+#include "nn/exec_plan.h"
 #include "nn/layer.h"
 #include "tensor/tensor.h"
 
@@ -18,12 +19,12 @@ namespace thali {
 //   Network net(width, height, channels, batch);
 //   net.Add(std::make_unique<ConvLayer>(...));
 //   ...
-//   THALI_CHECK_OK(net.Finalize());
+//   THALI_CHECK_OK(net.Finalize(ExecMode::kInference));
 //   const Tensor& out = net.Forward(input);
 class Network {
  public:
   // `width`/`height`/`channels` describe the input image planes; `batch`
-  // fixes the batch dimension for all buffers.
+  // sets the initial batch dimension (changeable later via SetBatch).
   Network(int width, int height, int channels, int batch);
 
   Network(const Network&) = delete;
@@ -32,21 +33,33 @@ class Network {
   // Appends a layer. Must be called before Finalize.
   void Add(std::unique_ptr<Layer> layer);
 
-  // Configures every layer's shapes/buffers and sizes the shared
-  // workspace. Must be called once after the last Add.
-  Status Finalize();
+  // Configures every layer's shapes/buffers for `mode`, sizes the shared
+  // workspace and plans output storage. Must be called once after the
+  // last Add. kTraining reproduces the seed allocator (per-layer output
+  // + delta); kInference skips deltas/backward caches and places outputs
+  // in a liveness-planned shared arena unless the THALI_NO_ARENA
+  // environment variable is set (each layer then owns its output).
+  Status Finalize(ExecMode mode = ExecMode::kTraining);
+
+  // Changes the batch dimension of an already-finalized network:
+  // re-derives every layer's shapes, resizes activation buffers and
+  // re-plans arena offsets. Learnable parameters and layer objects are
+  // untouched, so a loaded model keeps its weights across batch changes.
+  Status SetBatch(int batch);
 
   // Runs all layers; returns the last layer's output. `input` must be
   // (batch, channels, height, width). With train=true, layers use batch
-  // statistics and keep backward caches.
+  // statistics and keep backward caches — kTraining networks only.
   const Tensor& Forward(const Tensor& input, bool train = false);
 
   // Backpropagates all layer deltas (seeded by loss layers) down to the
   // input. Call after Forward(train=true) and after loss layers populated
   // their delta tensors. Parameter gradients accumulate until ZeroGrads.
+  // kTraining networks only.
   void Backward(const Tensor& input);
 
-  // Clears every layer's delta tensor (dL/dOutput buffers).
+  // Clears every layer's delta tensor (dL/dOutput buffers). kTraining
+  // networks only.
   void ZeroDeltas();
 
   // Clears every parameter gradient accumulator.
@@ -67,6 +80,21 @@ class Network {
   Shape input_shape() const {
     return Shape({batch_, channels_, height_, width_});
   }
+
+  // Execution mode chosen at Finalize.
+  ExecMode exec_mode() const { return mode_; }
+
+  // The activation-arena plan computed at Finalize/SetBatch. For
+  // kTraining networks the plan is computed for reporting only
+  // (enabled=false); for kInference it reflects the live layout unless
+  // THALI_NO_ARENA disabled placement.
+  const ArenaPlan& arena_plan() const { return plan_; }
+
+  // Bytes of activation buffers this network holds live: outputs plus
+  // deltas in training mode; the arena (or per-layer outputs under
+  // THALI_NO_ARENA) in inference mode. The acceptance metric the memory
+  // bench reports.
+  int64_t ActivationBytes() const;
 
   // Per-thread scratch buffer (im2col panels). Finalize sizes one slot
   // per strand of parallelism (MaxParallelism() at finalize time), each
@@ -96,16 +124,27 @@ class Network {
   bool finalized() const { return finalized_; }
 
  private:
+  // (Re)plans output storage: computes the arena plan and either binds
+  // layer outputs into arena_ (inference + arena enabled) or gives each
+  // layer an owned output buffer. Also records the planner report.
+  void PlanBuffers();
+
   int width_;
   int height_;
   int channels_;
   int batch_;
+  ExecMode mode_ = ExecMode::kTraining;
+  // THALI_NO_ARENA, sampled once at Finalize.
+  bool arena_disabled_ = false;
   bool finalized_ = false;
   std::vector<std::unique_ptr<Layer>> layers_;
   // One im2col scratch tensor per parallel strand (distinct allocations,
   // so concurrent strands never share cache lines).
   std::vector<Tensor> workspaces_;
   int64_t workspace_floats_ = 0;
+  // Shared activation storage for arena-planned inference outputs.
+  Tensor arena_;
+  ArenaPlan plan_;
 };
 
 }  // namespace thali

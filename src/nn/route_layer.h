@@ -26,6 +26,9 @@ class RouteLayer : public Layer {
   void Forward(const Tensor& input, Network& net, bool train) override;
   void Backward(const Tensor& input, Tensor* input_delta,
                 Network& net) override;
+  // Route reads only its source layers, never the `input` argument.
+  std::vector<int> ExtraInputIndices() const override { return sources_; }
+  bool ReadsPreviousOutput() const override { return false; }
 
   const std::vector<int>& source_indices() const { return sources_; }
 

@@ -16,7 +16,7 @@ Status ShortcutLayer::Configure(const Shape& input_shape, const Network& net) {
         input_shape.ToString());
   }
   SetShapes(input_shape, input_shape);
-  if (opts_.activation != Activation::kLinear) {
+  if (opts_.activation != Activation::kLinear && !inference()) {
     pre_activation_.Resize(out_shape_);
   }
   return Status::OK();
@@ -30,7 +30,7 @@ void ShortcutLayer::Forward(const Tensor& input, Network& net, bool) {
   const int64_t n = output_.size();
   for (int64_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
   if (opts_.activation != Activation::kLinear) {
-    std::copy(o, o + n, pre_activation_.data());
+    if (!inference()) std::copy(o, o + n, pre_activation_.data());
     ApplyActivation(opts_.activation, o, n);
   }
 }

@@ -1,6 +1,8 @@
 #ifndef THALI_NN_SHORTCUT_LAYER_H_
 #define THALI_NN_SHORTCUT_LAYER_H_
 
+#include <vector>
+
 #include "nn/activation.h"
 #include "nn/layer.h"
 
@@ -24,6 +26,7 @@ class ShortcutLayer : public Layer {
   void Forward(const Tensor& input, Network& net, bool train) override;
   void Backward(const Tensor& input, Tensor* input_delta,
                 Network& net) override;
+  std::vector<int> ExtraInputIndices() const override { return {from_}; }
 
   int from_index() const { return from_; }
 

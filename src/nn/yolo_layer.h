@@ -53,6 +53,8 @@ class YoloLayer : public Layer, public DetectionHead {
   explicit YoloLayer(const Options& options) : opts_(options) {}
 
   const char* kind() const override { return "yolo"; }
+  // Detections are decoded from the head output after the forward pass.
+  bool OutputLiveAfterForward() const override { return true; }
   Status Configure(const Shape& input_shape, const Network& net) override;
   void Forward(const Tensor& input, Network& net, bool train) override;
   void Backward(const Tensor& input, Tensor* input_delta,

@@ -13,6 +13,12 @@ namespace thali {
 // Dense float32 tensor with contiguous row-major storage. Copy is a deep
 // copy; Tensor is the value type the whole NN substrate computes on.
 //
+// Storage is normally owned, but a tensor can also be bound to external
+// storage (BindExternal) — the activation arena plants layer outputs in
+// one shared allocation this way. A bound tensor never owns or frees the
+// pointer; copying one materializes an owned deep copy, so value
+// semantics are preserved for callers that snapshot activations.
+//
 // Activations use NCHW layout; convolution weights use (out, in, kh, kw).
 class Tensor {
  public:
@@ -28,41 +34,71 @@ class Tensor {
     THALI_CHECK_EQ(static_cast<int64_t>(data_.size()), shape_.num_elements());
   }
 
-  Tensor(const Tensor&) = default;
-  Tensor& operator=(const Tensor&) = default;
+  Tensor(const Tensor& o) : shape_(o.shape_) {
+    data_.assign(o.data(), o.data() + o.size());
+  }
+  Tensor& operator=(const Tensor& o) {
+    if (this != &o) {
+      shape_ = o.shape_;
+      data_.assign(o.data(), o.data() + o.size());
+      external_ = nullptr;
+    }
+    return *this;
+  }
   Tensor(Tensor&&) = default;
   Tensor& operator=(Tensor&&) = default;
 
   const Shape& shape() const { return shape_; }
-  int64_t size() const { return static_cast<int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  int64_t size() const {
+    return external_ != nullptr ? shape_.num_elements()
+                                : static_cast<int64_t>(data_.size());
+  }
+  bool empty() const { return size() == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return external_ != nullptr ? external_ : data_.data(); }
+  const float* data() const {
+    return external_ != nullptr ? external_ : data_.data();
+  }
+
+  // True when the storage lives outside this tensor (arena-planned).
+  bool external() const { return external_ != nullptr; }
+
+  // Binds the tensor to `shape.num_elements()` floats at `ptr`, owned by
+  // someone else (the activation arena). Any owned storage is released.
+  // The binder must keep `ptr` alive and may rebind at any time.
+  void BindExternal(float* ptr, Shape shape) {
+    THALI_CHECK(ptr != nullptr);
+    shape_ = std::move(shape);
+    external_ = ptr;
+    data_.clear();
+    data_.shrink_to_fit();
+  }
 
   float& operator[](int64_t i) {
     THALI_CHECK_GE(i, 0);
     THALI_CHECK_LT(i, size());
-    return data_[static_cast<size_t>(i)];
+    return data()[i];
   }
   float operator[](int64_t i) const {
     THALI_CHECK_GE(i, 0);
     THALI_CHECK_LT(i, size());
-    return data_[static_cast<size_t>(i)];
+    return data()[i];
   }
 
   // Unchecked 4-d accessors for hot loops (NCHW).
   float& at4(int64_t n, int64_t c, int64_t h, int64_t w) {
-    return data_[static_cast<size_t>(
-        ((n * shape_.dim(1) + c) * shape_.dim(2) + h) * shape_.dim(3) + w)];
+    return data()[((n * shape_.dim(1) + c) * shape_.dim(2) + h) *
+                      shape_.dim(3) +
+                  w];
   }
   float at4(int64_t n, int64_t c, int64_t h, int64_t w) const {
-    return data_[static_cast<size_t>(
-        ((n * shape_.dim(1) + c) * shape_.dim(2) + h) * shape_.dim(3) + w)];
+    return data()[((n * shape_.dim(1) + c) * shape_.dim(2) + h) *
+                      shape_.dim(3) +
+                  w];
   }
 
   // Sets every element to `v`.
-  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Fill(float v) { std::fill(data(), data() + size(), v); }
   void Zero() { Fill(0.0f); }
 
   // Reinterprets the storage with a new shape of equal element count.
@@ -74,19 +110,20 @@ class Tensor {
   // Resizes to `new_shape`, discarding contents (re-zeroed) if the element
   // count changes. Compares against the actual storage size, not the old
   // shape: a default-constructed Tensor has a rank-0 shape whose element
-  // product is 1 but owns no storage.
+  // product is 1 but owns no storage. Externally-bound tensors cannot be
+  // resized — the binder rebinds them instead.
   void Resize(Shape new_shape) {
+    THALI_CHECK(external_ == nullptr) << "Resize on externally-bound tensor";
     if (static_cast<size_t>(new_shape.num_elements()) != data_.size()) {
       data_.assign(static_cast<size_t>(new_shape.num_elements()), 0.0f);
     }
     shape_ = std::move(new_shape);
   }
 
-  const std::vector<float>& vec() const { return data_; }
-
  private:
   Shape shape_;
   std::vector<float> data_;
+  float* external_ = nullptr;
 };
 
 }  // namespace thali
