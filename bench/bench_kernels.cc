@@ -4,11 +4,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "base/rng.h"
 #include "base/thread_pool.h"
+#include "darknet/cfg.h"
+#include "darknet/model_zoo.h"
 #include "data/augment.h"
 #include "data/dataset.h"
 #include "data/food_classes.h"
@@ -19,6 +26,7 @@
 #include "nn/network.h"
 #include "nn/yolo_layer.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_pack.h"
 #include "tensor/im2col.h"
 
 namespace thali {
@@ -47,6 +55,75 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// Verbatim copy of the pre-packed-GEMM scalar kernel (the repo's seed
+// C += alpha*A*B loop nest) so packed-vs-seed speedups can be measured
+// inside one binary, under identical compiler flags.
+void SeedGemmNnAccum(int64_t m, int64_t n, int64_t k, float alpha,
+                     const float* a, int64_t lda, const float* b, int64_t ldb,
+                     float* c, int64_t ldc) {
+  constexpr int64_t kBlockK = 128;
+  constexpr int64_t kBlockM = 64;
+  for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const int64_t k1 = std::min(k, k0 + kBlockK);
+    for (int64_t mb = 0; mb < m; mb += kBlockM) {
+      const int64_t mb1 = std::min(m, mb + kBlockM);
+      for (int64_t i = mb; i < mb1; ++i) {
+        float* ci = c + i * ldc;
+        for (int64_t p = k0; p < k1; ++p) {
+          const float aip = alpha * a[i * lda + p];
+          const float* bp = b + p * ldb;
+          for (int64_t j = 0; j < n; ++j) {
+            ci[j] += aip * bp[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void BM_GemmSeedScalar(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(static_cast<size_t>(n) * n), b(a.size()), c(a.size());
+  for (auto& v : a) v = rng.NextGaussian();
+  for (auto& v : b) v = rng.NextGaussian();
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    SeedGemmNnAccum(n, n, n, 1.0f, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmSeedScalar)->Arg(256);
+
+// Packed inference GEMM on one conv shape (m = filters, k = c*ks*ks,
+// n = out_h*out_w), weights pre-packed outside the timed loop exactly as
+// ConvLayer::PrepackWeights does. Registered dynamically in main() for
+// every distinct conv shape of the yolov4-thali model.
+void GemmPackedShapeBench(benchmark::State& state, int64_t m, int64_t n,
+                          int64_t k) {
+  internal::SetGemmPackingForTesting(1);
+  Rng rng(1);
+  std::vector<float> a(static_cast<size_t>(m * k)),
+      b(static_cast<size_t>(k * n)), c(static_cast<size_t>(m * n));
+  for (auto& v : a) v = rng.NextGaussian();
+  for (auto& v : b) v = rng.NextGaussian();
+  std::vector<float> packed(static_cast<size_t>(GemmPackedWeightFloats(m, k)));
+  GemmPackWeights(a.data(), m, k, packed.data());
+  for (auto _ : state) {
+    GemmPrepacked(m, n, k, packed.data(), false, b.data(), n, 0.0f, c.data(),
+                  n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * n * k);
+  internal::SetGemmPackingForTesting(-1);
+}
+
+void BM_GemmPacked(benchmark::State& state) {
+  GemmPackedShapeBench(state, state.range(0), state.range(1), state.range(2));
+}
+BENCHMARK(BM_GemmPacked)->ArgNames({"m", "n", "k"})->Args({256, 256, 256});
 
 void BM_Im2Col(benchmark::State& state) {
   const int c = 32, h = 24, w = 24, k = 3;
@@ -82,6 +159,37 @@ void BM_ConvForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConvForward)->Arg(16)->Arg(64);
+
+// Inference-mode conv forward with batch norm already folded (the
+// deployment configuration): packed=1 runs the pre-packed GEMM with the
+// fused bias+leaky epilogue, packed=0 the unpacked reference path.
+void BM_ConvForwardInference(benchmark::State& state) {
+  const int channels = static_cast<int>(state.range(0));
+  const bool packed = state.range(1) != 0;
+  internal::SetGemmPackingForTesting(packed ? 1 : 0);
+  Network net(24, 24, channels, 1);
+  ConvLayer::Options o;
+  o.filters = channels;
+  o.ksize = 3;
+  o.stride = 1;
+  o.pad = 1;
+  o.batch_normalize = false;  // as after FoldBatchNorm
+  o.activation = Activation::kLeaky;
+  net.Add(std::make_unique<ConvLayer>(o));
+  THALI_CHECK_OK(net.Finalize(ExecMode::kInference));
+  Rng rng(3);
+  static_cast<ConvLayer&>(net.layer(0)).InitWeights(rng);
+  Tensor input(net.input_shape());
+  for (int64_t i = 0; i < input.size(); ++i) input[i] = rng.NextGaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(input).data());
+  }
+  internal::SetGemmPackingForTesting(-1);
+}
+BENCHMARK(BM_ConvForwardInference)
+    ->ArgNames({"channels", "packed"})
+    ->Args({64, 0})
+    ->Args({64, 1});
 
 void BM_ConvTrainStep(benchmark::State& state) {
   Network net(24, 24, 16, 2);
@@ -306,6 +414,43 @@ BENCHMARK(BM_RenderDatasetThreaded)
     ->Arg(4);
 
 }  // namespace
+
+// Registers one BM_GemmPacked instance per distinct conv GEMM shape of
+// the yolov4-thali model (m = filters, n = out_h*out_w, k = c*ks*ks), so
+// the sweep always tracks the real network rather than a hand-kept list.
+void RegisterYoloShapeBenches() {
+  YoloThaliOptions yo;
+  Rng rng(1);
+  auto built = BuildNetworkFromCfg(YoloThaliCfg(yo), /*batch_override=*/1,
+                                   rng, ExecMode::kInference);
+  if (!built.ok()) return;
+  std::set<std::tuple<int64_t, int64_t, int64_t>> seen;
+  for (int i = 0; i < built->net->num_layers(); ++i) {
+    const Layer& l = built->net->layer(i);
+    if (std::string_view(l.kind()) != "convolutional") continue;
+    const auto& conv = static_cast<const ConvLayer&>(l);
+    const int64_t m = conv.options().filters;
+    const int64_t k = l.input_shape().dim(1) * conv.options().ksize *
+                      conv.options().ksize;
+    const int64_t n = l.output_shape().dim(2) * l.output_shape().dim(3);
+    if (!seen.insert({m, n, k}).second) continue;
+    const std::string name = "BM_GemmPacked/yolo_m" + std::to_string(m) +
+                             "_n" + std::to_string(n) + "_k" +
+                             std::to_string(k);
+    benchmark::RegisterBenchmark(
+        name.c_str(), [m, n, k](benchmark::State& st) {
+          GemmPackedShapeBench(st, m, n, k);
+        });
+  }
+}
+
 }  // namespace thali
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  thali::RegisterYoloShapeBenches();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -78,7 +78,10 @@ int CmdSummary(int argc, char** argv) {
   const int classes = ArgI(argc, argv, "--classes", 10);
   const int size = ArgI(argc, argv, "--size", 96);
   Rng rng(1);
-  auto built = BuildNetworkFromCfg(CfgFor(classes, size, 0), 1, rng);
+  // Inference mode: the summary describes the net as deployed (arena
+  // plan, pre-packed weights, dispatched gemm kernel).
+  auto built = BuildNetworkFromCfg(CfgFor(classes, size, 0), 1, rng,
+                                   ExecMode::kInference);
   THALI_CHECK(built.ok()) << built.status().ToString();
   std::fputs(NetworkSummary(*built->net).c_str(), stdout);
   return 0;

@@ -3,12 +3,14 @@
 #include <sstream>
 #include <string_view>
 
+#include "base/cpu_features.h"
 #include "base/string_util.h"
 #include "nn/conv_layer.h"
 #include "nn/maxpool_layer.h"
 #include "nn/route_layer.h"
 #include "nn/shortcut_layer.h"
 #include "nn/upsample_layer.h"
+#include "tensor/gemm.h"
 
 namespace thali {
 
@@ -29,9 +31,14 @@ std::string NetworkSummary(const Network& net) {
                   "filters", "size/str", "input -> output", "params");
 
   int64_t total_params = 0;
+  int64_t packed_bytes = 0;
   for (int i = 0; i < net.num_layers(); ++i) {
     const Layer& layer = net.layer(i);
     const std::string_view kind = layer.kind();
+    if (kind == "convolutional") {
+      packed_bytes +=
+          static_cast<const ConvLayer&>(layer).packed_weight_bytes();
+    }
 
     std::string filters = "-";
     std::string geom = "-";
@@ -73,6 +80,9 @@ std::string NetworkSummary(const Network& net) {
       "total: %lld parameters, %lld floats of per-thread workspace, batch %d\n",
       static_cast<long long>(total_params),
       static_cast<long long>(net.workspace_size()), net.batch());
+  os << StrFormat("gemm: %s kernel (cpu: %s), %lld bytes of pre-packed weights\n",
+                  GemmKernelName(), CpuFeatureString().c_str(),
+                  static_cast<long long>(packed_bytes));
   return os.str();
 }
 

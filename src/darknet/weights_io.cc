@@ -117,6 +117,7 @@ StatusOr<int> LoadWeights(Network& net, const std::string& path, int cutoff) {
       THALI_RETURN_IF_ERROR(r.ReadTensor(conv.rolling_var()));
     }
     THALI_RETURN_IF_ERROR(r.ReadTensor(conv.weights()));
+    conv.MarkWeightsDirty();  // inference nets re-pack on the next Forward
     ++loaded;
   }
   return loaded;

@@ -6,6 +6,7 @@
 #include "base/thread_pool.h"
 #include "nn/network.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_pack.h"
 #include "tensor/im2col.h"
 
 namespace thali {
@@ -106,6 +107,19 @@ void ConvLayer::InitWeights(Rng& rng) {
     rolling_mean_.Zero();
     rolling_var_.Fill(1.0f);
   }
+  packed_dirty_ = true;
+}
+
+void ConvLayer::PrepackWeights() {
+  if (!inference() || !GemmPackingEnabled()) return;
+  const int64_t m = opts_.filters;
+  const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
+  const int64_t floats = GemmPackedWeightFloats(m, k);
+  if (packed_weights_.size() != floats) {
+    packed_weights_.Resize(Shape({floats}));
+  }
+  GemmPackWeights(weights_.data(), m, k, packed_weights_.data());
+  packed_dirty_ = false;
 }
 
 bool ConvLayer::IsDirect1x1() const {
@@ -138,6 +152,38 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
     col_cache_.Resize(Shape({batch, col_plane}));
   }
 
+  // Inference networks run the GEMM from a pre-packed weight copy, and —
+  // once batch norm has been folded away — fuse the bias add and simple
+  // activations into the GEMM's C write-back. Both fusions replicate the
+  // separate passes op for op, so outputs stay bitwise identical to the
+  // staged path (and to THALI_NO_PACK=1 runs).
+  const bool use_packed = inference() && GemmPackingEnabled();
+  if (use_packed && (packed_dirty_ || packed_weights_.size() == 0)) {
+    PrepackWeights();
+  }
+  GemmEpilogue epilogue;
+  bool fused_bias = false;
+  bool fused_act = false;
+  if (use_packed && !opts_.batch_normalize) {
+    epilogue.bias = biases_.data();
+    fused_bias = true;
+    switch (opts_.activation) {
+      case Activation::kLinear:
+        fused_act = true;  // nothing to apply
+        break;
+      case Activation::kLeaky:
+        epilogue.activation = GemmActivation::kLeaky;
+        fused_act = true;
+        break;
+      case Activation::kRelu:
+        epilogue.activation = GemmActivation::kRelu;
+        fused_act = true;
+        break;
+      default:
+        break;  // mish/logistic keep their separate activation pass
+    }
+  }
+
   // Batch items are independent: each strand owns disjoint output planes
   // and its own im2col scratch. Inference layers keep no pre-BN cache:
   // the GEMM lands in output_ and BN normalizes it in place (elementwise,
@@ -152,14 +198,20 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
         for (int64_t b = b0; b < b1; ++b) {
           float* dst = cols_cached_ ? col_cache_.data() + b * col_plane : ws;
           const float* col = PrepareCol(input.data() + b * in_plane, dst);
-          Gemm(false, false, m, n, k, 1.0f, weights_.data(), k, col, n, 0.0f,
-               raw.data() + b * out_plane, n);
+          if (use_packed) {
+            GemmPrepacked(m, n, k, packed_weights_.data(), /*tb=*/false, col,
+                          n, 0.0f, raw.data() + b * out_plane, n,
+                          fused_bias ? &epilogue : nullptr);
+          } else {
+            Gemm(false, false, m, n, k, 1.0f, weights_.data(), k, col, n,
+                 0.0f, raw.data() + b * out_plane, n);
+          }
         }
       });
 
   if (opts_.batch_normalize) {
     BatchNormForward(train);
-  } else {
+  } else if (!fused_bias) {
     // Plain bias add; (batch, filter) planes are independent.
     const int64_t spatial = out_h_ * out_w_;
     ParallelFor(0, batch * opts_.filters,
@@ -177,11 +229,13 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
   // Cache pre-activation values for the backward pass (training networks
   // only), then activate.
   if (inference()) {
-    ParallelFor(0, output_.size(), kBnGrainElems,
-                [&](int64_t i0, int64_t i1, int) {
-                  ApplyActivation(opts_.activation, output_.data() + i0,
-                                  i1 - i0);
-                });
+    if (!fused_act) {
+      ParallelFor(0, output_.size(), kBnGrainElems,
+                  [&](int64_t i0, int64_t i1, int) {
+                    ApplyActivation(opts_.activation, output_.data() + i0,
+                                    i1 - i0);
+                  });
+    }
   } else {
     ParallelFor(0, output_.size(), kBnGrainElems,
                 [&](int64_t i0, int64_t i1, int) {
@@ -437,6 +491,7 @@ void ConvLayer::FoldBatchNorm() {
     biases_[f] = biases_[f] - scales_[f] * rolling_mean_[f] * inv_std;
   }
   opts_.batch_normalize = false;
+  packed_dirty_ = true;
   scales_ = Tensor();
   scale_grads_ = Tensor();
   rolling_mean_ = Tensor();

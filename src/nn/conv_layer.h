@@ -39,6 +39,22 @@ class ConvLayer : public Layer {
   std::vector<ConstParam> Params() const override;
   int64_t WorkspaceSize() const override;
 
+  // Packs weights_ into the GEMM panel layout so inference forwards skip
+  // the per-call A packing (and fuse bias/activation into the GEMM
+  // write-back once batch norm has been folded). No-op for training
+  // networks or when the packed path is disabled.
+  void PrepackWeights() override;
+
+  // Invalidates the packed copy after any mutation of weights_ (weight
+  // loading, optimizer steps, batch-norm folding); the next inference
+  // Forward re-packs.
+  void MarkWeightsDirty() { packed_dirty_ = true; }
+
+  // Bytes held by the pre-packed weight copy (0 when not packed).
+  int64_t packed_weight_bytes() const {
+    return packed_weights_.size() * static_cast<int64_t>(sizeof(float));
+  }
+
   const Options& options() const { return opts_; }
 
   // He-style initialization scaled for the fan-in, matching Darknet's
@@ -80,6 +96,8 @@ class ConvLayer : public Layer {
   int64_t in_c_ = 0;
 
   Tensor weights_, weight_grads_;
+  Tensor packed_weights_;      // microkernel panel layout (inference only)
+  bool packed_dirty_ = true;   // weights_ changed since the last pack
   Tensor biases_, bias_grads_;
   // Batch-norm parameters (allocated only when batch_normalize).
   Tensor scales_, scale_grads_;

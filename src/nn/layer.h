@@ -86,6 +86,12 @@ class Layer {
   // Scratch floats this layer needs from the shared network workspace.
   virtual int64_t WorkspaceSize() const { return 0; }
 
+  // Gives layers with GEMM weights a chance to pre-pack them into the
+  // microkernel panel layout (inference-mode networks call this from
+  // Network::Finalize; layers re-pack lazily after weight mutations).
+  // Default: nothing to pack.
+  virtual void PrepackWeights() {}
+
   // --- Dataflow hooks for the activation arena planner. Valid after
   // Configure (layer references resolved). ---
 

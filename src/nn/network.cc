@@ -50,6 +50,11 @@ Status Network::Finalize(ExecMode mode) {
   workspaces_.resize(static_cast<size_t>(MaxParallelism()));
   for (Tensor& ws : workspaces_) ws.Resize(Shape({max_ws}));
   PlanBuffers();
+  if (mode_ == ExecMode::kInference) {
+    // Pack GEMM weights into microkernel panel layout up front. Layers
+    // re-pack lazily if weights change afterwards (loading, BN folding).
+    for (auto& layer : layers_) layer->PrepackWeights();
+  }
   finalized_ = true;
   return Status::OK();
 }

@@ -1,91 +1,192 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
-#include <vector>
+#include <atomic>
+#include <cstdlib>
 
 #include "base/logging.h"
 #include "base/thread_pool.h"
+#include "tensor/gemm_microkernel.h"
+#include "tensor/gemm_pack.h"
 
 namespace thali {
 
 namespace {
 
-// Row blocks of C below this many multiply-adds run as one chunk; the
+// Work below this many multiply-adds per chunk runs as one chunk; the
 // ParallelFor grain is derived from it so tiny GEMMs stay inline.
 constexpr int64_t kGrainFlops = 1 << 15;
 
-// Register-blocked kernel for C += A*B on row-major packed panels,
-// restricted to output rows [m0, m1). The j-loop body is written so GCC
-// auto-vectorizes over columns. Every kernel below touches only rows
-// [m0, m1) of C and keeps the per-row accumulation order independent of
-// the row partition, so a row-split parallel run is bitwise identical to
-// the sequential one.
-void GemmNnAccum(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
-                 const float* a, int64_t lda, const float* b, int64_t ldb,
-                 float* c, int64_t ldc) {
-  constexpr int64_t kBlockK = 128;
-  constexpr int64_t kBlockM = 64;
-  for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-    const int64_t k1 = std::min(k, k0 + kBlockK);
-    for (int64_t mb = m0; mb < m1; mb += kBlockM) {
-      const int64_t mb1 = std::min(m1, mb + kBlockM);
-      for (int64_t i = mb; i < mb1; ++i) {
+// Row tiles per MC cache block.
+constexpr int64_t kTilesPerMc = kGemmMC / kGemmMR;
+static_assert(kGemmMC % kGemmMR == 0, "MC must be a multiple of MR");
+static_assert(kGemmNC % kGemmNR == 0, "NC must be a multiple of NR");
+
+// Packed-path override: -1 = follow THALI_NO_PACK, 0 = off, 1 = on.
+std::atomic<int> g_packing_override{-1};
+
+void BetaPass(int64_t m0, int64_t m1, int64_t n, float beta, float* c,
+              int64_t ldc) {
+  if (beta == 1.0f) return;
+  for (int64_t i = m0; i < m1; ++i) {
+    float* ci = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(ci, ci + n, 0.0f);
+    } else {
+      for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+  }
+}
+
+// Bias then activation over a rectangle of C, replicating the conv
+// layer's separate passes op for op (see src/nn/activation.cc): two
+// sweeps, bias first, exact leaky/ReLU formulas.
+void ApplyEpilogue(const GemmEpilogue& e, int64_t i0, int64_t i1, int64_t j0,
+                   int64_t j1, float* c, int64_t ldc) {
+  if (e.bias != nullptr) {
+    for (int64_t i = i0; i < i1; ++i) {
+      float* ci = c + i * ldc;
+      const float bi = e.bias[i];
+      for (int64_t j = j0; j < j1; ++j) ci[j] += bi;
+    }
+  }
+  switch (e.activation) {
+    case GemmActivation::kNone:
+      break;
+    case GemmActivation::kLeaky:
+      for (int64_t i = i0; i < i1; ++i) {
         float* ci = c + i * ldc;
-        for (int64_t p = k0; p < k1; ++p) {
-          const float aip = alpha * a[i * lda + p];
-          const float* bp = b + p * ldb;
-          for (int64_t j = 0; j < n; ++j) {
-            ci[j] += aip * bp[j];
+        for (int64_t j = j0; j < j1; ++j) {
+          ci[j] = ci[j] > 0 ? ci[j] : 0.1f * ci[j];
+        }
+      }
+      break;
+    case GemmActivation::kRelu:
+      for (int64_t i = i0; i < i1; ++i) {
+        float* ci = c + i * ldc;
+        for (int64_t j = j0; j < j1; ++j) ci[j] = ci[j] > 0 ? ci[j] : 0.0f;
+      }
+      break;
+  }
+}
+
+// Packed-path worker: computes C row tiles [t0, t1) end to end (beta
+// scale, all k blocks in ascending order, optional epilogue). Threads
+// own disjoint row-tile ranges of C and there is no cross-thread
+// reduction, so any parallel split is bitwise identical to sequential.
+//
+// Loop nest (BLIS order jc -> pc -> ic -> jr -> ir): one packed B block
+// (KC x NC at most, 512 KB) is built per (jc, pc) and swept by all the
+// strand's row tiles; A is consumed from the caller's pre-packed blob
+// when given, otherwise packed MC rows at a time into scratch. The pack
+// buffers are thread_local (see gemm_pack.h for why tid indexing would
+// be wrong here).
+void PackedRows(const GemmKernel& kernel, int64_t t0, int64_t t1, bool ta,
+                bool tb, int64_t m, int64_t n, int64_t k, float alpha,
+                const float* a, int64_t lda, const float* prepacked_a,
+                const float* b, int64_t ldb, float beta, float* c, int64_t ldc,
+                const GemmEpilogue* epilogue) {
+  const int64_t i_lo = t0 * kGemmMR;
+  const int64_t i_hi = std::min(m, t1 * kGemmMR);
+  if (i_lo >= i_hi) return;
+  BetaPass(i_lo, i_hi, n, beta, c, ldc);
+
+  const bool accumulate = k > 0 && alpha != 0.0f;
+  const int64_t padded_m = GemmPackedRowTiles(m) * kGemmMR;
+
+  for (int64_t jc = 0; jc < n; jc += kGemmNC) {
+    const int64_t nc = std::min(kGemmNC, n - jc);
+    const int64_t strips = (nc + kGemmNR - 1) / kGemmNR;
+    if (accumulate) {
+      for (int64_t pc = 0; pc < k; pc += kGemmKC) {
+        const int64_t kcb = std::min(kGemmKC, k - pc);
+        float* bpack = GemmPackScratchB(kcb * strips * kGemmNR);
+        GemmPackB(tb, b, ldb, pc, kcb, jc, nc, bpack);
+        for (int64_t ta0 = t0; ta0 < t1; ta0 += kTilesPerMc) {
+          const int64_t ta1 = std::min(t1, ta0 + kTilesPerMc);
+          const float* apack;
+          int64_t a_tile_base;  // tile index whose panel sits at apack
+          if (prepacked_a != nullptr) {
+            apack = prepacked_a + pc * padded_m + ta0 * kGemmMR * kcb;
+            a_tile_base = ta0;
+          } else {
+            const int64_t i0 = ta0 * kGemmMR;
+            const int64_t mb = std::min(i_hi, ta1 * kGemmMR) - i0;
+            float* scratch = GemmPackScratchA((ta1 - ta0) * kGemmMR * kcb);
+            GemmPackA(ta, a, lda, i0, mb, pc, kcb, alpha, scratch);
+            apack = scratch;
+            a_tile_base = ta0;
+          }
+          for (int64_t u = 0; u < strips; ++u) {
+            const int nr =
+                static_cast<int>(std::min<int64_t>(kGemmNR, nc - u * kGemmNR));
+            const float* bstrip = bpack + u * kcb * kGemmNR;
+            for (int64_t t = ta0; t < ta1; ++t) {
+              const int mr =
+                  static_cast<int>(std::min<int64_t>(kGemmMR, i_hi - t * kGemmMR));
+              const float* atile = apack + (t - a_tile_base) * kGemmMR * kcb;
+              float* ctile = c + t * kGemmMR * ldc + jc + u * kGemmNR;
+              if (mr == kGemmMR && nr == kGemmNR) {
+                kernel.tile(kcb, atile, bstrip, ctile, ldc);
+              } else {
+                kernel.edge(kcb, atile, bstrip, ctile, ldc, mr, nr);
+              }
+            }
           }
         }
       }
     }
-  }
-}
-
-void GemmTnAccum(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
-                 const float* a, int64_t lda, const float* b, int64_t ldb,
-                 float* c, int64_t ldc) {
-  // A is stored KxM; A^T(i,p) = a[p*lda + i]. Per row i the updates still
-  // arrive in ascending p order, so row-splitting preserves bit-identity.
-  for (int64_t p = 0; p < k; ++p) {
-    const float* ap = a + p * lda;
-    const float* bp = b + p * ldb;
-    for (int64_t i = m0; i < m1; ++i) {
-      const float aip = alpha * ap[i];
-      float* ci = c + i * ldc;
-      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    if (epilogue != nullptr) {
+      ApplyEpilogue(*epilogue, i_lo, i_hi, jc, jc + nc, c, ldc);
     }
   }
 }
 
-void GemmNtAccum(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
-                 const float* a, int64_t lda, const float* b, int64_t ldb,
-                 float* c, int64_t ldc) {
-  // B is stored NxK; B^T(p,j) = b[j*ldb + p]. Dot-product form.
-  for (int64_t i = m0; i < m1; ++i) {
-    const float* ai = a + i * lda;
-    float* ci = c + i * ldc;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* bj = b + j * ldb;
-      float sum = 0.0f;
-      for (int64_t p = 0; p < k; ++p) sum += ai[p] * bj[p];
-      ci[j] += alpha * sum;
-    }
+void PackedGemm(const GemmKernel& kernel, bool ta, bool tb, int64_t m,
+                int64_t n, int64_t k, float alpha, const float* a, int64_t lda,
+                const float* prepacked_a, const float* b, int64_t ldb,
+                float beta, float* c, int64_t ldc,
+                const GemmEpilogue* epilogue) {
+  const int64_t tiles = GemmPackedRowTiles(m);
+  const int64_t total_flops = m * n * std::max<int64_t>(k, 1);
+  if (total_flops <= kGrainFlops) {
+    // Small problem: skip the thread-pool machinery entirely. Identical
+    // arithmetic to the parallel split by the determinism contract.
+    PackedRows(kernel, 0, tiles, ta, tb, m, n, k, alpha, a, lda, prepacked_a,
+               b, ldb, beta, c, ldc, epilogue);
+    return;
   }
+  const int64_t tile_flops =
+      std::max<int64_t>(1, kGemmMR * n * std::max<int64_t>(k, 1));
+  const int64_t grain = std::max<int64_t>(1, kGrainFlops / tile_flops);
+  ParallelFor(0, tiles, grain, [&](int64_t w0, int64_t w1, int) {
+    PackedRows(kernel, w0, w1, ta, tb, m, n, k, alpha, a, lda, prepacked_a, b,
+               ldb, beta, c, ldc, epilogue);
+  });
 }
 
-void GemmTtAccum(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
-                 const float* a, int64_t lda, const float* b, int64_t ldb,
-                 float* c, int64_t ldc) {
-  for (int64_t i = m0; i < m1; ++i) {
-    float* ci = c + i * ldc;
-    for (int64_t j = 0; j < n; ++j) {
-      float sum = 0.0f;
-      for (int64_t p = 0; p < k; ++p) sum += a[p * lda + i] * b[j * ldb + p];
-      ci[j] += alpha * sum;
+// The pre-packing escape hatch: unpacked reference kernels under the
+// seed's row-parallel decomposition. Same per-element chains as the
+// packed driver (same kernel family), so bitwise-identical output.
+void ReferenceGemm(const GemmKernel& kernel, bool ta, bool tb, int64_t m,
+                   int64_t n, int64_t k, float alpha, const float* a,
+                   int64_t lda, const float* b, int64_t ldb, float beta,
+                   float* c, int64_t ldc) {
+  const int64_t row_flops = std::max<int64_t>(1, n * std::max<int64_t>(1, k));
+  const int64_t grain = std::max<int64_t>(1, kGrainFlops / row_flops);
+  ParallelFor(0, m, grain, [&](int64_t m0, int64_t m1, int) {
+    BetaPass(m0, m1, n, beta, c, ldc);
+    if (k == 0 || alpha == 0.0f) return;
+    if (!ta && !tb) {
+      kernel.ref_nn(m0, m1, n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else if (ta && !tb) {
+      kernel.ref_tn(m0, m1, n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else if (!ta && tb) {
+      kernel.ref_nt(m0, m1, n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else {
+      kernel.ref_tt(m0, m1, n, k, alpha, a, lda, b, ldb, c, ldc);
     }
-  }
+  });
 }
 
 }  // namespace
@@ -97,40 +198,81 @@ void Gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
   THALI_CHECK_GE(n, 0);
   THALI_CHECK_GE(k, 0);
   if (m == 0 || n == 0) return;
+  // Degenerate: no accumulation and beta leaves C untouched.
+  if ((k == 0 || alpha == 0.0f) && beta == 1.0f) return;
 
-  // Threads own disjoint row blocks of C: beta-scaling and accumulation
-  // both happen inside the block, so no reduction across threads exists
-  // and the result is deterministic at any parallelism level.
-  const int64_t row_flops = std::max<int64_t>(1, n * std::max<int64_t>(1, k));
-  const int64_t grain = std::max<int64_t>(1, kGrainFlops / row_flops);
-  ParallelFor(0, m, grain, [&](int64_t m0, int64_t m1, int) {
-    if (beta != 1.0f) {
-      for (int64_t i = m0; i < m1; ++i) {
-        float* ci = c + i * ldc;
-        if (beta == 0.0f) {
-          std::fill(ci, ci + n, 0.0f);
-        } else {
-          for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
-        }
-      }
-    }
-    if (k == 0 || alpha == 0.0f) return;
-
-    if (!ta && !tb) {
-      GemmNnAccum(m0, m1, n, k, alpha, a, lda, b, ldb, c, ldc);
-    } else if (ta && !tb) {
-      GemmTnAccum(m0, m1, n, k, alpha, a, lda, b, ldb, c, ldc);
-    } else if (!ta && tb) {
-      GemmNtAccum(m0, m1, n, k, alpha, a, lda, b, ldb, c, ldc);
-    } else {
-      GemmTtAccum(m0, m1, n, k, alpha, a, lda, b, ldb, c, ldc);
-    }
-  });
+  const GemmKernel& kernel = SelectGemmKernel();
+  if (!GemmPackingEnabled()) {
+    ReferenceGemm(kernel, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                  ldc);
+    return;
+  }
+  PackedGemm(kernel, ta, tb, m, n, k, alpha, a, lda, /*prepacked_a=*/nullptr,
+             b, ldb, beta, c, ldc, /*epilogue=*/nullptr);
 }
 
 void MatMulAccumulate(int64_t m, int64_t n, int64_t k, const float* a,
                       const float* b, float* c) {
   Gemm(false, false, m, n, k, 1.0f, a, k, b, n, 1.0f, c, n);
 }
+
+void GemmPackWeights(const float* a, int64_t m, int64_t k, float* packed) {
+  GemmPackMatrixA(/*trans_a=*/false, a, /*lda=*/k, m, k, /*alpha=*/1.0f,
+                  packed);
+}
+
+void GemmPrepacked(int64_t m, int64_t n, int64_t k, const float* packed_a,
+                   bool tb, const float* b, int64_t ldb, float beta, float* c,
+                   int64_t ldc, const GemmEpilogue* epilogue) {
+  THALI_CHECK(GemmPackingEnabled());
+  THALI_CHECK_GT(m, 0);
+  THALI_CHECK_GT(n, 0);
+  THALI_CHECK_GT(k, 0);
+  PackedGemm(SelectGemmKernel(), /*ta=*/false, tb, m, n, k, /*alpha=*/1.0f,
+             /*a=*/nullptr, /*lda=*/0, packed_a, b, ldb, beta, c, ldc,
+             epilogue);
+}
+
+bool GemmPackingEnabled() {
+  const int override_value = g_packing_override.load(std::memory_order_acquire);
+  if (override_value >= 0) return override_value != 0;
+  static const bool env_disabled =
+      internal::NoPackEnvValueDisables(std::getenv("THALI_NO_PACK"));
+  return !env_disabled;
+}
+
+const char* GemmKernelName() { return SelectGemmKernel().name; }
+
+namespace internal {
+
+void GemmReference(bool ta, bool tb, int64_t m, int64_t n, int64_t k,
+                   float alpha, const float* a, int64_t lda, const float* b,
+                   int64_t ldb, float beta, float* c, int64_t ldc) {
+  if (m == 0 || n == 0) return;
+  const GemmKernel& kernel = SelectGemmKernel();
+  BetaPass(0, m, n, beta, c, ldc);
+  if (k == 0 || alpha == 0.0f) return;
+  if (!ta && !tb) {
+    kernel.ref_nn(0, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (ta && !tb) {
+    kernel.ref_tn(0, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (!ta && tb) {
+    kernel.ref_nt(0, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else {
+    kernel.ref_tt(0, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  }
+}
+
+void SetGemmPackingForTesting(int enabled) {
+  g_packing_override.store(enabled < 0 ? -1 : (enabled != 0 ? 1 : 0),
+                           std::memory_order_release);
+}
+
+bool NoPackEnvValueDisables(const char* value) {
+  if (value == nullptr || value[0] == '\0') return false;
+  return !(value[0] == '0' && value[1] == '\0');
+}
+
+}  // namespace internal
 
 }  // namespace thali

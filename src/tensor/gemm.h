@@ -9,10 +9,14 @@ namespace thali {
 // ta/tb select transposition of A/B. lda/ldb/ldc are leading dimensions
 // (row strides) of the *stored* matrices.
 //
-// This is the compute core of every convolutional layer (via im2col), so a
-// cache-blocked kernel with a vectorizable inner loop is used for the
-// non-transposed case; transposed variants fall back to a simple loop nest
-// (they only appear on the backward pass).
+// This is the compute core of every convolutional layer (via im2col). The
+// default path packs A and B into cache-friendly panels and runs a
+// register-tiled microkernel family chosen once per process by runtime
+// CPU detection (AVX2+FMA when available, portable scalar otherwise; see
+// gemm_microkernel.h for the accumulation-chain contract that keeps
+// results bitwise reproducible across thread counts and across the
+// packed / unpacked paths). Setting THALI_NO_PACK=1 in the environment
+// latches the unpacked row-parallel loop nest instead.
 void Gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
           const float* a, int64_t lda, const float* b, int64_t ldb, float beta,
           float* c, int64_t ldc);
@@ -20,6 +24,54 @@ void Gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
 // Convenience wrapper: C[MxN] += A[MxK] * B[KxN], all tightly packed.
 void MatMulAccumulate(int64_t m, int64_t n, int64_t k, const float* a,
                       const float* b, float* c);
+
+// Optional fused write-back for GemmPrepacked. Replicates, element for
+// element, the conv layer's post-GEMM passes (bias add, then leaky/ReLU),
+// so fusing them into the GEMM's C traversal is bitwise-neutral.
+enum class GemmActivation { kNone, kLeaky, kRelu };
+
+struct GemmEpilogue {
+  const float* bias = nullptr;  // length m; row i of C gets bias[i] added
+  GemmActivation activation = GemmActivation::kNone;
+};
+
+// Pack the m x k matrix A (not transposed, lda == k, alpha == 1) for
+// GemmPrepacked. `packed` must hold GemmPackedWeightFloats(m, k) floats
+// (gemm_pack.h). Conv layers do this once per weight update so inference
+// skips the A-packing traffic on every forward pass.
+void GemmPackWeights(const float* a, int64_t m, int64_t k, float* packed);
+
+// C = A * B + beta * C with a pre-packed A (GemmPackWeights), plus an
+// optional fused epilogue applied to C after the accumulation finishes.
+// Only valid when the packed path is enabled (GemmPackingEnabled()).
+void GemmPrepacked(int64_t m, int64_t n, int64_t k, const float* packed_a,
+                   bool tb, const float* b, int64_t ldb, float beta, float* c,
+                   int64_t ldc, const GemmEpilogue* epilogue = nullptr);
+
+// False when THALI_NO_PACK=1 (or a testing override) disables the packed
+// driver. Callers holding pre-packed weights must re-check this per call.
+bool GemmPackingEnabled();
+
+// Name of the microkernel family this host dispatches to (for logs).
+const char* GemmKernelName();
+
+namespace internal {
+
+// Sequential oracle: the unpacked reference kernels of the dispatched
+// family, no thread pool involved. The packed path must match it bitwise.
+void GemmReference(bool ta, bool tb, int64_t m, int64_t n, int64_t k,
+                   float alpha, const float* a, int64_t lda, const float* b,
+                   int64_t ldb, float beta, float* c, int64_t ldc);
+
+// Force the packed path on (1) / off (0) or restore the THALI_NO_PACK
+// environment default (-1).
+void SetGemmPackingForTesting(int enabled);
+
+// True when the given THALI_NO_PACK value disables packing (any
+// non-empty string except "0").
+bool NoPackEnvValueDisables(const char* value);
+
+}  // namespace internal
 
 }  // namespace thali
 

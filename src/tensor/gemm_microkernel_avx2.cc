@@ -1,0 +1,286 @@
+// AVX2+FMA kernel family. This translation unit is the only one in the
+// library compiled with -mavx2 -mfma (per-file COMPILE_OPTIONS in
+// src/tensor/CMakeLists.txt); everything it exports is reached through
+// runtime dispatch (SelectGemmKernel) guarded by CpuInfo(), so the
+// binary still runs on baseline x86-64 hosts.
+
+#include "tensor/gemm_microkernel.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include "tensor/gemm_tile_impl.h"
+
+namespace thali {
+
+namespace {
+
+using gemm_detail::FmaOp;
+
+// mr x 16 register tile (mr <= 6): two ymm accumulators per C row, one
+// ascending-k stream of rank-1 updates. Each C element sees exactly the
+// canonical fused chain — vector lanes are independent elements, so the
+// SIMD width never mixes accumulation orders. Templating over the row
+// count keeps ragged row-edges (m % 6 != 0) on vector code at full NR.
+//
+// The accumulators are individually named variables, NOT a __m256 array:
+// GCC register-allocates named __m256 locals but keeps an array's backing
+// store live, spilling every accumulator to the stack each k-step (12
+// extra stores per iteration, enough to turn an FMA-bound loop into a
+// store-port-bound one).
+template <int MR_>
+void TileAvx2(int64_t kc, const float* a, const float* b, float* c,
+              int64_t ldc) {
+  static_assert(MR_ >= 1 && MR_ <= kGemmMR, "row count exceeds panel stride");
+  __m256 c00, c01, c10, c11, c20, c21, c30, c31, c40, c41, c50, c51;
+  c00 = _mm256_loadu_ps(c);
+  c01 = _mm256_loadu_ps(c + 8);
+  if constexpr (MR_ > 1) {
+    c10 = _mm256_loadu_ps(c + ldc);
+    c11 = _mm256_loadu_ps(c + ldc + 8);
+  }
+  if constexpr (MR_ > 2) {
+    c20 = _mm256_loadu_ps(c + 2 * ldc);
+    c21 = _mm256_loadu_ps(c + 2 * ldc + 8);
+  }
+  if constexpr (MR_ > 3) {
+    c30 = _mm256_loadu_ps(c + 3 * ldc);
+    c31 = _mm256_loadu_ps(c + 3 * ldc + 8);
+  }
+  if constexpr (MR_ > 4) {
+    c40 = _mm256_loadu_ps(c + 4 * ldc);
+    c41 = _mm256_loadu_ps(c + 4 * ldc + 8);
+  }
+  if constexpr (MR_ > 5) {
+    c50 = _mm256_loadu_ps(c + 5 * ldc);
+    c51 = _mm256_loadu_ps(c + 5 * ldc + 8);
+  }
+  const float* ap = a;
+  const float* bp = b;
+  for (int64_t p = 0; p < kc; ++p) {
+    // Packed B panels are 64-byte aligned with NR*sizeof(float) = 64-byte
+    // rows, so aligned loads are safe for every p.
+    const __m256 b0 = _mm256_load_ps(bp);
+    const __m256 b1 = _mm256_load_ps(bp + 8);
+    __m256 ar = _mm256_broadcast_ss(ap);
+    c00 = _mm256_fmadd_ps(ar, b0, c00);
+    c01 = _mm256_fmadd_ps(ar, b1, c01);
+    if constexpr (MR_ > 1) {
+      ar = _mm256_broadcast_ss(ap + 1);
+      c10 = _mm256_fmadd_ps(ar, b0, c10);
+      c11 = _mm256_fmadd_ps(ar, b1, c11);
+    }
+    if constexpr (MR_ > 2) {
+      ar = _mm256_broadcast_ss(ap + 2);
+      c20 = _mm256_fmadd_ps(ar, b0, c20);
+      c21 = _mm256_fmadd_ps(ar, b1, c21);
+    }
+    if constexpr (MR_ > 3) {
+      ar = _mm256_broadcast_ss(ap + 3);
+      c30 = _mm256_fmadd_ps(ar, b0, c30);
+      c31 = _mm256_fmadd_ps(ar, b1, c31);
+    }
+    if constexpr (MR_ > 4) {
+      ar = _mm256_broadcast_ss(ap + 4);
+      c40 = _mm256_fmadd_ps(ar, b0, c40);
+      c41 = _mm256_fmadd_ps(ar, b1, c41);
+    }
+    if constexpr (MR_ > 5) {
+      ar = _mm256_broadcast_ss(ap + 5);
+      c50 = _mm256_fmadd_ps(ar, b0, c50);
+      c51 = _mm256_fmadd_ps(ar, b1, c51);
+    }
+    ap += kGemmMR;
+    bp += kGemmNR;
+  }
+  _mm256_storeu_ps(c, c00);
+  _mm256_storeu_ps(c + 8, c01);
+  if constexpr (MR_ > 1) {
+    _mm256_storeu_ps(c + ldc, c10);
+    _mm256_storeu_ps(c + ldc + 8, c11);
+  }
+  if constexpr (MR_ > 2) {
+    _mm256_storeu_ps(c + 2 * ldc, c20);
+    _mm256_storeu_ps(c + 2 * ldc + 8, c21);
+  }
+  if constexpr (MR_ > 3) {
+    _mm256_storeu_ps(c + 3 * ldc, c30);
+    _mm256_storeu_ps(c + 3 * ldc + 8, c31);
+  }
+  if constexpr (MR_ > 4) {
+    _mm256_storeu_ps(c + 4 * ldc, c40);
+    _mm256_storeu_ps(c + 4 * ldc + 8, c41);
+  }
+  if constexpr (MR_ > 5) {
+    _mm256_storeu_ps(c + 5 * ldc, c50);
+    _mm256_storeu_ps(c + 5 * ldc + 8, c51);
+  }
+}
+
+// Ragged column edge (nr < 16), still full vector width: the packed B
+// strip is zero-padded to NR, so the FMA stream can run all 16 lanes —
+// dead lanes accumulate garbage*0 and are masked away at the C
+// load/store (maskload also keeps the loads in bounds). Live lanes see
+// the exact full-tile chain.
+template <int MR_>
+void TileAvx2Masked(int64_t kc, const float* a, const float* b, float* c,
+                    int64_t ldc, __m256i mask0, __m256i mask1) {
+  static_assert(MR_ >= 1 && MR_ <= kGemmMR, "row count exceeds panel stride");
+  __m256 c00, c01, c10, c11, c20, c21, c30, c31, c40, c41, c50, c51;
+  c00 = _mm256_maskload_ps(c, mask0);
+  c01 = _mm256_maskload_ps(c + 8, mask1);
+  if constexpr (MR_ > 1) {
+    c10 = _mm256_maskload_ps(c + ldc, mask0);
+    c11 = _mm256_maskload_ps(c + ldc + 8, mask1);
+  }
+  if constexpr (MR_ > 2) {
+    c20 = _mm256_maskload_ps(c + 2 * ldc, mask0);
+    c21 = _mm256_maskload_ps(c + 2 * ldc + 8, mask1);
+  }
+  if constexpr (MR_ > 3) {
+    c30 = _mm256_maskload_ps(c + 3 * ldc, mask0);
+    c31 = _mm256_maskload_ps(c + 3 * ldc + 8, mask1);
+  }
+  if constexpr (MR_ > 4) {
+    c40 = _mm256_maskload_ps(c + 4 * ldc, mask0);
+    c41 = _mm256_maskload_ps(c + 4 * ldc + 8, mask1);
+  }
+  if constexpr (MR_ > 5) {
+    c50 = _mm256_maskload_ps(c + 5 * ldc, mask0);
+    c51 = _mm256_maskload_ps(c + 5 * ldc + 8, mask1);
+  }
+  const float* ap = a;
+  const float* bp = b;
+  for (int64_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_load_ps(bp);
+    const __m256 b1 = _mm256_load_ps(bp + 8);
+    __m256 ar = _mm256_broadcast_ss(ap);
+    c00 = _mm256_fmadd_ps(ar, b0, c00);
+    c01 = _mm256_fmadd_ps(ar, b1, c01);
+    if constexpr (MR_ > 1) {
+      ar = _mm256_broadcast_ss(ap + 1);
+      c10 = _mm256_fmadd_ps(ar, b0, c10);
+      c11 = _mm256_fmadd_ps(ar, b1, c11);
+    }
+    if constexpr (MR_ > 2) {
+      ar = _mm256_broadcast_ss(ap + 2);
+      c20 = _mm256_fmadd_ps(ar, b0, c20);
+      c21 = _mm256_fmadd_ps(ar, b1, c21);
+    }
+    if constexpr (MR_ > 3) {
+      ar = _mm256_broadcast_ss(ap + 3);
+      c30 = _mm256_fmadd_ps(ar, b0, c30);
+      c31 = _mm256_fmadd_ps(ar, b1, c31);
+    }
+    if constexpr (MR_ > 4) {
+      ar = _mm256_broadcast_ss(ap + 4);
+      c40 = _mm256_fmadd_ps(ar, b0, c40);
+      c41 = _mm256_fmadd_ps(ar, b1, c41);
+    }
+    if constexpr (MR_ > 5) {
+      ar = _mm256_broadcast_ss(ap + 5);
+      c50 = _mm256_fmadd_ps(ar, b0, c50);
+      c51 = _mm256_fmadd_ps(ar, b1, c51);
+    }
+    ap += kGemmMR;
+    bp += kGemmNR;
+  }
+  _mm256_maskstore_ps(c, mask0, c00);
+  _mm256_maskstore_ps(c + 8, mask1, c01);
+  if constexpr (MR_ > 1) {
+    _mm256_maskstore_ps(c + ldc, mask0, c10);
+    _mm256_maskstore_ps(c + ldc + 8, mask1, c11);
+  }
+  if constexpr (MR_ > 2) {
+    _mm256_maskstore_ps(c + 2 * ldc, mask0, c20);
+    _mm256_maskstore_ps(c + 2 * ldc + 8, mask1, c21);
+  }
+  if constexpr (MR_ > 3) {
+    _mm256_maskstore_ps(c + 3 * ldc, mask0, c30);
+    _mm256_maskstore_ps(c + 3 * ldc + 8, mask1, c31);
+  }
+  if constexpr (MR_ > 4) {
+    _mm256_maskstore_ps(c + 4 * ldc, mask0, c40);
+    _mm256_maskstore_ps(c + 4 * ldc + 8, mask1, c41);
+  }
+  if constexpr (MR_ > 5) {
+    _mm256_maskstore_ps(c + 5 * ldc, mask0, c50);
+    _mm256_maskstore_ps(c + 5 * ldc + 8, mask1, c51);
+  }
+}
+
+// kMaskTable + (16 - nr) yields 16 lane masks whose first nr entries are
+// live (all-ones).
+alignas(32) constexpr int32_t kMaskTable[32] = {
+    -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+    0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0};
+
+void EdgeAvx2(int64_t kc, const float* a, const float* b, float* c,
+              int64_t ldc, int mr, int nr) {
+  if (nr == kGemmNR) {
+    switch (mr) {
+      case 1:
+        return TileAvx2<1>(kc, a, b, c, ldc);
+      case 2:
+        return TileAvx2<2>(kc, a, b, c, ldc);
+      case 3:
+        return TileAvx2<3>(kc, a, b, c, ldc);
+      case 4:
+        return TileAvx2<4>(kc, a, b, c, ldc);
+      case 5:
+        return TileAvx2<5>(kc, a, b, c, ldc);
+      case 6:
+        return TileAvx2<6>(kc, a, b, c, ldc);
+    }
+  }
+  const __m256i mask0 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMaskTable + (kGemmNR - nr)));
+  const __m256i mask1 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMaskTable + (kGemmNR - nr) + 8));
+  switch (mr) {
+    case 1:
+      return TileAvx2Masked<1>(kc, a, b, c, ldc, mask0, mask1);
+    case 2:
+      return TileAvx2Masked<2>(kc, a, b, c, ldc, mask0, mask1);
+    case 3:
+      return TileAvx2Masked<3>(kc, a, b, c, ldc, mask0, mask1);
+    case 4:
+      return TileAvx2Masked<4>(kc, a, b, c, ldc, mask0, mask1);
+    case 5:
+      return TileAvx2Masked<5>(kc, a, b, c, ldc, mask0, mask1);
+    case 6:
+      return TileAvx2Masked<6>(kc, a, b, c, ldc, mask0, mask1);
+  }
+  // Unreachable for valid 1 <= mr <= 6; keep the scalar fused chain as a
+  // defensive fallback (bitwise-identical to the vector lanes).
+  gemm_detail::EdgeGeneric<FmaOp>(kc, a, b, c, ldc, mr, nr);
+}
+
+const GemmKernel kAvx2Kernel = {
+    /*name=*/"avx2-fma-6x16",
+    /*fused=*/true,
+    /*tile=*/&TileAvx2<kGemmMR>,
+    /*edge=*/&EdgeAvx2,
+    /*ref_nn=*/&gemm_detail::RefNn<FmaOp>,
+    /*ref_tn=*/&gemm_detail::RefTn<FmaOp>,
+    /*ref_nt=*/&gemm_detail::RefNt<FmaOp>,
+    /*ref_tt=*/&gemm_detail::RefTt<FmaOp>,
+};
+
+}  // namespace
+
+const GemmKernel* Avx2GemmKernel() { return &kAvx2Kernel; }
+
+}  // namespace thali
+
+#else  // !(__AVX2__ && __FMA__): non-x86 target or compiler without the
+       // per-file flags; the family simply does not exist in this build.
+
+namespace thali {
+
+const GemmKernel* Avx2GemmKernel() { return nullptr; }
+
+}  // namespace thali
+
+#endif

@@ -195,12 +195,13 @@ TEST(SummaryTest, ListsEveryLayerAndTotals) {
       StrFormat("total: %lld parameters",
                 static_cast<long long>(built->net->NumParameters()));
   EXPECT_NE(summary.find(want), std::string::npos);
-  // One line per layer plus header and footer.
+  // One line per layer plus header and two footer lines (totals, gemm).
   int lines = 0;
   for (char c : summary) {
     if (c == '\n') ++lines;
   }
-  EXPECT_EQ(lines, built->net->num_layers() + 2);
+  EXPECT_EQ(lines, built->net->num_layers() + 3);
+  EXPECT_NE(summary.find("gemm: "), std::string::npos);
 }
 
 class WeightsIoTest : public ::testing::Test {

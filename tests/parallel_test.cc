@@ -8,15 +8,18 @@
 #include <cstring>
 #include <memory>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "base/rng.h"
 #include "base/thread_pool.h"
 #include "core/trainer.h"
+#include "darknet/cfg.h"
 #include "darknet/model_zoo.h"
 #include "data/food_classes.h"
 #include "nn/conv_layer.h"
 #include "nn/network.h"
+#include "nn/yolo_layer.h"
 #include "tensor/gemm.h"
 
 namespace thali {
@@ -27,7 +30,10 @@ namespace {
 // the rest of the suite.
 class ParallelTest : public ::testing::Test {
  protected:
-  void TearDown() override { SetMaxParallelism(1); }
+  void TearDown() override {
+    SetMaxParallelism(1);
+    internal::SetGemmPackingForTesting(-1);
+  }
 };
 
 TEST_F(ParallelTest, ThreadPoolStartupShutdownRunsAllTasks) {
@@ -195,6 +201,102 @@ TEST_F(ParallelTest, GemmBitwiseIdenticalAcrossThreadCounts) {
          cs.pb->data(), cs.ldb, cs.beta, c4.data(), n);
     EXPECT_EQ(std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(float)), 0)
         << "ta=" << cs.ta << " tb=" << cs.tb;
+  }
+}
+
+TEST_F(ParallelTest, PackedGemmBitwiseIdenticalAcrossThreadsAndPaths) {
+  // Sizes straddle every cache block (MC=120, NC=512, KC=256). The packed
+  // driver at any thread count, and the THALI_NO_PACK reference path,
+  // must all match the sequential oracle bitwise.
+  const int64_t m = 131, n = 531, kk = 307;
+  const auto a = RandomVec(m * kk, 21), b = RandomVec(kk * n, 22);
+  const auto c0 = RandomVec(m * n, 23);
+
+  std::vector<float> c_ref = c0;
+  internal::GemmReference(false, false, m, n, kk, 1.0f, a.data(), kk,
+                          b.data(), n, 0.5f, c_ref.data(), n);
+
+  for (const int packing : {1, 0}) {
+    internal::SetGemmPackingForTesting(packing);
+    for (const int threads : {1, 2, 4}) {
+      SetMaxParallelism(threads);
+      std::vector<float> c = c0;
+      Gemm(false, false, m, n, kk, 1.0f, a.data(), kk, b.data(), n, 0.5f,
+           c.data(), n);
+      EXPECT_EQ(std::memcmp(c.data(), c_ref.data(), c.size() * sizeof(float)),
+                0)
+          << "packing=" << packing << " threads=" << threads;
+    }
+  }
+  internal::SetGemmPackingForTesting(-1);
+}
+
+// Full yolov4-thali inference forward; returns the detection-head
+// activations flattened for bitwise comparison. `fold_bn` folds batch
+// norm into weights/biases first, which routes every conv through the
+// fused bias+activation GEMM epilogue when packing is on.
+std::vector<float> ThaliInferenceForward(int threads, bool packing,
+                                         bool fold_bn) {
+  SetMaxParallelism(threads);
+  internal::SetGemmPackingForTesting(packing ? 1 : 0);
+  YoloThaliOptions yo;
+  Rng rng(4242);
+  auto built = BuildNetworkFromCfg(YoloThaliCfg(yo), /*batch_override=*/1,
+                                   rng, ExecMode::kInference);
+  THALI_CHECK_OK(built.status());
+  Network& net = *built->net;
+  if (fold_bn) {
+    for (int i = 0; i < net.num_layers(); ++i) {
+      if (std::string_view(net.layer(i).kind()) == "convolutional") {
+        static_cast<ConvLayer&>(net.layer(i)).FoldBatchNorm();
+      }
+    }
+  }
+  Tensor input(net.input_shape());
+  Rng irng(17);
+  for (int64_t i = 0; i < input.size(); ++i) input[i] = irng.NextGaussian();
+  net.Forward(input, /*train=*/false);
+  std::vector<float> flat;
+  for (YoloLayer* head : built->yolo_layers) {
+    const Tensor& out = head->output();
+    flat.insert(flat.end(), out.data(), out.data() + out.size());
+  }
+  internal::SetGemmPackingForTesting(-1);
+  return flat;
+}
+
+TEST_F(ParallelTest, ThaliInferenceBitwiseIdenticalAcrossThreadsAndPacking) {
+  const std::vector<float> base = ThaliInferenceForward(1, true, false);
+  ASSERT_FALSE(base.empty());
+  for (const bool packing : {true, false}) {
+    for (const int threads : {1, 2, 4}) {
+      if (packing && threads == 1) continue;  // that's `base`
+      const std::vector<float> got =
+          ThaliInferenceForward(threads, packing, false);
+      ASSERT_EQ(got.size(), base.size());
+      EXPECT_EQ(
+          std::memcmp(got.data(), base.data(), got.size() * sizeof(float)), 0)
+          << "packing=" << packing << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelTest, FoldedThaliInferenceBitwiseIdenticalWithFusedEpilogue) {
+  // Folded batch norm makes every conv eligible for the fused
+  // bias+activation write-back; packed (fused) and no-pack (staged
+  // passes) runs must still agree bitwise at every thread count.
+  const std::vector<float> base = ThaliInferenceForward(1, true, true);
+  ASSERT_FALSE(base.empty());
+  for (const bool packing : {true, false}) {
+    for (const int threads : {1, 4}) {
+      if (packing && threads == 1) continue;
+      const std::vector<float> got =
+          ThaliInferenceForward(threads, packing, true);
+      ASSERT_EQ(got.size(), base.size());
+      EXPECT_EQ(
+          std::memcmp(got.data(), base.data(), got.size() * sizeof(float)), 0)
+          << "packing=" << packing << " threads=" << threads;
+    }
   }
 }
 
