@@ -1,6 +1,9 @@
 #include "bench_common.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <numeric>
 
 #include "base/file_util.h"
 #include "base/stopwatch.h"
@@ -54,6 +57,31 @@ std::vector<CheckpointMetric> LoadTable2() {
 }
 
 }  // namespace
+
+double Percentile(const std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+LatencySummary Summarize(const std::vector<double>& samples_ms) {
+  LatencySummary s;
+  if (samples_ms.empty()) return s;
+  s.count = static_cast<int64_t>(samples_ms.size());
+  s.mean_ms = std::accumulate(samples_ms.begin(), samples_ms.end(), 0.0) /
+              static_cast<double>(samples_ms.size());
+  s.p50_ms = Percentile(samples_ms, 50);
+  s.p95_ms = Percentile(samples_ms, 95);
+  s.p99_ms = Percentile(samples_ms, 99);
+  s.max_ms = *std::max_element(samples_ms.begin(), samples_ms.end());
+  return s;
+}
 
 DatasetSpec StandardSpec() {
   DatasetSpec spec;

@@ -1,6 +1,7 @@
 #ifndef THALI_BENCH_BENCH_COMMON_H_
 #define THALI_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,23 @@ DatasetSpec StandardSpec();
 
 // The standard detector cfg used across benches.
 std::string StandardCfg();
+
+// Exact percentile over raw samples: sorts a copy and linearly
+// interpolates between the two nearest ranks (p in [0, 100]). Returns 0
+// on an empty sample set. This is the ground truth the serving metrics
+// tests check the fixed-bucket histogram estimates against.
+double Percentile(const std::vector<double>& samples, double p);
+
+// Five-number latency summary computed from raw millisecond samples.
+struct LatencySummary {
+  int64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+LatencySummary Summarize(const std::vector<double>& samples_ms);
 
 // Trains (or loads from thali_cache) the shared model; `log` enables
 // training progress output. Aborts the process on unrecoverable errors —

@@ -1,0 +1,167 @@
+// Serving benchmark: a closed-loop load generator against the in-process
+// inference server (src/serve). Sweeps offered concurrency (number of
+// closed-loop clients, each submit -> wait -> submit) against the server's
+// max_batch_size and records throughput plus p50/p99 end-to-end latency
+// per configuration into BENCH_serving.json.
+//
+// The acceptance question the sweep answers: does dynamic micro-batching
+// (max_batch_size >= 4) beat batch-1 serving throughput once offered
+// concurrency reaches 4? Batching amortizes per-forward fixed costs
+// (batch re-planning, im2col setup, per-call dispatch) across requests,
+// at a bounded latency cost governed by max_linger.
+//
+// Uses randomly initialized weights (inference cost is independent of
+// weight values), so this bench never needs the trained-model cache.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/file_util.h"
+#include "base/logging.h"
+#include "base/stopwatch.h"
+#include "base/string_util.h"
+#include "bench_common.h"
+#include "data/food_classes.h"
+#include "data/renderer.h"
+#include "serve/server.h"
+
+namespace thali {
+namespace {
+
+// Each configuration runs a warmup phase (first forwards pre-pack
+// weights, plan the arena for the steady-state batch size, and fault in
+// buffers) before the measured window. The few-percent batching effect
+// under test is smaller than cold-start noise, so warmup samples are
+// discarded.
+constexpr double kWarmupSeconds = 0.5;
+constexpr double kMeasureSeconds = 2.5;
+
+Image BenchImage(uint64_t seed) {
+  PlatterRenderer renderer(IndianFood10(), PlatterRenderer::Options{});
+  Rng rng(seed);
+  return renderer.RenderRandomPlatter(3, rng).image;
+}
+
+struct SweepResult {
+  int concurrency = 0;
+  int max_batch_size = 0;
+  int64_t requests = 0;
+  double throughput_rps = 0.0;
+  double mean_batch = 0.0;
+  bench::LatencySummary latency;
+};
+
+// Runs one (concurrency, max_batch_size) configuration for
+// kSecondsPerConfig of closed-loop load and reports client-observed
+// latency (which includes any backpressure retries).
+SweepResult RunConfig(const std::string& cfg, int concurrency,
+                      int max_batch_size) {
+  serve::Server::Options opts;
+  opts.num_workers = 1;  // single worker: isolates the batching effect
+  opts.queue_capacity = 2 * concurrency + max_batch_size;
+  opts.max_batch_size = max_batch_size;
+  opts.max_linger = std::chrono::microseconds(2000);
+  auto server_or = serve::Server::Create(
+      opts, [&cfg] { return Detector::FromCfg(cfg, /*seed=*/7); });
+  THALI_CHECK(server_or.ok()) << server_or.status().ToString();
+  serve::Server& server = **server_or;
+
+  std::vector<std::vector<double>> client_latencies(
+      static_cast<size_t>(concurrency));
+  std::vector<std::thread> clients;
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&server, &client_latencies, c] {
+      Image img = BenchImage(4242 + static_cast<uint64_t>(c));
+      Stopwatch wall;
+      while (wall.ElapsedSeconds() < kWarmupSeconds + kMeasureSeconds) {
+        Stopwatch request;
+        auto fut = server.Submit(img);
+        if (!fut.ok()) {
+          // Backpressure: closed-loop clients simply retry.
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          continue;
+        }
+        auto result = fut->get();
+        THALI_CHECK(result.ok()) << result.status().ToString();
+        if (wall.ElapsedSeconds() >= kWarmupSeconds) {
+          client_latencies[static_cast<size_t>(c)].push_back(
+              request.ElapsedMillis());
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Shutdown();
+
+  std::vector<double> all;
+  for (const auto& v : client_latencies) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  SweepResult r;
+  r.concurrency = concurrency;
+  r.max_batch_size = max_batch_size;
+  r.requests = static_cast<int64_t>(all.size());
+  r.throughput_rps = static_cast<double>(all.size()) / kMeasureSeconds;
+  r.mean_batch = server.metrics().MeanBatchSize();
+  r.latency = bench::Summarize(all);
+  return r;
+}
+
+void WriteServingBench() {
+  const std::string cfg = bench::StandardCfg();
+  const int concurrencies[] = {1, 2, 4, 8};
+  const int batch_sizes[] = {1, 4, 8};
+
+  std::vector<SweepResult> results;
+  for (int conc : concurrencies) {
+    for (int mbs : batch_sizes) {
+      SweepResult r = RunConfig(cfg, conc, mbs);
+      std::printf(
+          "concurrency=%d max_batch=%d  %7.1f req/s  mean_batch=%.2f  "
+          "p50=%.2fms p99=%.2fms\n",
+          r.concurrency, r.max_batch_size, r.throughput_rps, r.mean_batch,
+          r.latency.p50_ms, r.latency.p99_ms);
+      results.push_back(r);
+    }
+  }
+
+  std::string json;
+  json += "{\n";
+  json +=
+      "  \"note\": \"closed-loop serving sweep on yolov4-thali 96x96, 1 "
+      "detector worker, 2ms max_linger: N clients each submit one request "
+      "and wait for its future before submitting the next. throughput_rps "
+      "counts completed requests over the measurement window; latency is "
+      "client-observed end-to-end ms (exact sample percentiles, not "
+      "histogram estimates). mean_batch is the average formed batch "
+      "size. Each config runs a discarded warmup phase before the "
+      "measured window.\",\n";
+  json += "  \"model\": \"yolov4-thali 96x96\",\n";
+  json += StrFormat("  \"warmup_seconds\": %.1f,\n", kWarmupSeconds);
+  json += StrFormat("  \"seconds_per_config\": %.1f,\n", kMeasureSeconds);
+  json += "  \"rows\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    json += StrFormat(
+        "    {\"concurrency\": %d, \"max_batch_size\": %d, \"requests\": "
+        "%lld, \"throughput_rps\": %.2f, \"mean_batch\": %.2f, \"p50_ms\": "
+        "%.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f}%s\n",
+        r.concurrency, r.max_batch_size,
+        static_cast<long long>(r.requests), r.throughput_rps, r.mean_batch,
+        r.latency.p50_ms, r.latency.p95_ms, r.latency.p99_ms,
+        r.latency.max_ms, i + 1 == results.size() ? "" : ",");
+  }
+  json += "  ]\n}\n";
+  THALI_CHECK_OK(WriteStringToFile("BENCH_serving.json", json));
+  THALI_LOG(Info) << "wrote BENCH_serving.json";
+}
+
+}  // namespace
+}  // namespace thali
+
+int main() {
+  thali::WriteServingBench();
+  return 0;
+}

@@ -48,13 +48,13 @@ std::vector<Detection> CollectDetections(
   return Nms(std::move(all), nms_threshold);
 }
 
-std::vector<Detection> Detector::Detect(const Image& image) const {
+std::vector<Detection> Detector::Detect(const Image& image) {
   return Detect(image, opts_.conf_threshold, opts_.nms_threshold);
 }
 
 std::vector<Detection> Detector::Detect(const Image& image,
                                         float conf_threshold,
-                                        float nms_threshold) const {
+                                        float nms_threshold) {
   std::vector<std::vector<Detection>> per_image =
       DetectBatch(std::span<const Image>(&image, 1), conf_threshold,
                   nms_threshold);
@@ -62,20 +62,40 @@ std::vector<Detection> Detector::Detect(const Image& image,
 }
 
 std::vector<std::vector<Detection>> Detector::DetectBatch(
-    std::span<const Image> images) const {
+    std::span<const Image> images) {
   return DetectBatch(images, opts_.conf_threshold, opts_.nms_threshold);
 }
 
+namespace {
+
+// Flips the Detector reentrancy flag for one detection call, trapping
+// concurrent entry from a second thread.
+class ReentrancyGuard {
+ public:
+  explicit ReentrancyGuard(std::atomic<bool>& flag) : flag_(flag) {
+    THALI_CHECK(!flag_.exchange(true, std::memory_order_acquire))
+        << "Detector entered concurrently: Detect/DetectBatch mutate the "
+           "network, so each Detector admits one caller at a time (use one "
+           "Detector per thread; see core/detector.h)";
+  }
+  ~ReentrancyGuard() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool>& flag_;
+};
+
+}  // namespace
+
 std::vector<std::vector<Detection>> Detector::DetectBatch(
     std::span<const Image> images, float conf_threshold,
-    float nms_threshold) const {
+    float nms_threshold) {
+  ReentrancyGuard guard(in_detect_);
   const int n = static_cast<int>(images.size());
   if (n == 0) return {};
   const int nw = net_->input_width();
   const int nh = net_->input_height();
 
-  // Re-plan buffers when the request size differs from the current batch
-  // (net_ is logically mutable detection state behind the const API).
+  // Re-plan buffers when the request size differs from the current batch.
   if (net_->batch() != n) THALI_CHECK_OK(net_->SetBatch(n));
 
   // Letterbox + load each image into its batch slot. Slots are disjoint
@@ -88,7 +108,10 @@ std::vector<std::vector<Detection>> Detector::DetectBatch(
     int pad_y = 0;
   };
   std::vector<Mapping> mappings(static_cast<size_t>(n));
-  Tensor input(net_->input_shape());
+  if (!(input_staging_.shape() == net_->input_shape())) {
+    input_staging_.Resize(net_->input_shape());
+  }
+  Tensor& input = input_staging_;
   const int64_t plane = static_cast<int64_t>(3) * nh * nw;
   ParallelFor(0, n, 1, [&](int64_t b0, int64_t b1, int) {
     for (int64_t b = b0; b < b1; ++b) {

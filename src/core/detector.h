@@ -1,6 +1,7 @@
 #ifndef THALI_CORE_DETECTOR_H_
 #define THALI_CORE_DETECTOR_H_
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <string>
@@ -12,6 +13,7 @@
 #include "image/image.h"
 #include "nn/detection_head.h"
 #include "nn/network.h"
+#include "tensor/tensor.h"
 
 namespace thali {
 
@@ -23,6 +25,13 @@ namespace thali {
 // no delta tensors, activations arena-planned (see nn/exec_plan.h).
 // Batch size adapts dynamically — Detect runs at batch 1, DetectBatch
 // re-plans buffers to the request size via Network::SetBatch.
+//
+// Thread-safety contract: a Detector serializes callers. Detect and
+// DetectBatch mutate the network (batch re-planning, activation buffers),
+// so at most one detection call may be in flight per Detector at a time —
+// concurrent entry is a checked error. Code that wants parallel inference
+// gives each thread its own Detector instance (serve/server.cc does
+// exactly this: one Detector per worker).
 class Detector {
  public:
   struct Options {
@@ -48,17 +57,31 @@ class Detector {
   Detector(std::unique_ptr<Network> net, std::vector<DetectionHead*> heads)
       : Detector(std::move(net), std::move(heads), Options()) {}
 
-  Detector(Detector&&) = default;
-  Detector& operator=(Detector&&) = default;
+  // Moving a Detector with a detection call in flight is a caller bug;
+  // the moved-to instance starts with an idle reentrancy guard.
+  Detector(Detector&& other) noexcept
+      : net_(std::move(other.net_)),
+        heads_(std::move(other.heads_)),
+        opts_(other.opts_),
+        input_staging_(std::move(other.input_staging_)) {}
+  Detector& operator=(Detector&& other) noexcept {
+    net_ = std::move(other.net_);
+    heads_ = std::move(other.heads_);
+    opts_ = other.opts_;
+    input_staging_ = std::move(other.input_staging_);
+    return *this;
+  }
 
   // Runs detection on one image. Images whose size differs from the
   // network input are letterboxed; returned boxes are mapped back to the
   // original image frame and NMS-filtered, sorted by confidence.
-  std::vector<Detection> Detect(const Image& image) const;
+  // Non-const: re-plans network buffers (see the thread-safety contract
+  // above).
+  std::vector<Detection> Detect(const Image& image);
 
   // As Detect, with explicit thresholds.
   std::vector<Detection> Detect(const Image& image, float conf_threshold,
-                                float nms_threshold) const;
+                                float nms_threshold);
 
   // Runs detection on N images in one forward pass. Per-image results
   // are bitwise identical to N separate Detect calls (batch items never
@@ -66,10 +89,10 @@ class Detector {
   // convolutions). The network's batch dimension is re-planned to
   // images.size() on demand and stays there until the next call.
   std::vector<std::vector<Detection>> DetectBatch(
-      std::span<const Image> images) const;
+      std::span<const Image> images);
   std::vector<std::vector<Detection>> DetectBatch(
       std::span<const Image> images, float conf_threshold,
-      float nms_threshold) const;
+      float nms_threshold);
 
   Network& network() { return *net_; }
   const Options& options() const { return opts_; }
@@ -84,6 +107,14 @@ class Detector {
   std::unique_ptr<Network> net_;
   std::vector<DetectionHead*> heads_;
   Options opts_;
+  // Reentrancy guard enforcing the single-caller contract: set for the
+  // duration of a DetectBatch, checked on entry.
+  std::atomic<bool> in_detect_{false};
+  // Persistent staging buffer the batch is letterboxed/copied into before
+  // the forward pass. Kept across calls so steady-state serving does not
+  // allocate (and fault in) a multi-hundred-KB input tensor per request
+  // batch; every slot is overwritten before use.
+  Tensor input_staging_;
 };
 
 // Shared by the trainer, benches and Detector: runs the already-forwarded

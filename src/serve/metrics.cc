@@ -1,0 +1,116 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/string_util.h"
+#include "base/table_printer.h"
+
+namespace thali {
+namespace serve {
+
+namespace {
+constexpr double kFirstUpperMs = 0.01;  // 10µs
+constexpr double kRatio = 1.5;
+}  // namespace
+
+double LatencyHistogram::BucketUpperMs(int i) {
+  return kFirstUpperMs * std::pow(kRatio, i);
+}
+
+void LatencyHistogram::Record(double ms) {
+  ms = std::max(0.0, ms);
+  int bucket = 0;
+  double upper = kFirstUpperMs;
+  while (bucket < kNumBuckets && ms > upper) {
+    upper *= kRatio;
+    ++bucket;
+  }
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<int64_t>(ms * 1e3),
+                    std::memory_order_relaxed);
+}
+
+double LatencyHistogram::MeanMs() const {
+  const int64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / 1e3 /
+         static_cast<double>(n);
+}
+
+double LatencyHistogram::PercentileMs(double p) const {
+  const int64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(n);
+  int64_t cumulative = 0;
+  for (int i = 0; i <= kNumBuckets; ++i) {
+    const int64_t in_bucket =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Interpolate inside the bucket; the overflow bucket has no upper
+      // bound, so report its lower edge.
+      const double lower = i == 0 ? 0.0 : BucketUpperMs(i - 1);
+      if (i == kNumBuckets) return lower;
+      const double fraction =
+          std::clamp((target - static_cast<double>(cumulative)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      return lower + (BucketUpperMs(i) - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return BucketUpperMs(kNumBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+}
+
+double ServerMetrics::MeanBatchSize() const {
+  const int64_t b = batches.load(std::memory_order_relaxed);
+  if (b == 0) return 0.0;
+  return static_cast<double>(batched_images.load(std::memory_order_relaxed)) /
+         static_cast<double>(b);
+}
+
+std::string ServerMetrics::ToString() const {
+  TablePrinter counters("Serving counters");
+  counters.SetHeader({"submitted", "completed", "rejected", "timed out",
+                      "batches", "avg batch"});
+  counters.AddRow(
+      {StrFormat("%lld", static_cast<long long>(
+                             submitted.load(std::memory_order_relaxed))),
+       StrFormat("%lld", static_cast<long long>(
+                             completed.load(std::memory_order_relaxed))),
+       StrFormat("%lld", static_cast<long long>(
+                             rejected.load(std::memory_order_relaxed))),
+       StrFormat("%lld", static_cast<long long>(
+                             timed_out.load(std::memory_order_relaxed))),
+       StrFormat("%lld",
+                 static_cast<long long>(batches.load(std::memory_order_relaxed))),
+       StrFormat("%.2f", MeanBatchSize())});
+
+  TablePrinter latency("Serving latency (ms)");
+  latency.SetHeader({"stage", "count", "mean", "p50", "p95", "p99"});
+  const struct {
+    const char* name;
+    const LatencyHistogram* h;
+  } stages[] = {{"queue wait", &queue_wait_ms}, {"end to end", &e2e_ms}};
+  for (const auto& s : stages) {
+    latency.AddRow({s.name, StrFormat("%lld", static_cast<long long>(s.h->count())),
+                    StrFormat("%.3f", s.h->MeanMs()),
+                    StrFormat("%.3f", s.h->PercentileMs(50)),
+                    StrFormat("%.3f", s.h->PercentileMs(95)),
+                    StrFormat("%.3f", s.h->PercentileMs(99))});
+  }
+  return counters.ToString() + latency.ToString();
+}
+
+}  // namespace serve
+}  // namespace thali

@@ -1,0 +1,71 @@
+#ifndef THALI_SERVE_METRICS_H_
+#define THALI_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace thali {
+namespace serve {
+
+// Fixed-bucket latency histogram: 48 geometric buckets from 10µs with
+// ratio 1.5 (upper bound of the last bucket ≈ 2 minutes) plus an overflow
+// bucket. Record is wait-free (one relaxed fetch_add per bucket counter),
+// so the serving hot path never contends on a histogram lock; percentile
+// reads are approximate to within one bucket's width (linear interpolation
+// inside the winning bucket) and may run concurrently with writers.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 48;
+
+  LatencyHistogram() = default;
+
+  // Upper bound of bucket `i` in milliseconds: 0.01 * 1.5^i.
+  static double BucketUpperMs(int i);
+
+  // Records one latency sample. Thread-safe; negative values clamp to 0.
+  void Record(double ms);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double MeanMs() const;
+
+  // Approximate percentile, p in [0, 100]. Returns 0 with no samples.
+  double PercentileMs(double p) const;
+
+  // Forgets every recorded sample.
+  void Reset();
+
+ private:
+  // buckets_[kNumBuckets] is the overflow bucket.
+  std::array<std::atomic<int64_t>, kNumBuckets + 1> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_us_{0};
+};
+
+// Counters and latency distributions for one Server instance. Every
+// submitted request ends in exactly one of {completed, rejected,
+// timed_out}, so after a drain the three sum to `submitted` — the
+// invariant the serve tests pin.
+struct ServerMetrics {
+  std::atomic<int64_t> submitted{0};   // Submit calls (accepted or not)
+  std::atomic<int64_t> completed{0};   // ran the network, future has results
+  std::atomic<int64_t> rejected{0};    // bounced by queue backpressure
+  std::atomic<int64_t> timed_out{0};   // deadline expired while queued
+  std::atomic<int64_t> batches{0};     // DetectBatch calls issued
+  std::atomic<int64_t> batched_images{0};  // total images across batches
+
+  LatencyHistogram queue_wait_ms;  // submit -> picked into a batch
+  LatencyHistogram e2e_ms;         // submit -> future completed
+
+  double MeanBatchSize() const;
+
+  // Renders the counter table and the latency table (count / mean / p50 /
+  // p95 / p99 per histogram) via base/table_printer.
+  std::string ToString() const;
+};
+
+}  // namespace serve
+}  // namespace thali
+
+#endif  // THALI_SERVE_METRICS_H_

@@ -1,0 +1,106 @@
+#ifndef THALI_SERVE_QUEUE_H_
+#define THALI_SERVE_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "base/status.h"
+
+namespace thali {
+namespace serve {
+
+// A bounded multi-producer/multi-consumer FIFO with explicit backpressure:
+// producers never block — TryPush returns kResourceExhausted when the
+// queue is at capacity, so admission control is a visible Status at the
+// call site instead of an unbounded wait. Consumers block (optionally with
+// a timeout) until an item arrives or the queue is closed.
+//
+// Close() is the shutdown edge: it rejects further pushes but lets
+// consumers drain everything already queued — Pop keeps returning items
+// until the queue is empty and only then reports closure. All methods are
+// thread-safe.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Enqueues `item` if there is room. Returns kResourceExhausted when the
+  // queue is full and kFailedPrecondition after Close; `item` is dropped
+  // on failure (the caller holds the only other handle to its payload).
+  Status TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return Status::FailedPrecondition("queue closed");
+      if (items_.size() >= capacity_) {
+        return Status::ResourceExhausted("queue full");
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return Status::OK();
+  }
+
+  // Blocks until an item is available (sets *out, returns true) or the
+  // queue is closed and drained (returns false).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return PopLocked(out);
+  }
+
+  // As Pop, but gives up after `timeout` (returns false). A zero timeout
+  // makes this a non-blocking poll.
+  bool PopWait(T* out, std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout,
+                 [this] { return closed_ || !items_.empty(); });
+    return PopLocked(out);
+  }
+
+  // Rejects further pushes and wakes every blocked consumer. Items already
+  // queued remain poppable (drain-on-shutdown); idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  bool PopLocked(T* out) {
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace thali
+
+#endif  // THALI_SERVE_QUEUE_H_

@@ -1,0 +1,119 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "base/logging.h"
+
+namespace thali {
+namespace serve {
+
+namespace {
+
+double ToMs(ServeClock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Server>> Server::Create(
+    const Options& options, const DetectorFactory& factory) {
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options.queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (options.max_batch_size < 1) {
+    return Status::InvalidArgument("max_batch_size must be >= 1");
+  }
+  std::vector<std::unique_ptr<Detector>> detectors;
+  detectors.reserve(static_cast<size_t>(options.num_workers));
+  for (int i = 0; i < options.num_workers; ++i) {
+    StatusOr<Detector> det = factory();
+    if (!det.ok()) return det.status();
+    detectors.push_back(
+        std::make_unique<Detector>(std::move(det).value()));
+  }
+  return std::unique_ptr<Server>(
+      new Server(options, std::move(detectors)));
+}
+
+Server::Server(const Options& options,
+               std::vector<std::unique_ptr<Detector>> detectors)
+    : options_(options),
+      queue_(static_cast<size_t>(options.queue_capacity)),
+      detectors_(std::move(detectors)) {
+  workers_.reserve(detectors_.size());
+  for (auto& det : detectors_) {
+    workers_.emplace_back([this, d = det.get()] { WorkerLoop(d); });
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+StatusOr<std::future<Server::Result>> Server::Submit(Image image) {
+  if (options_.default_deadline.count() > 0) {
+    return Submit(std::move(image),
+                  ServeClock::now() + options_.default_deadline);
+  }
+  return Submit(std::move(image), ServeClock::time_point::max());
+}
+
+StatusOr<std::future<Server::Result>> Server::Submit(
+    Image image, std::chrono::milliseconds deadline) {
+  return Submit(std::move(image), ServeClock::now() + deadline);
+}
+
+StatusOr<std::future<Server::Result>> Server::Submit(
+    Image image, ServeClock::time_point deadline) {
+  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  auto req = std::make_unique<Request>();
+  req->image = std::move(image);
+  req->submit_time = ServeClock::now();
+  req->deadline = deadline;
+  std::future<Result> future = req->promise.get_future();
+  Status pushed = queue_.TryPush(std::move(req));
+  if (!pushed.ok()) {
+    metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return pushed;
+  }
+  return future;
+}
+
+void Server::WorkerLoop(Detector* detector) {
+  Batcher batcher(&queue_,
+                  Batcher::Options{options_.max_batch_size,
+                                   options_.max_linger},
+                  &metrics_);
+  std::vector<RequestPtr> batch;
+  std::vector<Image> images;
+  while (batcher.NextBatch(&batch)) {
+    images.clear();
+    images.reserve(batch.size());
+    for (RequestPtr& r : batch) images.push_back(std::move(r->image));
+
+    std::vector<std::vector<Detection>> results =
+        detector->DetectBatch(images);
+    THALI_CHECK_EQ(results.size(), batch.size());
+
+    const ServeClock::time_point done = ServeClock::now();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      metrics_.e2e_ms.Record(ToMs(done - batch[i]->submit_time));
+      metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+      batch[i]->promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+void Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.Close();
+  for (std::thread& w : workers_) w.join();
+}
+
+}  // namespace serve
+}  // namespace thali

@@ -1,0 +1,96 @@
+#ifndef THALI_SERVE_SERVER_H_
+#define THALI_SERVE_SERVER_H_
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "base/statusor.h"
+#include "core/detector.h"
+#include "serve/batcher.h"
+#include "serve/metrics.h"
+#include "serve/queue.h"
+
+namespace thali {
+namespace serve {
+
+// In-process inference server: turns concurrent single-image Submit calls
+// into dynamic micro-batches executed by a pool of Detector workers.
+//
+//   caller ──Submit──▶ bounded queue ──Batcher──▶ worker × Detector
+//                        (backpressure)  (linger/size)   (DetectBatch)
+//
+// Each worker owns a private Detector (the Detector thread-safety contract
+// admits one caller per instance), so workers batch and run independently;
+// the queue is the only cross-thread hand-off. Submit never blocks: a full
+// queue is an immediate kResourceExhausted, and requests carry optional
+// deadlines that expire while queued without costing network time.
+// Shutdown (also run by the destructor) closes the queue, drains every
+// queued request — running or expiring it — and joins the workers, so
+// every accepted future completes exactly once.
+class Server {
+ public:
+  struct Options {
+    int num_workers = 1;
+    int queue_capacity = 64;
+    int max_batch_size = 8;
+    // How long a worker holds an underfull batch open for stragglers.
+    std::chrono::microseconds max_linger{2000};
+    // Applied by Submit(image); zero means requests never expire.
+    std::chrono::milliseconds default_deadline{0};
+  };
+
+  using Result = StatusOr<std::vector<Detection>>;
+  // Called once per worker so every worker gets a private Detector.
+  using DetectorFactory = std::function<StatusOr<Detector>()>;
+
+  // Builds num_workers detectors via `factory` and starts the workers.
+  static StatusOr<std::unique_ptr<Server>> Create(
+      const Options& options, const DetectorFactory& factory);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Enqueues one detection request and returns its future. Fails fast with
+  // kResourceExhausted (queue full — the backpressure signal to shed or
+  // retry) or kFailedPrecondition (server shut down); on failure no future
+  // exists and the request is dropped. The per-Options default deadline
+  // applies; the overloads pin an explicit one.
+  StatusOr<std::future<Result>> Submit(Image image);
+  StatusOr<std::future<Result>> Submit(Image image,
+                                       std::chrono::milliseconds deadline);
+  StatusOr<std::future<Result>> Submit(Image image,
+                                       ServeClock::time_point deadline);
+
+  // Stops admission, drains the queue (every pending request completes
+  // with a result or kDeadlineExceeded) and joins the workers. Idempotent.
+  void Shutdown();
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  const Options& options() const { return options_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  Server(const Options& options,
+         std::vector<std::unique_ptr<Detector>> detectors);
+
+  void WorkerLoop(Detector* detector);
+
+  Options options_;
+  ServerMetrics metrics_;
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<Detector>> detectors_;
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;  // guarded by shutdown_mu_
+  std::mutex shutdown_mu_;
+};
+
+}  // namespace serve
+}  // namespace thali
+
+#endif  // THALI_SERVE_SERVER_H_

@@ -1,0 +1,468 @@
+// Tests for the in-process serving subsystem (src/serve): bounded-queue
+// backpressure, micro-batch formation (linger vs full batch), deadline
+// expiry while queued, drain-on-shutdown, metrics accounting, and bitwise
+// identity between served results and direct DetectBatch calls. The
+// threaded tests carry the tsan_smoke/serve_smoke labels and run under
+// -DTHALI_SANITIZE=thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/detector.h"
+#include "darknet/model_zoo.h"
+#include "data/food_classes.h"
+#include "data/renderer.h"
+#include "serve/batcher.h"
+#include "serve/metrics.h"
+#include "serve/queue.h"
+#include "serve/server.h"
+
+namespace thali {
+namespace serve {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::microseconds;
+
+constexpr auto kNoDeadline = ServeClock::time_point::max();
+
+Detector MakeDetector(uint64_t seed = 7) {
+  auto det = Detector::FromCfg(YoloThaliCfg(YoloThaliOptions{}), seed);
+  THALI_CHECK(det.ok()) << det.status().ToString();
+  return std::move(det).value();
+}
+
+Server::DetectorFactory StandardFactory(uint64_t seed = 7) {
+  return [seed]() { return Detector::FromCfg(YoloThaliCfg(YoloThaliOptions{}), seed); };
+}
+
+// Renders n platter images at the network input size (96x96), so the
+// served path and the direct path see identical tensors (no letterbox).
+std::vector<Image> RenderImages(int n, uint64_t seed = 11) {
+  PlatterRenderer renderer(IndianFood10(), PlatterRenderer::Options{});
+  Rng rng(seed);
+  std::vector<Image> images;
+  images.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    images.push_back(renderer.RenderRandomPlatter(2 + i % 3, rng).image);
+  }
+  return images;
+}
+
+RequestPtr MakeRequest(Image image,
+                       ServeClock::time_point deadline = kNoDeadline) {
+  auto req = std::make_unique<Request>();
+  req->image = std::move(image);
+  req->submit_time = ServeClock::now();
+  req->deadline = deadline;
+  return req;
+}
+
+void ExpectSameDetections(const std::vector<Detection>& a,
+                          const std::vector<Detection>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].class_id, b[i].class_id);
+    EXPECT_EQ(a[i].confidence, b[i].confidence);  // bitwise, not NEAR
+    EXPECT_EQ(a[i].box.x, b[i].box.x);
+    EXPECT_EQ(a[i].box.y, b[i].box.y);
+    EXPECT_EQ(a[i].box.w, b[i].box.w);
+    EXPECT_EQ(a[i].box.h, b[i].box.h);
+  }
+}
+
+// ---------------------------------------------------------------- queue --
+
+TEST(BoundedQueueTest, FifoOrderAndBackpressure) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1).ok());
+  EXPECT_TRUE(q.TryPush(2).ok());
+  Status full = q.TryPush(3);
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(q.size(), 2u);
+
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.TryPush(3).ok());  // slot freed
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 3);
+}
+
+TEST(BoundedQueueTest, CloseDrainsRemainingItemsThenReportsClosed) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(10).ok());
+  EXPECT_TRUE(q.TryPush(20).ok());
+  q.Close();
+  EXPECT_EQ(q.TryPush(30).code(), StatusCode::kFailedPrecondition);
+
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 10);
+  EXPECT_TRUE(q.PopWait(&v, milliseconds(0)));
+  EXPECT_EQ(v, 20);
+  EXPECT_FALSE(q.Pop(&v));  // closed and drained: no blocking
+}
+
+TEST(BoundedQueueTest, CloseUnblocksWaitingConsumers) {
+  BoundedQueue<int> q(1);
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&q, &woke] {
+      int v;
+      EXPECT_FALSE(q.Pop(&v));
+      woke.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(milliseconds(10));
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(BoundedQueueTest, PopWaitTimesOutOnEmptyOpenQueue) {
+  BoundedQueue<int> q(1);
+  int v = 0;
+  EXPECT_FALSE(q.PopWait(&v, milliseconds(5)));
+  EXPECT_FALSE(q.closed());
+}
+
+// ------------------------------------------------------------ histogram --
+
+TEST(LatencyHistogramTest, PercentilesTrackExactWithinBucketResolution) {
+  LatencyHistogram hist;
+  std::vector<double> samples;
+  double v = 0.05;
+  for (int i = 0; i < 100; ++i) {
+    samples.push_back(v);
+    hist.Record(v);
+    v *= 1.07;
+  }
+  EXPECT_EQ(hist.count(), 100);
+  // Bucket bounds are a factor of 1.5 apart and adjacent samples a factor
+  // of 1.07, so the histogram estimate can drift from the exact
+  // rank-interpolated percentile by at most ~1.62x.
+  for (double p : {50.0, 95.0, 99.0}) {
+    const double exact = bench::Percentile(samples, p);
+    const double est = hist.PercentileMs(p);
+    EXPECT_LE(est, exact * 1.75) << "p" << p;
+    EXPECT_GE(est, exact / 1.75) << "p" << p;
+  }
+  const double exact_mean =
+      bench::Summarize(samples).mean_ms;
+  EXPECT_NEAR(hist.MeanMs(), exact_mean, exact_mean * 0.01 + 0.002);
+
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.PercentileMs(99), 0.0);
+}
+
+TEST(LatencyHistogramTest, OverflowSamplesLandInLastBucket) {
+  LatencyHistogram hist;
+  hist.Record(1e9);  // way past the last bound
+  EXPECT_EQ(hist.count(), 1);
+  EXPECT_GE(hist.PercentileMs(50),
+            LatencyHistogram::BucketUpperMs(LatencyHistogram::kNumBuckets - 1));
+}
+
+TEST(ServerMetricsTest, TableContainsCountersAndStages) {
+  ServerMetrics m;
+  m.submitted.store(5);
+  m.completed.store(3);
+  m.rejected.store(1);
+  m.timed_out.store(1);
+  m.batches.store(2);
+  m.batched_images.store(3);
+  m.e2e_ms.Record(1.0);
+  const std::string table = m.ToString();
+  EXPECT_NE(table.find("submitted"), std::string::npos);
+  EXPECT_NE(table.find("queue wait"), std::string::npos);
+  EXPECT_NE(table.find("end to end"), std::string::npos);
+  EXPECT_NE(table.find("1.50"), std::string::npos);  // avg batch 3/2
+}
+
+// -------------------------------------------------------------- batcher --
+
+TEST(BatcherTest, FullBatchFormsWithoutWaitingForLinger) {
+  RequestQueue queue(16);
+  ServerMetrics metrics;
+  // A long linger that would dominate the test if the batcher waited for
+  // it despite having a full batch available.
+  Batcher batcher(&queue, Batcher::Options{4, microseconds(10'000'000)},
+                  &metrics);
+  std::vector<Image> images = RenderImages(6);
+  for (Image& img : images) {
+    THALI_CHECK_OK(queue.TryPush(MakeRequest(std::move(img))));
+  }
+  std::vector<RequestPtr> batch;
+  // Six immediately-available requests: the first batch caps at
+  // max_batch_size without ever waiting (the 10s linger would hang the
+  // test if the batcher lingered despite a full batch).
+  ASSERT_TRUE(batcher.NextBatch(&batch));
+  EXPECT_EQ(batch.size(), 4u);
+  // Closing the queue skips the linger for the underfull leftovers.
+  queue.Close();
+  ASSERT_TRUE(batcher.NextBatch(&batch));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(metrics.batches.load(), 2);
+  EXPECT_EQ(metrics.batched_images.load(), 6);
+}
+
+TEST(BatcherTest, LingerFlushesPartialBatch) {
+  RequestQueue queue(16);
+  ServerMetrics metrics;
+  Batcher batcher(&queue, Batcher::Options{8, microseconds(5000)}, &metrics);
+  THALI_CHECK_OK(queue.TryPush(MakeRequest(RenderImages(1)[0])));
+  std::vector<RequestPtr> batch;
+  ASSERT_TRUE(batcher.NextBatch(&batch));  // returns after ~5ms linger
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(metrics.queue_wait_ms.count(), 1);
+}
+
+TEST(BatcherTest, ExpiredRequestsCompleteWithoutOccupyingBatchSlots) {
+  RequestQueue queue(16);
+  ServerMetrics metrics;
+  Batcher batcher(&queue, Batcher::Options{4, microseconds(1000)}, &metrics);
+
+  std::vector<Image> images = RenderImages(3);
+  const ServeClock::time_point past = ServeClock::now() - milliseconds(1);
+  auto expired1 = MakeRequest(images[0], past);
+  auto expired2 = MakeRequest(images[1], past);
+  auto live = MakeRequest(images[2]);
+  std::future<Server::Result> f1 = expired1->promise.get_future();
+  std::future<Server::Result> f2 = expired2->promise.get_future();
+  std::future<Server::Result> f3 = live->promise.get_future();
+  THALI_CHECK_OK(queue.TryPush(std::move(expired1)));
+  THALI_CHECK_OK(queue.TryPush(std::move(live)));
+  THALI_CHECK_OK(queue.TryPush(std::move(expired2)));
+
+  std::vector<RequestPtr> batch;
+  ASSERT_TRUE(batcher.NextBatch(&batch));
+  EXPECT_EQ(batch.size(), 1u);  // only the live request
+  EXPECT_EQ(metrics.timed_out.load(), 2);
+
+  // Expired futures are already completed with kDeadlineExceeded.
+  Server::Result r1 = f1.get();
+  Server::Result r2 = f2.get();
+  EXPECT_EQ(r1.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r2.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(f3.valid());  // live request still pending
+  batch[0]->promise.set_value(std::vector<Detection>{});
+  EXPECT_TRUE(f3.get().ok());
+}
+
+TEST(BatcherTest, ClosedEmptyQueueEndsBatching) {
+  RequestQueue queue(4);
+  ServerMetrics metrics;
+  Batcher batcher(&queue, Batcher::Options{4, microseconds(1000)}, &metrics);
+  queue.Close();
+  std::vector<RequestPtr> batch;
+  EXPECT_FALSE(batcher.NextBatch(&batch));
+  EXPECT_TRUE(batch.empty());
+}
+
+// --------------------------------------------------------------- server --
+
+TEST(ServerTest, ServedResultsBitwiseIdenticalToDirectDetectBatch) {
+  const int kImages = 8;
+  std::vector<Image> images = RenderImages(kImages);
+
+  Server::Options opts;
+  opts.num_workers = 1;
+  opts.max_batch_size = 4;
+  opts.max_linger = microseconds(2000);
+  auto server_or = Server::Create(opts, StandardFactory(/*seed=*/7));
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  std::unique_ptr<Server> server = std::move(server_or).value();
+
+  std::vector<std::future<Server::Result>> futures;
+  for (const Image& img : images) {
+    auto fut = server->Submit(img);
+    ASSERT_TRUE(fut.ok()) << fut.status().ToString();
+    futures.push_back(std::move(fut).value());
+  }
+  std::vector<std::vector<Detection>> served;
+  for (auto& f : futures) {
+    Server::Result r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    served.push_back(std::move(r).value());
+  }
+  server->Shutdown();
+
+  // Same seed, same weights: direct DetectBatch over all 8 at once must
+  // match the served results no matter how the batcher grouped them
+  // (batch items never interact in inference).
+  Detector direct = MakeDetector(/*seed=*/7);
+  std::vector<std::vector<Detection>> expected = direct.DetectBatch(images);
+  ASSERT_EQ(served.size(), expected.size());
+  for (size_t i = 0; i < served.size(); ++i) {
+    ExpectSameDetections(served[i], expected[i]);
+  }
+
+  const ServerMetrics& m = server->metrics();
+  EXPECT_EQ(m.submitted.load(), kImages);
+  EXPECT_EQ(m.completed.load(), kImages);
+  EXPECT_EQ(m.rejected.load(), 0);
+  EXPECT_EQ(m.timed_out.load(), 0);
+  EXPECT_EQ(m.batched_images.load(), kImages);
+  EXPECT_EQ(m.e2e_ms.count(), kImages);
+}
+
+TEST(ServerTest, ExpiredDeadlineCompletesWithoutRunningNetwork) {
+  Server::Options opts;
+  opts.num_workers = 1;
+  auto server_or = Server::Create(opts, StandardFactory());
+  ASSERT_TRUE(server_or.ok());
+  std::unique_ptr<Server> server = std::move(server_or).value();
+
+  // An already-expired absolute deadline: the worker must complete it with
+  // kDeadlineExceeded without ever forming a batch.
+  auto fut = server->Submit(RenderImages(1)[0],
+                            ServeClock::now() - milliseconds(1));
+  ASSERT_TRUE(fut.ok());
+  Server::Result r = fut->get();
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  server->Shutdown();
+
+  const ServerMetrics& m = server->metrics();
+  EXPECT_EQ(m.timed_out.load(), 1);
+  EXPECT_EQ(m.completed.load(), 0);
+  EXPECT_EQ(m.batches.load(), 0);  // the network never ran
+}
+
+TEST(ServerTest, ShutdownDrainsEveryAcceptedFuture) {
+  Server::Options opts;
+  opts.num_workers = 2;
+  opts.max_batch_size = 8;
+  opts.max_linger = microseconds(50'000);
+  opts.queue_capacity = 32;
+  auto server_or = Server::Create(opts, StandardFactory());
+  ASSERT_TRUE(server_or.ok());
+  std::unique_ptr<Server> server = std::move(server_or).value();
+
+  std::vector<Image> images = RenderImages(12);
+  std::vector<std::future<Server::Result>> futures;
+  for (Image& img : images) {
+    auto fut = server->Submit(std::move(img));
+    ASSERT_TRUE(fut.ok());
+    futures.push_back(std::move(fut).value());
+  }
+  // Shutdown while batches may still be lingering: it must cut the linger
+  // short and run (not drop) everything queued.
+  server->Shutdown();
+  int ok = 0;
+  for (auto& f : futures) {
+    if (f.get().ok()) ++ok;
+  }
+  EXPECT_EQ(ok, 12);
+  const ServerMetrics& m = server->metrics();
+  EXPECT_EQ(m.completed.load(), 12);
+  EXPECT_EQ(m.submitted.load(),
+            m.completed.load() + m.rejected.load() + m.timed_out.load());
+
+  // Admission is closed after shutdown.
+  auto rejected = server->Submit(RenderImages(1)[0]);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(server->metrics().rejected.load(), 1);
+}
+
+TEST(ServerTest, BackpressureRejectsWhenQueueFull) {
+  Server::Options opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 1;
+  opts.max_batch_size = 1;
+  opts.max_linger = microseconds(0);
+  auto server_or = Server::Create(opts, StandardFactory());
+  ASSERT_TRUE(server_or.ok());
+  std::unique_ptr<Server> server = std::move(server_or).value();
+
+  // A capacity-1 queue behind a worker that needs milliseconds per forward
+  // must reject a tight submission loop almost immediately.
+  Image img = RenderImages(1)[0];
+  std::vector<std::future<Server::Result>> accepted;
+  bool saw_rejection = false;
+  for (int i = 0; i < 1000 && !saw_rejection; ++i) {
+    auto fut = server->Submit(img);
+    if (fut.ok()) {
+      accepted.push_back(std::move(fut).value());
+    } else {
+      EXPECT_EQ(fut.status().code(), StatusCode::kResourceExhausted);
+      saw_rejection = true;
+    }
+  }
+  EXPECT_TRUE(saw_rejection);
+  server->Shutdown();
+  for (auto& f : accepted) EXPECT_TRUE(f.get().ok());
+  const ServerMetrics& m = server->metrics();
+  EXPECT_EQ(m.submitted.load(),
+            m.completed.load() + m.rejected.load() + m.timed_out.load());
+  EXPECT_GE(m.rejected.load(), 1);
+}
+
+// The ThreadSanitizer stress test the issue pins: >=4 producers, 2
+// workers, bounded queue with live backpressure, every accepted request
+// completed exactly once, accounting closed after drain.
+TEST(ServerTest, StressProducersAndWorkersCompleteEveryRequestOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 10;
+
+  Server::Options opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = 8;
+  opts.max_batch_size = 4;
+  opts.max_linger = microseconds(500);
+  auto server_or = Server::Create(opts, StandardFactory());
+  ASSERT_TRUE(server_or.ok());
+  std::unique_ptr<Server> server = std::move(server_or).value();
+
+  std::atomic<int> ok_results{0};
+  std::atomic<int> producer_rejections{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<Image> images =
+          RenderImages(kPerProducer, /*seed=*/100 + static_cast<uint64_t>(p));
+      for (Image& img : images) {
+        // Closed-loop with bounded retry: rejected submissions (observed
+        // backpressure) back off and retry until accepted.
+        for (;;) {
+          auto fut = server->Submit(img);
+          if (fut.ok()) {
+            Server::Result r = fut->get();
+            ASSERT_TRUE(r.ok()) << r.status().ToString();
+            ok_results.fetch_add(1);
+            break;
+          }
+          ASSERT_EQ(fut.status().code(), StatusCode::kResourceExhausted);
+          producer_rejections.fetch_add(1);
+          std::this_thread::sleep_for(microseconds(200));
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  server->Shutdown();
+
+  EXPECT_EQ(ok_results.load(), kProducers * kPerProducer);
+  const ServerMetrics& m = server->metrics();
+  EXPECT_EQ(m.completed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(m.rejected.load(), producer_rejections.load());
+  EXPECT_EQ(m.submitted.load(),
+            m.completed.load() + m.rejected.load() + m.timed_out.load());
+  EXPECT_EQ(m.batched_images.load(), m.completed.load());
+  EXPECT_EQ(m.e2e_ms.count(), m.completed.load() + m.timed_out.load());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace thali
