@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full verification sweep: tier-1 build + tests, then the sanitizer
+# smoke suites in separate build trees. This is what CI (and a human
+# before merging) should run; tier-1 alone is the merge gate, the
+# sanitizer passes catch the data-race / memory-hazard classes that
+# plain test runs cannot.
+#
+#   scripts/verify.sh            # tier-1 + tsan smoke + asan smoke
+#   scripts/verify.sh --tier1    # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+TIER1_ONLY=0
+[[ "${1:-}" == "--tier1" ]] && TIER1_ONLY=1
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${TIER1_ONLY}" == "1" ]]; then
+  echo "verify: tier-1 PASS (sanitizer suites skipped)"
+  exit 0
+fi
+
+echo "== tsan smoke: threading-heavy tests under ThreadSanitizer =="
+cmake -B build-tsan -S . -DTHALI_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}"
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L tsan_smoke
+
+echo "== asan smoke: fused-plan / kernel-edge tests under ASan+UBSan =="
+cmake -B build-asan -S . -DTHALI_SANITIZE=address >/dev/null
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L asan_smoke
+
+echo "verify: ALL PASS (tier-1 + tsan_smoke + asan_smoke)"

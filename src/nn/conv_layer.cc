@@ -5,9 +5,11 @@
 
 #include "base/thread_pool.h"
 #include "nn/network.h"
+#include "tensor/act_kernels.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_pack.h"
 #include "tensor/im2col.h"
+#include "tensor/winograd.h"
 
 namespace thali {
 
@@ -90,6 +92,15 @@ Status ConvLayer::Rebatch(const Shape& input_shape, const Network&) {
 }
 
 int64_t ConvLayer::WorkspaceSize() const {
+  switch (plan().conv_algo) {
+    case ConvAlgo::kDirect1x1:
+      return 0;  // the input planes are the GEMM B matrix
+    case ConvAlgo::kWinograd:
+      return WinogradWorkspaceFloats(in_c_, opts_.filters, in_shape_.dim(2),
+                                     in_shape_.dim(3));
+    case ConvAlgo::kIm2col:
+      break;
+  }
   if (IsDirect1x1()) return 0;  // input planes already form the col matrix
   return in_c_ * opts_.ksize * opts_.ksize * out_h_ * out_w_;
 }
@@ -111,7 +122,27 @@ void ConvLayer::InitWeights(Rng& rng) {
 }
 
 void ConvLayer::PrepackWeights() {
-  if (!inference() || !GemmPackingEnabled()) return;
+  if (!inference()) return;
+  if (plan().conv_algo == ConvAlgo::kWinograd) {
+    // Winograd plans always hold U = G w G^T (the GEMM A matrices); the
+    // prepacked panel copy exists only while the packed driver is on —
+    // THALI_NO_PACK runs the 16 GEMMs through the reference entry point
+    // straight from u_.
+    const int64_t uf = WinogradWeightFloats(opts_.filters, in_c_);
+    if (u_.size() != uf) u_.Resize(Shape({uf}));
+    WinogradTransformWeights(weights_.data(), opts_.filters, in_c_, u_.data());
+    if (GemmPackingEnabled()) {
+      const int64_t pf = WinogradPackedWeightFloats(opts_.filters, in_c_);
+      if (wino_packed_.size() != pf) wino_packed_.Resize(Shape({pf}));
+      WinogradPackWeights(u_.data(), opts_.filters, in_c_, wino_packed_.data());
+    } else {
+      wino_packed_ = Tensor();
+    }
+    packed_weights_ = Tensor();
+    packed_dirty_ = false;
+    return;
+  }
+  if (!GemmPackingEnabled()) return;
   const int64_t m = opts_.filters;
   const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
   const int64_t floats = GemmPackedWeightFloats(m, k);
@@ -119,6 +150,8 @@ void ConvLayer::PrepackWeights() {
     packed_weights_.Resize(Shape({floats}));
   }
   GemmPackWeights(weights_.data(), m, k, packed_weights_.data());
+  u_ = Tensor();
+  wino_packed_ = Tensor();
   packed_dirty_ = false;
 }
 
@@ -126,45 +159,77 @@ bool ConvLayer::IsDirect1x1() const {
   return opts_.ksize == 1 && opts_.stride == 1 && opts_.pad == 0;
 }
 
-const float* ConvLayer::PrepareCol(const float* in, float* ws) const {
+const float* ConvLayer::PrepareCol(const float* in, int64_t chan_stride,
+                                   float* ws) const {
+  // The direct shortcut is only valid when the item's channel planes are
+  // contiguous (NCHW); fused plans route 1x1 convs to kDirect1x1 before
+  // reaching here.
   if (IsDirect1x1()) return in;
-  Im2Col(in, in_c_, in_shape_.dim(2), in_shape_.dim(3), opts_.ksize,
-         opts_.stride, opts_.pad, ws);
+  Im2ColStrided(in, chan_stride, in_c_, in_shape_.dim(2), in_shape_.dim(3),
+                opts_.ksize, opts_.stride, opts_.pad, ws);
   return ws;
 }
 
 void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
   const int64_t batch = in_shape_.dim(0);
-  const int64_t in_plane = in_c_ * in_shape_.dim(2) * in_shape_.dim(3);
-  const int64_t out_plane = opts_.filters * out_h_ * out_w_;
+  const int64_t in_hw = in_shape_.dim(2) * in_shape_.dim(3);
+  const int64_t out_hw = out_h_ * out_w_;
+  const int64_t in_plane = in_c_ * in_hw;
+  const int64_t out_plane = opts_.filters * out_hw;
   const int64_t m = opts_.filters;
   const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
-  const int64_t n = out_h_ * out_w_;
+  const int64_t n = out_hw;
   const bool direct = IsDirect1x1();
-  const int64_t col_plane = WorkspaceSize();
+
+  // Layout strides from the compiled plan. NCHW: item b's channel c
+  // plane at (b*C + c)*HW — per-item base b*in_plane, channel stride
+  // HW. CNHW: plane (c, b) at (c*batch + b)*HW — per-item base b*HW,
+  // channel stride batch*HW. Both the im2col gather and the GEMM C
+  // write-back absorb either layout through these strides.
+  const ConvAlgo algo = plan().conv_algo;
+  const bool cnhw_in = plan().in_layout == ActLayout::kCNHW;
+  const bool cnhw_out = plan().out_layout == ActLayout::kCNHW;
+  const int64_t in_chan_stride = cnhw_in ? batch * in_hw : in_hw;
+  const int64_t out_chan_stride = cnhw_out ? batch * out_hw : out_hw;
+  const int64_t in_item = cnhw_in ? in_hw : in_plane;
+  const int64_t out_item = cnhw_out ? out_hw : out_plane;
+  const int64_t col_plane =
+      algo == ConvAlgo::kIm2col && !direct ? in_c_ * opts_.ksize *
+                                                 opts_.ksize * out_hw
+                                           : 0;
 
   // During training, keep the per-item im2col panels around so Backward's
   // weight-gradient GEMM reuses them instead of recomputing (bounded by
   // kColCacheMaxFloats; larger layers fall back to recompute).
   cols_cached_ =
-      train && !direct && batch * col_plane <= kColCacheMaxFloats;
+      train && !direct && batch * col_plane <= kColCacheMaxFloats &&
+      col_plane > 0;
   if (cols_cached_ && col_cache_.size() != batch * col_plane) {
     col_cache_.Resize(Shape({batch, col_plane}));
   }
 
   // Inference networks run the GEMM from a pre-packed weight copy, and —
   // once batch norm has been folded away — fuse the bias add and simple
-  // activations into the GEMM's C write-back. Both fusions replicate the
-  // separate passes op for op, so outputs stay bitwise identical to the
-  // staged path (and to THALI_NO_PACK=1 runs).
+  // activations into the GEMM's C write-back. Leaky/ReLU fusion
+  // replicates the separate passes op for op, so outputs stay bitwise
+  // identical to the staged path (and to THALI_NO_PACK=1 runs); the
+  // mish epilogue (fused plans only) runs the same fast kernel the
+  // separate pass would, so packed and unpacked runs still agree.
   const bool use_packed = inference() && GemmPackingEnabled();
-  if (use_packed && (packed_dirty_ || packed_weights_.size() == 0)) {
+  if (algo == ConvAlgo::kWinograd) {
+    // FoldBatchNorm and weight loading invalidate the transformed
+    // weights too; re-derive lazily like the packed panels.
+    if (packed_dirty_ || u_.size() == 0 ||
+        (use_packed && wino_packed_.size() == 0)) {
+      PrepackWeights();
+    }
+  } else if (use_packed && (packed_dirty_ || packed_weights_.size() == 0)) {
     PrepackWeights();
   }
   GemmEpilogue epilogue;
   bool fused_bias = false;
   bool fused_act = false;
-  if (use_packed && !opts_.batch_normalize) {
+  if (use_packed && algo != ConvAlgo::kWinograd && !opts_.batch_normalize) {
     epilogue.bias = biases_.data();
     fused_bias = true;
     switch (opts_.activation) {
@@ -179,62 +244,133 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
         epilogue.activation = GemmActivation::kRelu;
         fused_act = true;
         break;
+      case Activation::kMish:
+        if (plan().fast_act) {
+          epilogue.activation = GemmActivation::kMish;
+          fused_act = true;
+        }
+        break;
       default:
-        break;  // mish/logistic keep their separate activation pass
+        break;  // logistic keeps its separate activation pass
     }
   }
 
-  // Batch items are independent: each strand owns disjoint output planes
-  // and its own im2col scratch. Inference layers keep no pre-BN cache:
-  // the GEMM lands in output_ and BN normalizes it in place (elementwise,
-  // so bitwise identical to the staged path).
+  // Inference layers keep no pre-BN cache: the GEMM lands in output_
+  // and BN normalizes it in place (elementwise, so bitwise identical to
+  // the staged path).
   Tensor& raw =
       opts_.batch_normalize && !inference() ? conv_out_ : output_;
-  ParallelForBounded(
-      0, batch, 1, net.workspace_slots(),
-      [&](int64_t b0, int64_t b1, int tid) {
-        float* ws = nullptr;
-        if (!direct && !cols_cached_) ws = net.workspace(tid, col_plane);
-        for (int64_t b = b0; b < b1; ++b) {
-          float* dst = cols_cached_ ? col_cache_.data() + b * col_plane : ws;
-          const float* col = PrepareCol(input.data() + b * in_plane, dst);
-          if (use_packed) {
-            GemmPrepacked(m, n, k, packed_weights_.data(), /*tb=*/false, col,
-                          n, 0.0f, raw.data() + b * out_plane, n,
-                          fused_bias ? &epilogue : nullptr);
-          } else {
-            Gemm(false, false, m, n, k, 1.0f, weights_.data(), k, col, n,
-                 0.0f, raw.data() + b * out_plane, n);
+
+  if (algo == ConvAlgo::kWinograd) {
+    // Per-item Winograd; at batch 1 the single chunk runs inline so the
+    // 16 transform-domain GEMMs fan out across the pool instead. Bias
+    // and activation stay separate passes (no GEMM C traversal to fuse
+    // into spans the whole output).
+    const int64_t wino_ws = WinogradWorkspaceFloats(
+        in_c_, opts_.filters, in_shape_.dim(2), in_shape_.dim(3));
+    const float* u_packed = use_packed ? wino_packed_.data() : nullptr;
+    ParallelForBounded(
+        0, batch, 1, net.workspace_slots(),
+        [&](int64_t b0, int64_t b1, int tid) {
+          float* ws = net.workspace(tid, wino_ws);
+          for (int64_t b = b0; b < b1; ++b) {
+            WinogradForward(input.data() + b * in_item, in_chan_stride,
+                            in_c_, in_shape_.dim(2), in_shape_.dim(3),
+                            u_.data(), u_packed, opts_.filters,
+                            raw.data() + b * out_item, out_chan_stride, ws);
           }
-        }
-      });
+        });
+  } else if (algo == ConvAlgo::kDirect1x1 && cnhw_in && cnhw_out) {
+    // Blocked layout on both sides: the whole batch is one GEMM over
+    // the [C, batch*HW] input block — identical per-element accumulation
+    // chains to the per-item GEMMs, just wider.
+    if (use_packed) {
+      GemmPrepacked(m, batch * n, k, packed_weights_.data(), /*tb=*/false,
+                    input.data(), batch * in_hw, 0.0f, raw.data(),
+                    batch * out_hw, fused_bias ? &epilogue : nullptr);
+    } else {
+      Gemm(false, false, m, batch * n, k, 1.0f, weights_.data(), k,
+           input.data(), batch * in_hw, 0.0f, raw.data(), batch * out_hw);
+    }
+  } else if (algo == ConvAlgo::kDirect1x1) {
+    // Mixed or NCHW layouts: one strided GEMM per item, no im2col.
+    ParallelForBounded(
+        0, batch, 1, net.workspace_slots(),
+        [&](int64_t b0, int64_t b1, int) {
+          for (int64_t b = b0; b < b1; ++b) {
+            const float* bmat = input.data() + b * in_item;
+            float* cmat = raw.data() + b * out_item;
+            if (use_packed) {
+              GemmPrepacked(m, n, k, packed_weights_.data(), /*tb=*/false,
+                            bmat, in_chan_stride, 0.0f, cmat,
+                            out_chan_stride, fused_bias ? &epilogue : nullptr);
+            } else {
+              Gemm(false, false, m, n, k, 1.0f, weights_.data(), k, bmat,
+                   in_chan_stride, 0.0f, cmat, out_chan_stride);
+            }
+          }
+        });
+  } else {
+    // Reference im2col path. Batch items are independent: each strand
+    // owns disjoint output planes and its own im2col scratch.
+    ParallelForBounded(
+        0, batch, 1, net.workspace_slots(),
+        [&](int64_t b0, int64_t b1, int tid) {
+          float* ws = nullptr;
+          if (!direct && !cols_cached_) ws = net.workspace(tid, col_plane);
+          for (int64_t b = b0; b < b1; ++b) {
+            float* dst = cols_cached_ ? col_cache_.data() + b * col_plane : ws;
+            const float* col =
+                PrepareCol(input.data() + b * in_item, in_chan_stride, dst);
+            if (use_packed) {
+              GemmPrepacked(m, n, k, packed_weights_.data(), /*tb=*/false,
+                            col, n, 0.0f, raw.data() + b * out_item,
+                            out_chan_stride, fused_bias ? &epilogue : nullptr);
+            } else {
+              Gemm(false, false, m, n, k, 1.0f, weights_.data(), k, col, n,
+                   0.0f, raw.data() + b * out_item, out_chan_stride);
+            }
+          }
+        });
+  }
 
   if (opts_.batch_normalize) {
     BatchNormForward(train);
   } else if (!fused_bias) {
-    // Plain bias add; (batch, filter) planes are independent.
-    const int64_t spatial = out_h_ * out_w_;
+    // Plain bias add; (batch, filter) planes are independent. The plane
+    // index maps to a filter as pl % F in NCHW and pl / batch in CNHW.
+    const int64_t spatial = out_hw;
     ParallelFor(0, batch * opts_.filters,
                 std::max<int64_t>(1, kBnGrainElems / std::max<int64_t>(
                                                          1, spatial)),
                 [&](int64_t p0, int64_t p1, int) {
                   for (int64_t pl = p0; pl < p1; ++pl) {
                     float* p = output_.data() + pl * spatial;
-                    const float bias = biases_[pl % opts_.filters];
+                    const float bias =
+                        biases_[cnhw_out ? pl / batch : pl % opts_.filters];
                     for (int64_t i = 0; i < spatial; ++i) p[i] += bias;
                   }
                 });
   }
 
   // Cache pre-activation values for the backward pass (training networks
-  // only), then activate.
+  // only), then activate. The activation is elementwise, so it needs no
+  // layout awareness; fused plans route mish through the fast kernel
+  // family (deterministic and identical across the scalar/AVX2 paths).
   if (inference()) {
     if (!fused_act) {
-      ParallelFor(0, output_.size(), kBnGrainElems,
-                  [&](int64_t i0, int64_t i1, int) {
-                    ApplyActivation(opts_.activation, output_.data() + i0,
-                                    i1 - i0);
-                  });
+      if (plan().fast_act && opts_.activation == Activation::kMish) {
+        ParallelFor(0, output_.size(), kBnGrainElems,
+                    [&](int64_t i0, int64_t i1, int) {
+                      FastMishInPlace(output_.data() + i0, i1 - i0);
+                    });
+      } else {
+        ParallelFor(0, output_.size(), kBnGrainElems,
+                    [&](int64_t i0, int64_t i1, int) {
+                      ApplyActivation(opts_.activation, output_.data() + i0,
+                                      i1 - i0);
+                    });
+      }
     }
   } else {
     ParallelFor(0, output_.size(), kBnGrainElems,
@@ -296,6 +432,9 @@ void ConvLayer::BatchNormForward(bool train) {
   // read the raw conv output from output_ itself (written there by
   // Forward) and keep no x_norm_ cache; the per-element arithmetic is
   // unchanged, so both paths produce bitwise identical activations.
+  // Under a CNHW plan (inference only) plane pl belongs to filter
+  // pl / batch instead of pl % filters.
+  const bool cnhw = inference() && plan().out_layout == ActLayout::kCNHW;
   const float* src_base = inference() ? output_.data() : conv_out_.data();
   float* xn_base = inference() ? nullptr : x_norm_.data();
   ParallelFor(
@@ -303,7 +442,7 @@ void ConvLayer::BatchNormForward(bool train) {
       std::max<int64_t>(1, kBnGrainElems / std::max<int64_t>(1, spatial)),
       [&](int64_t p0, int64_t p1, int) {
         for (int64_t pl = p0; pl < p1; ++pl) {
-          const int64_t f = pl % opts_.filters;
+          const int64_t f = cnhw ? pl / batch : pl % opts_.filters;
           const float inv_std = 1.0f / std::sqrt(use_var[f] + kBnEps);
           const float mu = use_mean[f];
           const float gamma = scales_[f];
@@ -426,9 +565,10 @@ void ConvLayer::Backward(const Tensor& input, Tensor* input_delta,
         for (int64_t b = b0; b < b1; ++b) {
           const float* in = input.data() + b * in_plane;
           const float* d = delta_.data() + b * out_plane;
-          const float* col = cols_cached_
-                                 ? col_cache_.data() + b * col_plane
-                                 : PrepareCol(in, ws);
+          const float* col =
+              cols_cached_
+                  ? col_cache_.data() + b * col_plane
+                  : PrepareCol(in, in_shape_.dim(2) * in_shape_.dim(3), ws);
           // dW_b[f, ckk] = d[f, hw] * col[ckk, hw]^T into this item's slot.
           Gemm(false, true, opts_.filters, k, spatial, 1.0f, d, spatial, col,
                spatial, 0.0f, wg_scratch_.data() + b * wsize, k);

@@ -11,7 +11,11 @@ namespace thali {
 
 // 2-d convolution with optional fused batch normalization and activation —
 // Darknet's `[convolutional]` layer. Weight layout is
-// (out_channels, in_channels, ksize, ksize); computation is im2col + GEMM.
+// (out_channels, in_channels, ksize, ksize); the reference computation is
+// im2col + GEMM. Under a fused inference plan (nn/exec_plan.h) Forward
+// instead dispatches on plan().conv_algo — a direct whole-batch GEMM for
+// 1x1 convs, Winograd F(2x2,3x3) for stride-1 3x3 convs — and reads/
+// writes either NCHW or the blocked CNHW layout through GEMM strides.
 //
 // With batch_normalize, the layer carries scales (gamma), biases (beta)
 // and rolling mean/variance exactly like Darknet, so the serialized
@@ -80,8 +84,10 @@ class ConvLayer : public Layer {
   bool IsDirect1x1() const;
 
   // Returns the col matrix for one image: the input itself (1x1 fast
-  // path) or `ws` after an im2col into it.
-  const float* PrepareCol(const float* in, float* ws) const;
+  // path, only valid for a contiguous NCHW item) or `ws` after an
+  // im2col with the given channel-plane stride into it.
+  const float* PrepareCol(const float* in, int64_t chan_stride,
+                          float* ws) const;
 
   void BatchNormForward(bool train);
   void BatchNormBackward();
@@ -97,6 +103,9 @@ class ConvLayer : public Layer {
 
   Tensor weights_, weight_grads_;
   Tensor packed_weights_;      // microkernel panel layout (inference only)
+  Tensor u_;                   // Winograd-transformed weights U = G w G^T
+                               // (16 x F x C; kWinograd plans only)
+  Tensor wino_packed_;         // the 16 U_k prepacked into GEMM A panels
   bool packed_dirty_ = true;   // weights_ changed since the last pack
   Tensor biases_, bias_grads_;
   // Batch-norm parameters (allocated only when batch_normalize).

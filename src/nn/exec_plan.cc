@@ -1,10 +1,16 @@
 #include "nn/exec_plan.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
+#include <string_view>
 
 #include "base/string_util.h"
+#include "nn/conv_layer.h"
 #include "nn/network.h"
+#include "nn/route_layer.h"
 
 namespace thali {
 
@@ -18,28 +24,24 @@ int64_t AlignUp(int64_t v) {
   return (v + kArenaAlignFloats - 1) / kArenaAlignFloats * kArenaAlignFloats;
 }
 
-}  // namespace
+std::atomic<int> g_fuse_override{-1};
 
-const char* ExecModeName(ExecMode mode) {
-  return mode == ExecMode::kTraining ? "training" : "inference";
+// Layers the `input` argument and ExtraInputIndices say layer i reads.
+std::vector<int> InputsOf(const Network& net, int i) {
+  std::vector<int> in;
+  if (i > 0 && net.layer(i).ReadsPreviousOutput()) in.push_back(i - 1);
+  for (int s : net.layer(i).ExtraInputIndices()) in.push_back(s);
+  return in;
 }
 
-ArenaPlan PlanActivationArena(const Network& net) {
+// Liveness: last layer index that reads each output. Index n is the
+// virtual post-forward consumer (detection decoding / returned output).
+std::vector<int> ComputeLastUse(const Network& net) {
   const int n = net.num_layers();
-  ArenaPlan plan;
-  plan.assignments.resize(static_cast<size_t>(n));
-
-  // 1. Liveness: last layer index that reads each output. Index n is the
-  // virtual post-forward consumer (detection decoding / returned output).
   std::vector<int> last_use(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) last_use[static_cast<size_t>(i)] = i;
   for (int j = 0; j < n; ++j) {
-    const Layer& layer = net.layer(j);
-    if (j > 0 && layer.ReadsPreviousOutput()) {
-      last_use[static_cast<size_t>(j - 1)] =
-          std::max(last_use[static_cast<size_t>(j - 1)], j);
-    }
-    for (int src : layer.ExtraInputIndices()) {
+    for (int src : InputsOf(net, j)) {
       THALI_CHECK_GE(src, 0);
       THALI_CHECK_LT(src, j);
       last_use[static_cast<size_t>(src)] =
@@ -51,44 +53,339 @@ ArenaPlan PlanActivationArena(const Network& net) {
       last_use[static_cast<size_t>(i)] = n;
     }
   }
+  return last_use;
+}
 
-  // 2. Greedy first-fit in execution order. A buffer whose last consumer
-  // precedes the current step is expired and its span becomes a gap; the
-  // new output takes the lowest-offset gap it fits into. The produced
-  // buffer and every buffer still being read at step i stay disjoint by
-  // construction (their intervals all include i).
+// Greedy first-fit placement over alias groups. `parent`/`poffset`
+// describe the alias forest the elision pass built: layer i's storage
+// lives at float offset poffset[i] inside parent[i]'s storage (-1 for
+// roots). A group (a root and all its transitive children) is one
+// block, sized by the root's output, allocated when the group's
+// earliest member runs, and live until the latest member's last use.
+// With an empty forest (all parents -1) every group is a singleton and
+// this reduces exactly to the original per-layer first-fit.
+ArenaPlan PlanArenaGrouped(const Network& net, const std::vector<int>& last_use,
+                           const std::vector<int>& parent,
+                           const std::vector<int64_t>& poffset) {
+  const int n = net.num_layers();
+  ArenaPlan plan;
+  plan.assignments.resize(static_cast<size_t>(n));
+
+  // Resolve each layer to (root, total offset inside the root's block).
+  std::vector<int> root(static_cast<size_t>(n));
+  std::vector<int64_t> roff(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    int r = i;
+    int64_t off = 0;
+    while (parent[static_cast<size_t>(r)] >= 0) {
+      off += poffset[static_cast<size_t>(r)];
+      r = parent[static_cast<size_t>(r)];
+    }
+    root[static_cast<size_t>(i)] = r;
+    roff[static_cast<size_t>(i)] = off;
+  }
+
+  // Group extents: first member's step through last member's last use.
+  std::vector<int> gstart(static_cast<size_t>(n),
+                          std::numeric_limits<int>::max());
+  std::vector<int> gend(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const int r = root[static_cast<size_t>(i)];
+    gstart[static_cast<size_t>(r)] = std::min(gstart[static_cast<size_t>(r)], i);
+    gend[static_cast<size_t>(r)] =
+        std::max(gend[static_cast<size_t>(r)], last_use[static_cast<size_t>(i)]);
+  }
+
+  // First-fit in execution order. A block whose group's last consumer
+  // precedes the current step is expired and its span becomes a gap;
+  // a group's block takes the lowest-offset gap it fits into at the
+  // step its first member runs.
   struct LiveBlock {
     int64_t offset;
     int64_t floats;
     int last_use;
   };
   std::vector<LiveBlock> live;
+  std::vector<int64_t> goffset(static_cast<size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
     const int64_t floats = net.layer(i).output_shape().num_elements();
     plan.sum_output_floats += floats;
-
-    live.erase(std::remove_if(live.begin(), live.end(),
-                              [i](const LiveBlock& b) { return b.last_use < i; }),
-               live.end());
-    std::sort(live.begin(), live.end(),
-              [](const LiveBlock& a, const LiveBlock& b) {
-                return a.offset < b.offset;
-              });
-    int64_t offset = 0;
-    for (const LiveBlock& b : live) {
-      if (offset + floats <= b.offset) break;
-      offset = AlignUp(std::max(offset, b.offset + b.floats));
+    const int r = root[static_cast<size_t>(i)];
+    if (gstart[static_cast<size_t>(r)] == i) {
+      const int64_t gfloats = net.layer(r).output_shape().num_elements();
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [i](const LiveBlock& b) { return b.last_use < i; }),
+                 live.end());
+      std::sort(live.begin(), live.end(),
+                [](const LiveBlock& a, const LiveBlock& b) {
+                  return a.offset < b.offset;
+                });
+      int64_t offset = 0;
+      for (const LiveBlock& b : live) {
+        if (offset + gfloats <= b.offset) break;
+        offset = AlignUp(std::max(offset, b.offset + b.floats));
+      }
+      goffset[static_cast<size_t>(r)] = offset;
+      live.push_back({offset, gfloats, gend[static_cast<size_t>(r)]});
+      plan.arena_floats = std::max(plan.arena_floats, offset + gfloats);
     }
-
+    THALI_CHECK_LE(roff[static_cast<size_t>(i)] + floats,
+                   net.layer(r).output_shape().num_elements());
     ArenaAssignment& a = plan.assignments[static_cast<size_t>(i)];
-    a.offset = offset;
+    a.offset = goffset[static_cast<size_t>(r)] + roff[static_cast<size_t>(i)];
     a.floats = floats;
     a.first_use = i;
     a.last_use = last_use[static_cast<size_t>(i)];
-    live.push_back({offset, floats, a.last_use});
-    plan.arena_floats = std::max(plan.arena_floats, offset + floats);
   }
   return plan;
+}
+
+}  // namespace
+
+const char* ExecModeName(ExecMode mode) {
+  return mode == ExecMode::kTraining ? "training" : "inference";
+}
+
+const char* ActLayoutName(ActLayout layout) {
+  return layout == ActLayout::kNCHW ? "nchw" : "cnhw";
+}
+
+const char* ConvAlgoName(ConvAlgo algo) {
+  switch (algo) {
+    case ConvAlgo::kDirect1x1:
+      return "direct1x1";
+    case ConvAlgo::kWinograd:
+      return "winograd";
+    default:
+      return "im2col";
+  }
+}
+
+bool FusionEnabled() {
+  const int o = g_fuse_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  return !internal::NoFuseEnvValueDisables(std::getenv("THALI_NO_FUSE"));
+}
+
+namespace internal {
+
+void SetFusionForTesting(int enabled) {
+  g_fuse_override.store(enabled, std::memory_order_relaxed);
+}
+
+bool NoFuseEnvValueDisables(const char* value) {
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+}  // namespace internal
+
+ArenaPlan PlanActivationArena(const Network& net) {
+  const int n = net.num_layers();
+  return PlanArenaGrouped(net, ComputeLastUse(net),
+                          std::vector<int>(static_cast<size_t>(n), -1),
+                          std::vector<int64_t>(static_cast<size_t>(n), 0));
+}
+
+ExecPlan CompileExecPlan(const Network& net, bool fuse, bool arena_enabled) {
+  const int n = net.num_layers();
+  ExecPlan plan;
+  plan.fused = fuse;
+  plan.layers.resize(static_cast<size_t>(n));
+  const std::vector<int> last_use = ComputeLastUse(net);
+  std::vector<int> parent(static_cast<size_t>(n), -1);
+  std::vector<int64_t> poffset(static_cast<size_t>(n), 0);
+
+  if (fuse) {
+    // Layer classes: convs are layout-polymorphic (strided GEMMs absorb
+    // either layout on either side); passthrough layers work in any
+    // layout but must be layout-uniform; everything else (yolo) indexes
+    // NCHW explicitly and pins itself and its sources.
+    enum Class { kConv, kPass, kOther };
+    std::vector<Class> cls(static_cast<size_t>(n), kOther);
+    for (int i = 0; i < n; ++i) {
+      const std::string_view kind = net.layer(i).kind();
+      if (kind == "convolutional") {
+        cls[static_cast<size_t>(i)] = kConv;
+      } else if (kind == "route" || kind == "shortcut" || kind == "upsample" ||
+                 kind == "maxpool") {
+        cls[static_cast<size_t>(i)] = kPass;
+      }
+    }
+
+    // 1. Layout fixpoint. forced[i] == layer i's output must be NCHW.
+    // Seeds: the final output, anything consumed post-forward, every
+    // kOther layer and its sources, and (implicitly) the network input.
+    // Passthrough layers propagate the pin both ways until stable, so a
+    // passthrough's inputs always share its output layout; convs stop
+    // the propagation.
+    std::vector<char> forced(static_cast<size_t>(n), 0);
+    forced[static_cast<size_t>(n - 1)] = 1;
+    for (int i = 0; i < n; ++i) {
+      if (net.layer(i).OutputLiveAfterForward()) forced[static_cast<size_t>(i)] = 1;
+      if (cls[static_cast<size_t>(i)] == kOther) {
+        forced[static_cast<size_t>(i)] = 1;
+        for (int s : InputsOf(net, i)) forced[static_cast<size_t>(s)] = 1;
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int i = 0; i < n; ++i) {
+        if (cls[static_cast<size_t>(i)] != kPass) continue;
+        bool in_nchw = i == 0 && net.layer(i).ReadsPreviousOutput();
+        const std::vector<int> ins = InputsOf(net, i);
+        for (int s : ins) in_nchw = in_nchw || forced[static_cast<size_t>(s)];
+        if (in_nchw && !forced[static_cast<size_t>(i)]) {
+          forced[static_cast<size_t>(i)] = 1;
+          changed = true;
+        }
+        if (forced[static_cast<size_t>(i)]) {
+          for (int s : ins) {
+            if (!forced[static_cast<size_t>(s)]) {
+              forced[static_cast<size_t>(s)] = 1;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      plan.layers[static_cast<size_t>(i)].out_layout =
+          forced[static_cast<size_t>(i)] ? ActLayout::kNCHW : ActLayout::kCNHW;
+    }
+    for (int i = 0; i < n; ++i) {
+      LayerPlan& lp = plan.layers[static_cast<size_t>(i)];
+      switch (cls[static_cast<size_t>(i)]) {
+        case kConv:
+          lp.in_layout = i == 0 ? ActLayout::kNCHW
+                                : plan.layers[static_cast<size_t>(i - 1)].out_layout;
+          break;
+        case kPass:
+          lp.in_layout = lp.out_layout;  // uniform by fixpoint
+          break;
+        case kOther:
+          lp.in_layout = ActLayout::kNCHW;
+          break;
+      }
+    }
+
+    // 2. Conv algorithm and fast-activation selection by geometry.
+    for (int i = 0; i < n; ++i) {
+      if (cls[static_cast<size_t>(i)] != kConv) continue;
+      LayerPlan& lp = plan.layers[static_cast<size_t>(i)];
+      const auto& o = static_cast<const ConvLayer&>(net.layer(i)).options();
+      if (o.ksize == 1 && o.stride == 1 && o.pad == 0) {
+        lp.conv_algo = ConvAlgo::kDirect1x1;
+      } else if (o.ksize == 3 && o.stride == 1 && o.pad == 1) {
+        lp.conv_algo = ConvAlgo::kWinograd;
+      } else {
+        lp.conv_algo = ConvAlgo::kIm2col;
+      }
+      lp.fast_act = o.activation == Activation::kMish;
+    }
+
+    // 3. Copy elision. Only legal with the arena (aliases are offsets
+    // into shared storage) and when a channel range is one contiguous
+    // span: CNHW at any batch, or any layout at batch 1.
+    if (arena_enabled) {
+      const int64_t batch = net.batch();
+      std::vector<char> has_child(static_cast<size_t>(n), 0);
+      auto resolve_root = [&](int i) {
+        while (parent[static_cast<size_t>(i)] >= 0) {
+          i = parent[static_cast<size_t>(i)];
+        }
+        return i;
+      };
+      for (int r = 0; r < n; ++r) {
+        const std::string_view kind = net.layer(r).kind();
+        LayerPlan& lp = plan.layers[static_cast<size_t>(r)];
+        const bool span_ok =
+            lp.in_layout == lp.out_layout &&
+            (lp.out_layout == ActLayout::kCNHW || batch == 1);
+        if (!span_ok) continue;
+        if (kind == "route") {
+          const auto& rt = static_cast<const RouteLayer&>(net.layer(r));
+          const std::vector<int>& srcs = rt.source_indices();
+          const int64_t plane =
+              batch * net.layer(r).output_shape().dim(2) *
+              net.layer(r).output_shape().dim(3);
+          if (srcs.size() == 1) {
+            // Group-split view: the route's output is a contiguous
+            // channel slice of its (sole) source; alias it in place.
+            // Safe even when the source is itself aliased — the route
+            // writes nothing.
+            parent[static_cast<size_t>(r)] = srcs[0];
+            poffset[static_cast<size_t>(r)] =
+                rt.source_offsets()[0] * plane;
+            has_child[static_cast<size_t>(srcs[0])] = 1;
+            lp.copy_elided = true;
+            continue;
+          }
+          // Concat adoption: every source writes its output directly
+          // into the concat's block (this folds upsample+route pairs
+          // too). All-or-nothing — a source that is partial (grouped
+          // slice), already aliased elsewhere, or repeated keeps the
+          // whole route on the plain copy path.
+          bool ok = true;
+          for (size_t s = 0; s < srcs.size() && ok; ++s) {
+            const int src = srcs[s];
+            ok = rt.source_offsets()[s] == 0 &&
+                 rt.source_channels()[s] ==
+                     net.layer(src).output_shape().dim(1) &&
+                 parent[static_cast<size_t>(src)] == -1 &&
+                 resolve_root(src) == src;
+            for (size_t t = 0; t < s && ok; ++t) ok = srcs[t] != src;
+          }
+          if (!ok) continue;
+          int64_t chan_base = 0;
+          for (size_t s = 0; s < srcs.size(); ++s) {
+            parent[static_cast<size_t>(srcs[s])] = r;
+            poffset[static_cast<size_t>(srcs[s])] = chan_base * plane;
+            chan_base += rt.source_channels()[s];
+          }
+          has_child[static_cast<size_t>(r)] = 1;
+          lp.copy_elided = true;
+        } else if (kind == "shortcut" && r > 0) {
+          // In-place residual add: output aliases the previous layer's
+          // block when nothing reads that block after this step and it
+          // is not shared with anyone else. The elementwise o=a+b reads
+          // each element before overwriting it, so no code change is
+          // needed in the layer.
+          const int prev = r - 1;
+          if (last_use[static_cast<size_t>(prev)] == r &&
+              parent[static_cast<size_t>(prev)] == -1 &&
+              !has_child[static_cast<size_t>(prev)] &&
+              net.layer(prev).output_shape().num_elements() ==
+                  net.layer(r).output_shape().num_elements()) {
+            parent[static_cast<size_t>(r)] = prev;
+            poffset[static_cast<size_t>(r)] = 0;
+            has_child[static_cast<size_t>(prev)] = 1;
+            lp.copy_elided = true;
+          }
+        }
+      }
+    }
+  }
+
+  plan.arena = PlanArenaGrouped(net, last_use, parent, poffset);
+  plan.arena.enabled = arena_enabled;
+  return plan;
+}
+
+std::string ExecPlan::ToString() const {
+  std::ostringstream os;
+  os << StrFormat("%4s %5s %5s %10s %5s %6s\n", "idx", "in", "out", "conv",
+                  "fast", "elide");
+  for (size_t i = 0; i < layers.size(); ++i) {
+    const LayerPlan& lp = layers[i];
+    os << StrFormat("%4d %5s %5s %10s %5s %6s\n", static_cast<int>(i),
+                    ActLayoutName(lp.in_layout), ActLayoutName(lp.out_layout),
+                    ConvAlgoName(lp.conv_algo), lp.fast_act ? "mish" : "-",
+                    lp.copy_elided ? "elide" : "-");
+  }
+  os << (fused ? "fused plan\n" : "reference plan (fusion disabled)\n");
+  return os.str();
 }
 
 std::string ArenaPlan::ToString() const {

@@ -24,6 +24,58 @@ enum class ExecMode { kTraining, kInference };
 
 const char* ExecModeName(ExecMode mode);
 
+// Memory layout of one layer's activation tensor.
+//
+//  kNCHW — the Darknet layout every layer uses in training mode: batch
+//          item b's channel c plane starts at float (b*C + c)*H*W.
+//  kCNHW — the blocked layout the inference plan compiler assigns to
+//          backbone conv chains: channel-major with the batch folded
+//          inside, plane (c, b) at float (c*N + b)*H*W. At batch 1 the
+//          two layouts are byte-identical. CNHW keeps a channel range
+//          contiguous at any batch, so route concats become single
+//          memcpys (or alias away entirely) and a 1x1 conv is one
+//          whole-batch GEMM over an [C, N*H*W] matrix.
+enum class ActLayout { kNCHW, kCNHW };
+
+const char* ActLayoutName(ActLayout layout);
+
+// Which convolution algorithm a conv layer's Forward dispatches to.
+//
+//  kIm2col    — the reference path (im2col + GEMM); always used by
+//               training networks and by THALI_NO_FUSE inference, and
+//               by fused inference for geometries the fast paths do not
+//               cover (stride > 1, ksize other than 1/3).
+//  kDirect1x1 — 1x1/stride-1/pad-0: the input planes already form the
+//               GEMM B matrix; with CNHW layouts on both sides the
+//               whole batch collapses into a single [F,C]x[C,N*H*W]
+//               GEMM. Bitwise identical to kIm2col.
+//  kWinograd  — F(2x2,3x3) for 3x3/stride-1/pad-1: 2.25x fewer
+//               multiplies, no im2col. NOT bitwise identical to the
+//               reference (transforms re-associate the 3x3 dot
+//               products); covered by the documented fused-plan
+//               tolerance (see tensor/winograd.h).
+enum class ConvAlgo { kIm2col, kDirect1x1, kWinograd };
+
+const char* ConvAlgoName(ConvAlgo algo);
+
+// Per-layer decisions of the inference plan compiler. The default
+// constructed value (NCHW in/out, kIm2col, nothing fused, nothing
+// elided) reproduces the pre-compiler behaviour exactly and is what
+// training networks, standalone layers and THALI_NO_FUSE inference run
+// with.
+struct LayerPlan {
+  ActLayout in_layout = ActLayout::kNCHW;
+  ActLayout out_layout = ActLayout::kNCHW;
+  ConvAlgo conv_algo = ConvAlgo::kIm2col;
+  // Route mish activations through the fast vectorized family
+  // (tensor/act_kernels.h) instead of libm — fused plans only.
+  bool fast_act = false;
+  // The layer's output aliases arena storage written by other layers
+  // (route view/concat) so its Forward copies nothing. The arena
+  // planner places every aliased layer inside its group root's block.
+  bool copy_elided = false;
+};
+
 // One layer's slot in the activation arena.
 struct ArenaAssignment {
   int64_t offset = 0;  // float offset into the arena
@@ -49,6 +101,50 @@ struct ArenaPlan {
   std::string ToString() const;
 };
 
+// The full execution plan Network::Finalize(kInference) compiles: one
+// LayerPlan per layer plus the (alias-aware) arena placement.
+struct ExecPlan {
+  // True when the plan compiler ran with fusion on (inference mode and
+  // neither THALI_NO_FUSE nor the testing override disabled it). When
+  // false every LayerPlan is default-constructed and the forward pass
+  // is bitwise identical to the seed per-layer path.
+  bool fused = false;
+  std::vector<LayerPlan> layers;  // one per layer
+  ArenaPlan arena;
+
+  // Per-layer table of the compiler's decisions (layouts, conv
+  // algorithm, fast activations, elided copies).
+  std::string ToString() const;
+};
+
+// Compiles the execution plan for a configured network.
+//
+// With fuse=false, every layer gets a default LayerPlan and the arena
+// is the plain liveness plan (PlanActivationArena) — the seed
+// behaviour. With fuse=true the compiler decides, in order:
+//
+//  1. Layouts: a fixpoint over the DAG assigns kCNHW to conv-chain
+//     interiors. Detection heads, the final output, any layer a
+//     non-conv non-passthrough consumer (yolo) reads, and the network
+//     input are pinned kNCHW; passthrough layers (route, shortcut,
+//     upsample, maxpool) propagate the pin both directions so they are
+//     always layout-uniform; convs absorb either layout on either side
+//     through GEMM strides, so no standalone convert pass ever runs.
+//  2. Conv algorithms: kDirect1x1 / kWinograd / kIm2col by geometry,
+//     plus fast_act for mish convs.
+//  3. Copy elision (only when arena_enabled): route layers whose
+//     sources can legally alias arena storage are folded away — a
+//     group-split route becomes a view into its source, a concat route
+//     adopts its sources so they write into the concat's block
+//     directly (this also folds upsample+route pairs), and a shortcut
+//     whose addend dies at the shortcut runs in place. The arena
+//     planner then places each alias group as one block.
+//
+// Elision requires layout-uniform members and (kCNHW or batch == 1) so
+// a member's storage is one contiguous range. Requires every layer to
+// be configured (shapes known).
+ExecPlan CompileExecPlan(const Network& net, bool fuse, bool arena_enabled);
+
 // Liveness-based first-fit arena planning over the network DAG. A
 // layer's output is live from the step that produces it through its last
 // consumer — the next layer when it reads its input argument, any
@@ -58,6 +154,23 @@ struct ArenaPlan {
 // order, first-fit into gaps left by expired buffers, 16-float aligned.
 // Requires every layer to be configured (shapes known).
 ArenaPlan PlanActivationArena(const Network& net);
+
+// False when THALI_NO_FUSE=1 (or a testing override) disables the
+// inference plan compiler's fused paths. Network::Finalize latches the
+// value, so later SetBatch re-plans keep the same decision.
+bool FusionEnabled();
+
+namespace internal {
+
+// Force fusion on (1) / off (0) or restore the THALI_NO_FUSE
+// environment default (-1).
+void SetFusionForTesting(int enabled);
+
+// True when the given THALI_NO_FUSE value disables fusion (any
+// non-empty string except "0").
+bool NoFuseEnvValueDisables(const char* value);
+
+}  // namespace internal
 
 }  // namespace thali
 

@@ -122,6 +122,14 @@ class Layer {
   ExecMode exec_mode() const { return mode_; }
   void set_exec_mode(ExecMode mode) { mode_ = mode; }
 
+  // This layer's slice of the compiled execution plan, pushed by
+  // Network::PlanBuffers after CompileExecPlan runs (and re-pushed on
+  // every SetBatch). The default-constructed LayerPlan (NCHW, im2col,
+  // nothing fused or elided) is what training networks and standalone
+  // layers run with.
+  const LayerPlan& plan() const { return plan_; }
+  void set_plan(const LayerPlan& plan) { plan_ = plan; }
+
   // When frozen, the optimizer skips this layer's parameters (transfer
   // learning freezes backbone layers).
   bool frozen() const { return frozen_; }
@@ -158,6 +166,7 @@ class Layer {
  private:
   int index_ = -1;
   ExecMode mode_ = ExecMode::kTraining;
+  LayerPlan plan_;
   bool frozen_ = false;
 };
 

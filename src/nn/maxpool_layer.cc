@@ -32,6 +32,10 @@ Status MaxPoolLayer::Configure(const Shape& input_shape, const Network&) {
   return Status::OK();
 }
 
+// Works unchanged in either activation layout: the loop visits input
+// plane p and writes output plane p for p = 0..batch*C-1, and pooling
+// preserves the channel count, so the (b,c) <-> (c,b) plane orderings
+// of NCHW and CNHW map through identically.
 void MaxPoolLayer::Forward(const Tensor& input, Network&, bool) {
   const int64_t batch = in_shape_.dim(0);
   const int64_t c = in_shape_.dim(1);

@@ -38,18 +38,24 @@ Status Network::Finalize(ExecMode mode) {
   // Latched here so later SetBatch re-plans keep the same decision even
   // if the environment changes while the process runs.
   arena_disabled_ = ArenaDisabledByEnv();
+  fuse_disabled_ = !FusionEnabled();
   Shape prev = input_shape();
-  int64_t max_ws = 0;
   for (auto& layer : layers_) {
     layer->set_exec_mode(mode_);
     THALI_RETURN_IF_ERROR(layer->Configure(prev, *this));
     prev = layer->output_shape();
+  }
+  PlanBuffers();
+  // Workspace sizing happens after the plan is compiled: a layer's
+  // scratch need depends on its planned conv algorithm (im2col panels
+  // vs Winograd transform buffers).
+  int64_t max_ws = 0;
+  for (auto& layer : layers_) {
     max_ws = std::max(max_ws, layer->WorkspaceSize());
   }
   workspace_floats_ = max_ws;
   workspaces_.resize(static_cast<size_t>(MaxParallelism()));
   for (Tensor& ws : workspaces_) ws.Resize(Shape({max_ws}));
-  PlanBuffers();
   if (mode_ == ExecMode::kInference) {
     // Pack GEMM weights into microkernel panel layout up front. Layers
     // re-pack lazily if weights change afterwards (loading, BN folding).
@@ -65,32 +71,40 @@ Status Network::SetBatch(int batch) {
   if (batch == batch_) return Status::OK();
   batch_ = batch;
   Shape prev = input_shape();
-  int64_t max_ws = 0;
   for (auto& layer : layers_) {
     THALI_RETURN_IF_ERROR(layer->Rebatch(prev, *this));
     prev = layer->output_shape();
+  }
+  // Re-compile the plan first — batch size changes which copy elisions
+  // are legal — then re-derive workspace needs under the fresh plan
+  // (grow-only; per-item scratch is batch-independent for every
+  // current layer, but a re-plan could in principle change algorithms).
+  PlanBuffers();
+  int64_t max_ws = 0;
+  for (auto& layer : layers_) {
     max_ws = std::max(max_ws, layer->WorkspaceSize());
   }
-  // Per-item workspace needs are batch-independent for every current
-  // layer, but re-derive anyway in case a layer's geometry logic changes.
   if (max_ws > workspace_floats_) {
     workspace_floats_ = max_ws;
     for (Tensor& ws : workspaces_) ws.Resize(Shape({max_ws}));
   }
-  PlanBuffers();
   return Status::OK();
 }
 
 void Network::PlanBuffers() {
-  plan_ = PlanActivationArena(*this);
+  const bool fuse = mode_ == ExecMode::kInference && !fuse_disabled_;
   const bool use_arena = mode_ == ExecMode::kInference && !arena_disabled_;
-  plan_.enabled = use_arena;
+  eplan_ = CompileExecPlan(*this, fuse, use_arena);
+  for (int i = 0; i < num_layers(); ++i) {
+    layers_[static_cast<size_t>(i)]->set_plan(
+        eplan_.layers[static_cast<size_t>(i)]);
+  }
   if (mode_ != ExecMode::kInference) return;  // SetShapes owns the buffers
   if (use_arena) {
-    arena_.Resize(Shape({plan_.arena_floats}));
+    arena_.Resize(Shape({eplan_.arena.arena_floats}));
     for (int i = 0; i < num_layers(); ++i) {
       const ArenaAssignment& slot =
-          plan_.assignments[static_cast<size_t>(i)];
+          eplan_.arena.assignments[static_cast<size_t>(i)];
       layers_[static_cast<size_t>(i)]->output().BindExternal(
           arena_.data() + slot.offset, layers_[static_cast<size_t>(i)]
                                            ->output_shape());
@@ -108,10 +122,10 @@ void Network::PlanBuffers() {
 int64_t Network::ActivationBytes() const {
   int64_t floats = 0;
   if (mode_ == ExecMode::kInference) {
-    if (plan_.enabled) {
-      floats = plan_.arena_floats;
+    if (eplan_.arena.enabled) {
+      floats = eplan_.arena.arena_floats;
     } else {
-      floats = plan_.sum_output_floats;
+      floats = eplan_.arena.sum_output_floats;
     }
   } else {
     for (const auto& layer : layers_) {

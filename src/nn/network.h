@@ -88,7 +88,13 @@ class Network {
   // kTraining networks the plan is computed for reporting only
   // (enabled=false); for kInference it reflects the live layout unless
   // THALI_NO_ARENA disabled placement.
-  const ArenaPlan& arena_plan() const { return plan_; }
+  const ArenaPlan& arena_plan() const { return eplan_.arena; }
+
+  // The full execution plan (per-layer layouts, conv algorithms, copy
+  // elisions) the inference plan compiler produced at Finalize/SetBatch.
+  // Training networks and THALI_NO_FUSE inference get the reference
+  // plan (fused == false, all LayerPlans default).
+  const ExecPlan& exec_plan() const { return eplan_; }
 
   // Bytes of activation buffers this network holds live: outputs plus
   // deltas in training mode; the arena (or per-layer outputs under
@@ -134,8 +140,10 @@ class Network {
   int channels_;
   int batch_;
   ExecMode mode_ = ExecMode::kTraining;
-  // THALI_NO_ARENA, sampled once at Finalize.
+  // THALI_NO_ARENA / THALI_NO_FUSE, sampled once at Finalize so later
+  // SetBatch re-plans keep the same decisions.
   bool arena_disabled_ = false;
+  bool fuse_disabled_ = false;
   bool finalized_ = false;
   std::vector<std::unique_ptr<Layer>> layers_;
   // One im2col scratch tensor per parallel strand (distinct allocations,
@@ -144,7 +152,7 @@ class Network {
   int64_t workspace_floats_ = 0;
   // Shared activation storage for arena-planned inference outputs.
   Tensor arena_;
-  ArenaPlan plan_;
+  ExecPlan eplan_;
 };
 
 }  // namespace thali

@@ -44,9 +44,29 @@ Status RouteLayer::Configure(const Shape& input_shape, const Network& net) {
 }
 
 void RouteLayer::Forward(const Tensor&, Network& net, bool) {
+  // Elided by the plan compiler: output_ is bound as a view of the
+  // source (group split) or the sources already wrote into this block
+  // (concat adoption) — there is nothing to move.
+  if (plan().copy_elided) return;
+
   const int64_t batch = out_shape_.dim(0);
   const int64_t spatial = out_shape_.dim(2) * out_shape_.dim(3);
   const int64_t out_c = out_shape_.dim(1);
+
+  if (plan().out_layout == ActLayout::kCNHW) {
+    // Blocked layout: a channel range is one contiguous span (plane
+    // (c, b) lives at (c*batch + b)*spatial), so each source is a
+    // single copy regardless of batch.
+    int64_t chan_base = 0;
+    for (size_t s = 0; s < sources_.size(); ++s) {
+      const Tensor& src = net.layer(sources_[s]).output();
+      const float* from = src.data() + src_offset_[s] * batch * spatial;
+      float* to = output_.data() + chan_base * batch * spatial;
+      std::copy(from, from + src_chans_[s] * batch * spatial, to);
+      chan_base += src_chans_[s];
+    }
+    return;
+  }
 
   int64_t chan_base = 0;
   for (size_t s = 0; s < sources_.size(); ++s) {

@@ -31,6 +31,10 @@ class RouteLayer : public Layer {
   bool ReadsPreviousOutput() const override { return false; }
 
   const std::vector<int>& source_indices() const { return sources_; }
+  // Channels taken from / channel offset within each source — the plan
+  // compiler reads these to decide view aliasing and concat adoption.
+  const std::vector<int64_t>& source_channels() const { return src_chans_; }
+  const std::vector<int64_t>& source_offsets() const { return src_offset_; }
 
  private:
   Options opts_;

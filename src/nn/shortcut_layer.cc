@@ -22,6 +22,11 @@ Status ShortcutLayer::Configure(const Shape& input_shape, const Network& net) {
   return Status::OK();
 }
 
+// Elementwise, so layout-invariant as long as both inputs share the
+// output's layout (the plan compiler's fixpoint guarantees that). When
+// the plan elided this layer's copy, output_ aliases the previous
+// layer's block: each o[i] reads a[i] before overwriting it, so the
+// in-place add needs no special casing.
 void ShortcutLayer::Forward(const Tensor& input, Network& net, bool) {
   const Tensor& from = net.layer(from_).output();
   const float* a = input.data();

@@ -15,6 +15,10 @@ Status UpsampleLayer::Configure(const Shape& input_shape, const Network&) {
   return Status::OK();
 }
 
+// Layout-invariant (NCHW or CNHW): plane p maps to plane p and the
+// channel count is preserved. When the plan compiler adopted this
+// layer into a following route's concat block, output_ is simply bound
+// inside that block — the writes below land in place.
 void UpsampleLayer::Forward(const Tensor& input, Network&, bool) {
   const int64_t planes = in_shape_.dim(0) * in_shape_.dim(1);
   const int64_t ih = in_shape_.dim(2);

@@ -1,0 +1,114 @@
+// AVX2 activation kernel family. Like gemm_microkernel_avx2.cc this is
+// the only activation TU compiled with -mavx2 -mfma (per-file
+// COMPILE_OPTIONS in src/tensor/CMakeLists.txt) and is reached only
+// through runtime dispatch guarded by CpuInfo().
+//
+// Every vector body below mirrors the scalar formulas in
+// act_kernels_impl.h operation for operation — same op order, same
+// rounding mode, multiply+add (never fmadd) in the polynomial — so a
+// lane's result is bitwise identical to the scalar remainder loop and
+// to the scalar family. See act_kernels.h for why that matters.
+
+#include "tensor/act_kernels.h"
+#include "tensor/act_kernels_impl.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace thali {
+
+namespace {
+
+using act_detail::ActKernel;
+
+inline __m256 FastExpVec(__m256 x) {
+  const __m256 hi = _mm256_set1_ps(act_detail::kExpHi);
+  const __m256 lo = _mm256_set1_ps(act_detail::kExpLo);
+  x = _mm256_min_ps(x, hi);
+  x = _mm256_max_ps(x, lo);
+  __m256 fx = _mm256_round_ps(_mm256_mul_ps(x, _mm256_set1_ps(act_detail::kLog2e)),
+                              _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(act_detail::kExpC1)));
+  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(act_detail::kExpC2)));
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(act_detail::kExpP0);
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(act_detail::kExpP1));
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(act_detail::kExpP2));
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(act_detail::kExpP3));
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(act_detail::kExpP4));
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(act_detail::kExpP5));
+  y = _mm256_add_ps(_mm256_mul_ps(y, z), x);
+  y = _mm256_add_ps(y, _mm256_set1_ps(1.0f));
+  const __m256i n = _mm256_cvtps_epi32(fx);
+  const __m256i pow2 =
+      _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(pow2));
+}
+
+void LeakyAvx2(float* x, int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 slope = _mm256_set1_ps(0.1f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 pos = _mm256_cmp_ps(v, zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(x + i,
+                     _mm256_blendv_ps(_mm256_mul_ps(slope, v), v, pos));
+  }
+  act_detail::LeakyScalar(x + i, n - i);
+}
+
+void ReluAvx2(float* x, int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 pos = _mm256_cmp_ps(v, zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(x + i, _mm256_blendv_ps(zero, v, pos));
+  }
+  act_detail::ReluScalar(x + i, n - i);
+}
+
+void MishAvx2(float* x, int64_t n) {
+  const __m256 two = _mm256_set1_ps(2.0f);
+  const __m256 sat = _mm256_set1_ps(20.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 e = FastExpVec(v);
+    const __m256 num = _mm256_mul_ps(e, _mm256_add_ps(e, two));
+    const __m256 m =
+        _mm256_mul_ps(v, _mm256_div_ps(num, _mm256_add_ps(num, two)));
+    // Saturated lanes (x >= 20) return x exactly, matching both the
+    // scalar fast path and the libm reference's tanh==1 branch. The
+    // blended-away num may be inf (exp overflow after the clamp); its
+    // NaN quotient never escapes the dead lane.
+    const __m256 saturated = _mm256_cmp_ps(v, sat, _CMP_GE_OQ);
+    _mm256_storeu_ps(x + i, _mm256_blendv_ps(m, v, saturated));
+  }
+  act_detail::MishScalar(x + i, n - i);
+}
+
+const ActKernel kAvx2ActKernel = {
+    /*name=*/"avx2-act",
+    /*leaky=*/&LeakyAvx2,
+    /*relu=*/&ReluAvx2,
+    /*mish=*/&MishAvx2,
+};
+
+}  // namespace
+
+const act_detail::ActKernel* Avx2ActKernel() { return &kAvx2ActKernel; }
+
+}  // namespace thali
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace thali {
+
+const act_detail::ActKernel* Avx2ActKernel() { return nullptr; }
+
+}  // namespace thali
+
+#endif

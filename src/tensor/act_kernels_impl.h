@@ -1,0 +1,98 @@
+#ifndef THALI_TENSOR_ACT_KERNELS_IMPL_H_
+#define THALI_TENSOR_ACT_KERNELS_IMPL_H_
+
+// Scalar implementation of the fast activation kernels, included by both
+// act_kernels.cc (the portable family and the dispatch) and
+// act_kernels_avx2.cc (vector-loop remainders). The AVX2 vector bodies
+// mirror these formulas operation for operation — same order, same
+// rounding, no FMA contraction (the build pins -ffp-contract=off) — so a
+// value is bitwise identical whether it was computed in a vector lane,
+// in a remainder iteration, or by the scalar family on a non-AVX2 host.
+
+#include <cmath>
+
+namespace thali {
+namespace act_detail {
+
+// Cephes-style expf: range-reduce x = n*ln2 + r with Cody-Waite
+// constants, evaluate a degree-5 polynomial in r, scale by 2^n through
+// the exponent bits. Relative error ~2e-7 over the clamped domain.
+inline constexpr float kExpHi = 88.72283f;
+inline constexpr float kExpLo = -87.33654f;
+inline constexpr float kLog2e = 1.44269504088896341f;
+inline constexpr float kExpC1 = 0.693359375f;
+inline constexpr float kExpC2 = -2.12194440e-4f;
+inline constexpr float kExpP0 = 1.9875691500e-4f;
+inline constexpr float kExpP1 = 1.3981999507e-3f;
+inline constexpr float kExpP2 = 8.3334519073e-3f;
+inline constexpr float kExpP3 = 4.1665795894e-2f;
+inline constexpr float kExpP4 = 1.6666665459e-1f;
+inline constexpr float kExpP5 = 5.0000001201e-1f;
+
+inline float FastExp(float x) {
+  x = x < kExpHi ? x : kExpHi;
+  x = x > kExpLo ? x : kExpLo;
+  // n = round-to-nearest-even(x * log2e), matching _mm256_round_ps with
+  // _MM_FROUND_TO_NEAREST_INT in the vector body.
+  const float fx = std::nearbyintf(x * kLog2e);
+  x = x - fx * kExpC1;
+  x = x - fx * kExpC2;
+  const float z = x * x;
+  float y = kExpP0;
+  y = y * x + kExpP1;
+  y = y * x + kExpP2;
+  y = y * x + kExpP3;
+  y = y * x + kExpP4;
+  y = y * x + kExpP5;
+  y = y * z + x;
+  y = y + 1.0f;
+  // 2^n via exponent bits; |n| <= 128 within the clamped domain.
+  const int32_t n = static_cast<int32_t>(fx);
+  union {
+    int32_t i;
+    float f;
+  } pow2;
+  pow2.i = (n + 127) << 23;
+  return y * pow2.f;
+}
+
+// mish(x) = x * tanh(softplus(x)) rewritten with E = exp(x):
+//   tanh(log1p(E)) = ((1+E)^2 - 1) / ((1+E)^2 + 1) = E(E+2) / (E(E+2)+2)
+// One exp, one division, no tanh/log. For x >= 20 the libm reference
+// saturates to exactly x (tanhf(softplus) rounds to 1.0f); return x on
+// the same branch so the two agree bitwise there.
+inline float FastMish(float x) {
+  if (x >= 20.0f) return x;
+  const float e = FastExp(x);
+  const float num = e * (e + 2.0f);
+  return x * (num / (num + 2.0f));
+}
+
+inline void LeakyScalar(float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) x[i] = x[i] > 0 ? x[i] : 0.1f * x[i];
+}
+
+inline void ReluScalar(float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) x[i] = x[i] > 0 ? x[i] : 0.0f;
+}
+
+inline void MishScalar(float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) x[i] = FastMish(x[i]);
+}
+
+// One activation kernel family (see GemmKernel for the pattern).
+struct ActKernel {
+  const char* name;
+  void (*leaky)(float* x, int64_t n);
+  void (*relu)(float* x, int64_t n);
+  void (*mish)(float* x, int64_t n);
+};
+
+}  // namespace act_detail
+
+// AVX2 family, or nullptr when the TU was built without AVX2 support.
+const act_detail::ActKernel* Avx2ActKernel();
+
+}  // namespace thali
+
+#endif  // THALI_TENSOR_ACT_KERNELS_IMPL_H_

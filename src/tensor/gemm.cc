@@ -6,6 +6,7 @@
 
 #include "base/logging.h"
 #include "base/thread_pool.h"
+#include "tensor/act_kernels.h"
 #include "tensor/gemm_microkernel.h"
 #include "tensor/gemm_pack.h"
 
@@ -67,6 +68,13 @@ void ApplyEpilogue(const GemmEpilogue& e, int64_t i0, int64_t i1, int64_t j0,
         for (int64_t j = j0; j < j1; ++j) ci[j] = ci[j] > 0 ? ci[j] : 0.0f;
       }
       break;
+    case GemmActivation::kMish:
+      // Fast-family mish per row segment; per-element and independent of
+      // the (i, j) split, so thread decomposition stays bitwise-neutral.
+      for (int64_t i = i0; i < i1; ++i) {
+        FastMishInPlace(c + i * ldc + j0, j1 - j0);
+      }
+      break;
   }
 }
 
@@ -94,14 +102,32 @@ void PackedRows(const GemmKernel& kernel, int64_t t0, int64_t t1, bool ta,
   const bool accumulate = k > 0 && alpha != 0.0f;
   const int64_t padded_m = GemmPackedRowTiles(m) * kGemmMR;
 
+  // Stream-B: skip GemmPackB and read op(B) rows in place when the
+  // problem is too thin or too short to amortize the pack traffic —
+  // either a single NR strip of columns (the yolo-head n = 9 .. 33
+  // GEMMs) or at most two row tiles of A sweeping each packed strip
+  // once (the first-layer m = 8 im2col GEMM, where packing B costs more
+  // than the whole accumulation). Masked B loads make dead columns
+  // exactly zero, matching the packed strip's padding, so this path is
+  // bitwise identical to the packed one. The predicate depends only on
+  // the problem shape, never on the thread split.
+  const bool stream_b =
+      !tb && kernel.tile_bs != nullptr &&
+      (n <= kGemmNR || GemmPackedRowTiles(m) <= 2 ||
+       (k <= 32 && GemmPackedRowTiles(m) <= 4));
+
   for (int64_t jc = 0; jc < n; jc += kGemmNC) {
     const int64_t nc = std::min(kGemmNC, n - jc);
     const int64_t strips = (nc + kGemmNR - 1) / kGemmNR;
     if (accumulate) {
       for (int64_t pc = 0; pc < k; pc += kGemmKC) {
         const int64_t kcb = std::min(kGemmKC, k - pc);
-        float* bpack = GemmPackScratchB(kcb * strips * kGemmNR);
-        GemmPackB(tb, b, ldb, pc, kcb, jc, nc, bpack);
+        const float* bpack = nullptr;
+        if (!stream_b) {
+          float* scratch = GemmPackScratchB(kcb * strips * kGemmNR);
+          GemmPackB(tb, b, ldb, pc, kcb, jc, nc, scratch);
+          bpack = scratch;
+        }
         for (int64_t ta0 = t0; ta0 < t1; ta0 += kTilesPerMc) {
           const int64_t ta1 = std::min(t1, ta0 + kTilesPerMc);
           const float* apack;
@@ -120,13 +146,21 @@ void PackedRows(const GemmKernel& kernel, int64_t t0, int64_t t1, bool ta,
           for (int64_t u = 0; u < strips; ++u) {
             const int nr =
                 static_cast<int>(std::min<int64_t>(kGemmNR, nc - u * kGemmNR));
-            const float* bstrip = bpack + u * kcb * kGemmNR;
+            const float* bstrip = stream_b
+                                      ? b + pc * ldb + jc + u * kGemmNR
+                                      : bpack + u * kcb * kGemmNR;
             for (int64_t t = ta0; t < ta1; ++t) {
               const int mr =
                   static_cast<int>(std::min<int64_t>(kGemmMR, i_hi - t * kGemmMR));
               const float* atile = apack + (t - a_tile_base) * kGemmMR * kcb;
               float* ctile = c + t * kGemmMR * ldc + jc + u * kGemmNR;
-              if (mr == kGemmMR && nr == kGemmNR) {
+              if (stream_b) {
+                if (mr == kGemmMR && nr == kGemmNR) {
+                  kernel.tile_bs(kcb, atile, bstrip, ldb, ctile, ldc);
+                } else {
+                  kernel.edge_bs(kcb, atile, bstrip, ldb, ctile, ldc, mr, nr);
+                }
+              } else if (mr == kGemmMR && nr == kGemmNR) {
                 kernel.tile(kcb, atile, bstrip, ctile, ldc);
               } else {
                 kernel.edge(kcb, atile, bstrip, ctile, ldc, mr, nr);

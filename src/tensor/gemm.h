@@ -25,10 +25,14 @@ void Gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
 void MatMulAccumulate(int64_t m, int64_t n, int64_t k, const float* a,
                       const float* b, float* c);
 
-// Optional fused write-back for GemmPrepacked. Replicates, element for
-// element, the conv layer's post-GEMM passes (bias add, then leaky/ReLU),
-// so fusing them into the GEMM's C traversal is bitwise-neutral.
-enum class GemmActivation { kNone, kLeaky, kRelu };
+// Optional fused write-back for GemmPrepacked. kLeaky/kRelu replicate,
+// element for element, the conv layer's post-GEMM passes (bias add, then
+// leaky/ReLU), so fusing them into the GEMM's C traversal is
+// bitwise-neutral. kMish routes through the fast activation family
+// (tensor/act_kernels.h) — only the fused inference plan emits it, and
+// it is covered by that plan's documented tolerance, not bitwise
+// identity with the libm reference.
+enum class GemmActivation { kNone, kLeaky, kRelu, kMish };
 
 struct GemmEpilogue {
   const float* bias = nullptr;  // length m; row i of C gets bias[i] added

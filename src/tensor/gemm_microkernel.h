@@ -49,6 +49,18 @@ struct GemmKernel {
   void (*edge)(int64_t kc, const float* a, const float* b, float* c,
                int64_t ldc, int mr, int nr);
 
+  // Stream-B variants: identical per-element chain to tile/edge, but op(B)
+  // is read directly from the caller's row-major matrix (non-transposed,
+  // row stride ldb) instead of a packed strip — the driver skips GemmPackB
+  // for thin-N / short-M problems where the pack traffic costs more than
+  // the strided loads. Columns j >= nr are treated as exactly zero
+  // (masked loads), matching the packed strip's zero padding bit for bit,
+  // so the two paths stay bitwise interchangeable.
+  void (*tile_bs)(int64_t kc, const float* a, const float* b, int64_t ldb,
+                  float* c, int64_t ldc);
+  void (*edge_bs)(int64_t kc, const float* a, const float* b, int64_t ldb,
+                  float* c, int64_t ldc, int mr, int nr);
+
   // Unpacked reference kernels (the THALI_NO_PACK escape hatch and the
   // conformance oracle), one per transpose combination. Accumulate
   // alpha * op(A) * op(B) into rows [m0, m1) of C with the same chain;

@@ -75,6 +75,46 @@ void EdgeGeneric(int64_t kc, const float* a, const float* b, float* c,
   }
 }
 
+// Stream-B full tile: like TileGeneric but B rows come straight from the
+// caller's matrix at stride ldb (no packed strip). Same chain.
+template <typename Op>
+void TileBsGeneric(int64_t kc, const float* a, const float* b, int64_t ldb,
+                   float* c, int64_t ldc) {
+  float acc[kGemmMR][kGemmNR];
+  for (int r = 0; r < kGemmMR; ++r) {
+    for (int j = 0; j < kGemmNR; ++j) acc[r][j] = c[r * ldc + j];
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* ap = a + p * kGemmMR;
+    const float* bp = b + p * ldb;
+    for (int r = 0; r < kGemmMR; ++r) {
+      const float ar = ap[r];
+      for (int j = 0; j < kGemmNR; ++j) {
+        acc[r][j] = Op::Apply(acc[r][j], ar, bp[j]);
+      }
+    }
+  }
+  for (int r = 0; r < kGemmMR; ++r) {
+    for (int j = 0; j < kGemmNR; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+// Stream-B partial tile; only live columns (j < nr) are ever read, which
+// trivially satisfies the dead-columns-are-zero requirement.
+template <typename Op>
+void EdgeBsGeneric(int64_t kc, const float* a, const float* b, int64_t ldb,
+                   float* c, int64_t ldc, int mr, int nr) {
+  for (int r = 0; r < mr; ++r) {
+    for (int j = 0; j < nr; ++j) {
+      float acc = c[r * ldc + j];
+      for (int64_t p = 0; p < kc; ++p) {
+        acc = Op::Apply(acc, a[p * kGemmMR + r], b[p * ldb + j]);
+      }
+      c[r * ldc + j] = acc;
+    }
+  }
+}
+
 // --- Unpacked reference kernels, rows [m0, m1) of C. Loop structures
 // keep the seed kernels' cache blocking where it existed; the inner op
 // is the family chain. Alpha is folded into the A element exactly as the

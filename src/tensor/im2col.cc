@@ -4,13 +4,20 @@ namespace thali {
 
 void Im2Col(const float* im, int64_t channels, int64_t height, int64_t width,
             int64_t ksize, int64_t stride, int64_t pad, float* col) {
+  Im2ColStrided(im, height * width, channels, height, width, ksize, stride,
+                pad, col);
+}
+
+void Im2ColStrided(const float* im, int64_t chan_stride, int64_t channels,
+                   int64_t height, int64_t width, int64_t ksize,
+                   int64_t stride, int64_t pad, float* col) {
   const int64_t out_h = ConvOutSize(height, ksize, stride, pad);
   const int64_t out_w = ConvOutSize(width, ksize, stride, pad);
   const int64_t cols = out_h * out_w;
 
   int64_t row = 0;
   for (int64_t c = 0; c < channels; ++c) {
-    const float* imc = im + c * height * width;
+    const float* imc = im + c * chan_stride;
     for (int64_t kh = 0; kh < ksize; ++kh) {
       for (int64_t kw = 0; kw < ksize; ++kw, ++row) {
         float* out = col + row * cols;

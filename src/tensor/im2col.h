@@ -12,6 +12,13 @@ namespace thali {
 void Im2Col(const float* im, int64_t channels, int64_t height, int64_t width,
             int64_t ksize, int64_t stride, int64_t pad, float* col);
 
+// Im2Col with an explicit stride between consecutive channel planes
+// (H*W for a dense CHW image; batch*H*W for one item of a CNHW blocked
+// activation). Emits the exact same column matrix as Im2Col.
+void Im2ColStrided(const float* im, int64_t chan_stride, int64_t channels,
+                   int64_t height, int64_t width, int64_t ksize,
+                   int64_t stride, int64_t pad, float* col);
+
 // Inverse scatter-add of Im2Col used on the backward pass: accumulates the
 // column-matrix gradient back into the (pre-zeroed) image gradient buffer.
 void Col2Im(const float* col, int64_t channels, int64_t height, int64_t width,

@@ -120,31 +120,57 @@ TEST(ArenaPlanTest, RouteFanoutKeepsSourceLive) {
   EXPECT_EQ(plan.assignments[5].last_use, net->num_layers());
 }
 
+// Live-together blocks must never partially overlap. Under the fused
+// plan the compiler deliberately aliases route/shortcut storage onto a
+// producer's block, so "i nests fully inside j" (or vice versa) is
+// legal; anything else is a planner bug. With fusion latched off the
+// old strict-disjoint contract still holds exactly.
 TEST(ArenaPlanTest, OverlappingLiveIntervalsNeverShareArenaBytes) {
-  BuiltNetwork built = BuildThali(ExecMode::kInference, 2);
-  const ArenaPlan& plan = built.net->arena_plan();
-  ASSERT_TRUE(plan.enabled);
-  const auto& a = plan.assignments;
-  for (size_t i = 0; i < a.size(); ++i) {
-    for (size_t j = i + 1; j < a.size(); ++j) {
-      const bool live_together =
-          a[i].first_use <= a[j].last_use && a[j].first_use <= a[i].last_use;
-      if (!live_together) continue;
-      const bool disjoint = a[i].offset + a[i].floats <= a[j].offset ||
-                            a[j].offset + a[j].floats <= a[i].offset;
-      EXPECT_TRUE(disjoint) << "layers " << i << " and " << j
-                            << " are live together but overlap in the arena";
+  struct Case {
+    int fuse;          // internal::SetFusionForTesting value
+    bool allow_nest;   // aliasing means nesting is legal
+  };
+  for (const Case c : {Case{1, true}, Case{0, false}}) {
+    internal::SetFusionForTesting(c.fuse);
+    BuiltNetwork built = BuildThali(ExecMode::kInference, 2);
+    internal::SetFusionForTesting(-1);
+    const ArenaPlan& plan = built.net->arena_plan();
+    ASSERT_TRUE(plan.enabled);
+    const auto& a = plan.assignments;
+    for (size_t i = 0; i < a.size(); ++i) {
+      for (size_t j = i + 1; j < a.size(); ++j) {
+        const bool live_together =
+            a[i].first_use <= a[j].last_use && a[j].first_use <= a[i].last_use;
+        if (!live_together) continue;
+        const bool disjoint = a[i].offset + a[i].floats <= a[j].offset ||
+                              a[j].offset + a[j].floats <= a[i].offset;
+        const bool nested =
+            (a[i].offset >= a[j].offset &&
+             a[i].offset + a[i].floats <= a[j].offset + a[j].floats) ||
+            (a[j].offset >= a[i].offset &&
+             a[j].offset + a[j].floats <= a[i].offset + a[i].floats);
+        EXPECT_TRUE(disjoint || (c.allow_nest && nested))
+            << "layers " << i << " and " << j
+            << " are live together but partially overlap in the arena"
+            << " (fuse=" << c.fuse << ")";
+      }
     }
-  }
-  // Every assignment fits inside the arena.
-  for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_LE(a[i].offset + a[i].floats, plan.arena_floats) << "layer " << i;
+    // Every assignment fits inside the arena.
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_LE(a[i].offset + a[i].floats, plan.arena_floats) << "layer " << i;
+    }
   }
 }
 
+// With fusion latched off the inference plan routes every conv through
+// the reference im2col path, so the arena-planned forward must agree
+// *bitwise* with the seed per-layer allocator — arena placement alone
+// can never change arithmetic.
 TEST(ArenaPlanTest, ArenaForwardMatchesSeedAllocatorBitwise) {
   std::unique_ptr<Network> seed_net = BuildFanoutNet(ExecMode::kTraining);
+  internal::SetFusionForTesting(0);
   std::unique_ptr<Network> arena_net = BuildFanoutNet(ExecMode::kInference);
+  internal::SetFusionForTesting(-1);
 
   Tensor input(seed_net->input_shape());
   FillDeterministic(input, 5);
@@ -153,9 +179,35 @@ TEST(ArenaPlanTest, ArenaForwardMatchesSeedAllocatorBitwise) {
   ExpectBitwiseEqual(seed_out, arena_out);
 }
 
+// The fused plan (Winograd 3x3, fast mish) is not bitwise vs the
+// reference — Winograd reassociates the reduction — but must stay
+// inside the documented 1e-4 + 1e-3|ref| envelope.
+TEST(ArenaPlanTest, FusedForwardMatchesReferenceWithinTolerance) {
+  internal::SetFusionForTesting(0);
+  std::unique_ptr<Network> ref_net = BuildFanoutNet(ExecMode::kInference);
+  internal::SetFusionForTesting(1);
+  std::unique_ptr<Network> fused_net = BuildFanoutNet(ExecMode::kInference);
+  internal::SetFusionForTesting(-1);
+  ASSERT_FALSE(ref_net->exec_plan().fused);
+  ASSERT_TRUE(fused_net->exec_plan().fused);
+
+  Tensor input(ref_net->input_shape());
+  FillDeterministic(input, 5);
+  const Tensor& a = ref_net->Forward(input, /*train=*/false);
+  const Tensor& b = fused_net->Forward(input, /*train=*/false);
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i],
+                1e-4f + 1e-3f * std::abs(a.data()[i]))
+        << "at " << i;
+  }
+}
+
 TEST(ArenaPlanTest, FullModelArenaMatchesSeedAllocatorBitwise) {
   BuiltNetwork train = BuildThali(ExecMode::kTraining, 1);
+  internal::SetFusionForTesting(0);
   BuiltNetwork infer = BuildThali(ExecMode::kInference, 1);
+  internal::SetFusionForTesting(-1);
 
   Tensor input(train.net->input_shape());
   FillDeterministic(input, 11);
@@ -167,6 +219,33 @@ TEST(ArenaPlanTest, FullModelArenaMatchesSeedAllocatorBitwise) {
   for (size_t h = 0; h < train.yolo_layers.size(); ++h) {
     ExpectBitwiseEqual(train.yolo_layers[h]->output(),
                        infer.yolo_layers[h]->output());
+  }
+}
+
+// Same comparison on the full yolov4-thali model with the fused plan:
+// every detection head must decode within tolerance of the reference.
+TEST(ArenaPlanTest, FullModelFusedMatchesReferenceWithinTolerance) {
+  internal::SetFusionForTesting(0);
+  BuiltNetwork ref = BuildThali(ExecMode::kInference, 1);
+  internal::SetFusionForTesting(1);
+  BuiltNetwork fused = BuildThali(ExecMode::kInference, 1);
+  internal::SetFusionForTesting(-1);
+  ASSERT_TRUE(fused.net->exec_plan().fused);
+
+  Tensor input(ref.net->input_shape());
+  FillDeterministic(input, 11);
+  ref.net->Forward(input, /*train=*/false);
+  fused.net->Forward(input, /*train=*/false);
+  ASSERT_EQ(ref.yolo_layers.size(), fused.yolo_layers.size());
+  for (size_t h = 0; h < ref.yolo_layers.size(); ++h) {
+    const Tensor& a = ref.yolo_layers[h]->output();
+    const Tensor& b = fused.yolo_layers[h]->output();
+    ASSERT_EQ(a.size(), b.size());
+    for (int64_t i = 0; i < a.size(); ++i) {
+      ASSERT_NEAR(a.data()[i], b.data()[i],
+                  1e-4f + 1e-3f * std::abs(a.data()[i]))
+          << "head " << h << " at " << i;
+    }
   }
 }
 
@@ -190,15 +269,117 @@ TEST(ArenaPlanTest, NoArenaEnvVarDisablesPlacement) {
   EXPECT_FALSE(gated.net->arena_plan().enabled);
 }
 
+TEST(ExecPlanTest, NoFuseEnvVarDisablesFusedPlan) {
+  ASSERT_EQ(setenv("THALI_NO_FUSE", "1", 1), 0);
+  BuiltNetwork gated = BuildThali(ExecMode::kInference, 1);
+  ASSERT_EQ(unsetenv("THALI_NO_FUSE"), 0);
+  BuiltNetwork fused = BuildThali(ExecMode::kInference, 1);
+
+  EXPECT_FALSE(gated.net->exec_plan().fused);
+  EXPECT_TRUE(fused.net->exec_plan().fused);
+  // The reference plan keeps every conv on im2col in NCHW and elides no
+  // copies.
+  for (const LayerPlan& lp : gated.net->exec_plan().layers) {
+    EXPECT_EQ(lp.conv_algo, ConvAlgo::kIm2col);
+    EXPECT_EQ(lp.out_layout, ActLayout::kNCHW);
+    EXPECT_FALSE(lp.copy_elided);
+    EXPECT_FALSE(lp.fast_act);
+  }
+  // Latched at Finalize: SetBatch after the env var is gone must not
+  // silently re-enable fusion.
+  ASSERT_TRUE(gated.net->SetBatch(2).ok());
+  EXPECT_FALSE(gated.net->exec_plan().fused);
+}
+
+TEST(ExecPlanTest, NoFuseEnvValueParsing) {
+  EXPECT_FALSE(internal::NoFuseEnvValueDisables(nullptr));
+  EXPECT_FALSE(internal::NoFuseEnvValueDisables(""));
+  EXPECT_FALSE(internal::NoFuseEnvValueDisables("0"));
+  EXPECT_TRUE(internal::NoFuseEnvValueDisables("1"));
+  EXPECT_TRUE(internal::NoFuseEnvValueDisables("yes"));
+}
+
+// The fused yolov4-thali plan picks the specialized conv paths the
+// geometry allows: every 1x1/s1 conv goes direct, every 3x3/s1 conv
+// goes Winograd, and strided 3x3 downsamplers stay on im2col. Routes
+// and shortcuts whose layout/liveness permit are elided outright.
+TEST(ExecPlanTest, FusedPlanSelectsSpecializedPathsForYoloThali) {
+  BuiltNetwork built = BuildThali(ExecMode::kInference, 1);
+  const ExecPlan& plan = built.net->exec_plan();
+  ASSERT_TRUE(plan.fused);
+  int direct = 0, winograd = 0, elided = 0, fast = 0;
+  for (int i = 0; i < built.net->num_layers(); ++i) {
+    const LayerPlan& lp = plan.layers[static_cast<size_t>(i)];
+    if (std::string_view(built.net->layer(i).kind()) != "convolutional") {
+      EXPECT_EQ(lp.conv_algo, ConvAlgo::kIm2col) << "layer " << i;
+      if (lp.copy_elided) ++elided;
+      continue;
+    }
+    const auto& o = static_cast<const ConvLayer&>(built.net->layer(i)).options();
+    if (o.ksize == 1 && o.stride == 1 && o.pad == 0) {
+      EXPECT_EQ(lp.conv_algo, ConvAlgo::kDirect1x1) << "layer " << i;
+      ++direct;
+    } else if (o.ksize == 3 && o.stride == 1 && o.pad == 1) {
+      EXPECT_EQ(lp.conv_algo, ConvAlgo::kWinograd) << "layer " << i;
+      ++winograd;
+    } else {
+      EXPECT_EQ(lp.conv_algo, ConvAlgo::kIm2col) << "layer " << i;
+    }
+    if (lp.fast_act) ++fast;
+  }
+  // yolov4-thali's backbone: the exact counts are structural, pin them.
+  EXPECT_EQ(direct, 10);
+  EXPECT_EQ(winograd, 13);
+  EXPECT_EQ(elided, 15);
+  EXPECT_EQ(fast, 15);
+  // Yolo heads and their feeder convs must see NCHW.
+  for (int i = 0; i < built.net->num_layers(); ++i) {
+    if (std::string_view(built.net->layer(i).kind()) == "yolo") {
+      EXPECT_EQ(plan.layers[static_cast<size_t>(i)].in_layout,
+                ActLayout::kNCHW)
+          << "yolo layer " << i;
+    }
+  }
+}
+
+// SetBatch must re-run the plan compiler, not just resize buffers:
+// elision legality and arena grouping depend on the batch.
+TEST(ExecPlanTest, SetBatchRecompilesFusedPlan) {
+  BuiltNetwork built = BuildThali(ExecMode::kInference, 1);
+  Network& net = *built.net;
+  ASSERT_TRUE(net.exec_plan().fused);
+  const int64_t floats1 = net.arena_plan().arena_floats;
+
+  ASSERT_TRUE(net.SetBatch(4).ok());
+  ASSERT_TRUE(net.exec_plan().fused);
+  EXPECT_EQ(net.arena_plan().arena_floats, floats1 * 4);
+
+  ASSERT_TRUE(net.SetBatch(1).ok());
+  ASSERT_TRUE(net.exec_plan().fused);
+  EXPECT_EQ(net.arena_plan().arena_floats, floats1);
+}
+
 TEST(ArenaPlanTest, PinnedPeakMemoryForYoloThali) {
   // Pinned so planner regressions show up as a number, not a vague slow
   // drift. Update deliberately if the architecture or planner changes.
-  BuiltNetwork built = BuildThali(ExecMode::kInference, 1);
-  const ArenaPlan& plan = built.net->arena_plan();
-  EXPECT_EQ(plan.sum_output_floats, 195282);
-  EXPECT_EQ(plan.arena_floats, 36864);
+  // The reference plan (fusion off) keeps the PR-2 placement exactly;
+  // the fused plan's copy elision shrinks the peak further.
+  internal::SetFusionForTesting(0);
+  BuiltNetwork ref = BuildThali(ExecMode::kInference, 1);
+  internal::SetFusionForTesting(1);
+  BuiltNetwork fused = BuildThali(ExecMode::kInference, 1);
+  internal::SetFusionForTesting(-1);
+
+  const ArenaPlan& ref_plan = ref.net->arena_plan();
+  EXPECT_EQ(ref_plan.sum_output_floats, 195282);
+  EXPECT_EQ(ref_plan.arena_floats, 36864);
   // The acceptance bar: >= 40% below the one-buffer-per-layer baseline.
-  EXPECT_LE(plan.arena_floats * 10, plan.sum_output_floats * 6);
+  EXPECT_LE(ref_plan.arena_floats * 10, ref_plan.sum_output_floats * 6);
+
+  const ArenaPlan& fused_plan = fused.net->arena_plan();
+  EXPECT_EQ(fused_plan.sum_output_floats, 195282);
+  EXPECT_EQ(fused_plan.arena_floats, 27648);
+  EXPECT_LT(fused_plan.arena_floats, ref_plan.arena_floats);
 }
 
 TEST(ArenaPlanTest, ReportListsEveryLayerAndSummary) {

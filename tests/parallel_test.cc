@@ -7,7 +7,9 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "darknet/model_zoo.h"
 #include "data/food_classes.h"
 #include "nn/conv_layer.h"
+#include "nn/exec_plan.h"
 #include "nn/network.h"
 #include "nn/yolo_layer.h"
 #include "tensor/gemm.h"
@@ -298,6 +301,73 @@ TEST_F(ParallelTest, FoldedThaliInferenceBitwiseIdenticalWithFusedEpilogue) {
           << "packing=" << packing << " threads=" << threads;
     }
   }
+}
+
+// Conformance sweep over every conv shape in yolov4-thali: the fused
+// plan (CNHW layout, direct 1x1, Winograd 3x3, fast mish) must land
+// within the documented 1e-4 + 1e-3*|ref| envelope of the reference
+// im2col plan at *every conv layer's output*, not just the heads — so a
+// drifting kernel is pinned to its layer, and every one of the model's
+// distinct (C,F,k,s,HxW) conv geometries gets exercised. Batch 1, where
+// CNHW and NCHW coincide bitwise, so outputs compare element for
+// element without a gather. THALI_NO_ARENA keeps every layer's output
+// in its own buffer — under the arena, early outputs are clobbered by
+// later layers before the post-forward comparison could read them.
+TEST_F(ParallelTest, FusedConvSweepMatchesReferencePlanPerLayer) {
+  SetMaxParallelism(4);
+  ASSERT_EQ(setenv("THALI_NO_ARENA", "1", 1), 0);
+  auto build = [](int fuse) {
+    internal::SetFusionForTesting(fuse);
+    Rng rng(4242);
+    auto built = BuildNetworkFromCfg(YoloThaliCfg(YoloThaliOptions{}),
+                                     /*batch_override=*/1, rng,
+                                     ExecMode::kInference);
+    internal::SetFusionForTesting(-1);
+    THALI_CHECK_OK(built.status());
+    return std::move(built).value();
+  };
+  BuiltNetwork ref = build(0);
+  BuiltNetwork fused = build(1);
+  ASSERT_EQ(unsetenv("THALI_NO_ARENA"), 0);
+  ASSERT_FALSE(ref.net->exec_plan().fused);
+  ASSERT_TRUE(fused.net->exec_plan().fused);
+  ASSERT_FALSE(fused.net->arena_plan().enabled);
+
+  Tensor input(ref.net->input_shape());
+  Rng irng(17);
+  for (int64_t i = 0; i < input.size(); ++i) input[i] = irng.NextGaussian();
+  ref.net->Forward(input, /*train=*/false);
+  Tensor input2 = input;  // fused net must not depend on shared storage
+  fused.net->Forward(input2, /*train=*/false);
+
+  std::set<std::string> shapes;
+  for (int li = 0; li < ref.net->num_layers(); ++li) {
+    if (std::string_view(ref.net->layer(li).kind()) != "convolutional") {
+      continue;
+    }
+    const auto& conv = static_cast<const ConvLayer&>(ref.net->layer(li));
+    const ConvLayer::Options& o = conv.options();
+    const Shape& in = conv.input_shape();
+    shapes.insert(std::to_string(in.dim(1)) + ">" +
+                  std::to_string(o.filters) + "k" + std::to_string(o.ksize) +
+                  "s" + std::to_string(o.stride) + "@" +
+                  std::to_string(in.dim(2)) + "x" + std::to_string(in.dim(3)));
+    const Tensor& a = ref.net->layer(li).output();
+    const Tensor& b = fused.net->layer(li).output();
+    ASSERT_EQ(a.size(), b.size()) << "layer " << li;
+    for (int64_t i = 0; i < a.size(); ++i) {
+      ASSERT_NEAR(a.data()[i], b.data()[i],
+                  1e-4f + 1e-3f * std::abs(a.data()[i]))
+          << "conv layer " << li << " ("
+          << ConvAlgoName(
+                 fused.net->exec_plan().layers[static_cast<size_t>(li)]
+                     .conv_algo)
+          << ") at " << i;
+    }
+  }
+  // yolov4-thali spans 22 distinct conv geometries; the sweep must not
+  // silently shrink if the cfg generator changes.
+  EXPECT_EQ(shapes.size(), 22u);
 }
 
 // One forward(train) + seeded backward on a fresh conv net; returns
