@@ -26,6 +26,7 @@
 #include "nn/network.h"
 #include "nn/yolo_layer.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/gemm_pack.h"
 #include "tensor/im2col.h"
 
@@ -124,6 +125,96 @@ void BM_GemmPacked(benchmark::State& state) {
   GemmPackedShapeBench(state, state.range(0), state.range(1), state.range(2));
 }
 BENCHMARK(BM_GemmPacked)->ArgNames({"m", "n", "k"})->Args({256, 256, 256});
+
+// Quantized int8 GEMM on the same conv shapes, operands prepared outside
+// the timed loop like the fp32 packed bench (ConvLayer quantizes weights
+// once at prepack; the per-item activation quantize+pack is measured by
+// the end-to-end BM_ThaliInference instead). Items processed counts
+// multiply-accumulate ops (2*m*n*k), so GOPS compares directly against
+// BM_GemmPacked's GFLOP/s.
+void GemmInt8ShapeBench(benchmark::State& state, int64_t m, int64_t n,
+                        int64_t k) {
+  Rng rng(1);
+  const int64_t kp = Int8PackedK(k);
+  std::vector<float> w(static_cast<size_t>(m * k));
+  for (auto& v : w) v = rng.NextGaussian();
+  std::vector<int8_t> qw(static_cast<size_t>(m * kp));
+  std::vector<float> wscale(static_cast<size_t>(m));
+  std::vector<int32_t> wcolsum(static_cast<size_t>(m));
+  Int8QuantizeWeights(w.data(), m, k, qw.data(), wscale.data(),
+                      wcolsum.data());
+  float in_scale = 0.0f;
+  int32_t in_zp = 0;
+  Int8RangeToScaleZp(-3.0f, 3.0f, &in_scale, &in_zp);
+  std::vector<float> x(static_cast<size_t>(k * n));
+  for (auto& v : x) v = rng.NextGaussian();
+  std::vector<uint8_t> qcol(static_cast<size_t>(k * n));
+  Int8QuantizeActivations(x.data(), k * n, 1.0f / in_scale, in_zp,
+                          qcol.data());
+  std::vector<uint8_t> packed(static_cast<size_t>(Int8PackedActBytes(k, n)));
+  Int8PackActCols(qcol.data(), k, n, packed.data());
+  std::vector<float> bias(static_cast<size_t>(m), 0.1f);
+  Int8Epilogue epi;
+  epi.in_scale = in_scale;
+  epi.in_zp = in_zp;
+  epi.wscale = wscale.data();
+  epi.wcolsum = wcolsum.data();
+  epi.bias = bias.data();
+  epi.activation = GemmActivation::kLeaky;
+  std::vector<float> c(static_cast<size_t>(m * n));
+  std::vector<int32_t> acc(static_cast<size_t>(m * n));
+  for (auto _ : state) {
+    Int8GemmPrepacked(m, n, k, qw.data(), packed.data(), epi, c.data(), n,
+                      acc.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * n * k);
+}
+
+void BM_GemmInt8(benchmark::State& state) {
+  GemmInt8ShapeBench(state, state.range(0), state.range(1), state.range(2));
+}
+BENCHMARK(BM_GemmInt8)->ArgNames({"m", "n", "k"})->Args({256, 256, 256});
+
+// Batch-1 end-to-end yolov4-thali inference (img/s), fp32 fused plan vs
+// the calibrated THALI_INT8 plan. The int8 run pays the per-item
+// activation quantize + u8 im2col + panel pack inside Forward, so this
+// is the deployment-facing speedup number.
+void BM_ThaliInference(benchmark::State& state) {
+  const bool int8 = state.range(0) != 0;
+  internal::SetInt8ForTesting(int8 ? 1 : 0);
+  Rng rng(4242);
+  auto built = BuildNetworkFromCfg(YoloThaliCfg(YoloThaliOptions{}),
+                                   /*batch_override=*/1, rng,
+                                   ExecMode::kInference);
+  internal::SetInt8ForTesting(-1);
+  THALI_CHECK_OK(built.status());
+  Network& net = *built->net;
+  for (int i = 0; i < net.num_layers(); ++i) {
+    if (std::string_view(net.layer(i).kind()) == "convolutional") {
+      static_cast<ConvLayer&>(net.layer(i)).FoldBatchNorm();
+    }
+  }
+  Tensor input(net.input_shape());
+  for (int64_t i = 0; i < input.size(); ++i) input[i] = rng.NextGaussian();
+  if (int8) {
+    net.set_calib_phase(CalibPhase::kRange);
+    net.Forward(input, /*train=*/false);
+    net.set_calib_phase(CalibPhase::kOff);
+    for (int i = 0; i < net.num_layers(); ++i) {
+      Layer& l = net.layer(i);
+      if (std::string_view(l.kind()) != "convolutional") continue;
+      if (l.plan().conv_algo != ConvAlgo::kQuantInt8) continue;
+      static_cast<ConvLayer&>(l).FinalizeCalibration(100.0);
+    }
+  }
+  net.Forward(input, /*train=*/false);  // warm: lazy prepack outside timing
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(input, /*train=*/false).data());
+  }
+  state.SetItemsProcessed(state.iterations());  // images
+}
+BENCHMARK(BM_ThaliInference)->ArgNames({"int8"})->Arg(0)->Arg(1);
 
 void BM_Im2Col(benchmark::State& state) {
   const int c = 32, h = 24, w = 24, k = 3;
@@ -434,12 +525,16 @@ void RegisterYoloShapeBenches() {
                       conv.options().ksize;
     const int64_t n = l.output_shape().dim(2) * l.output_shape().dim(3);
     if (!seen.insert({m, n, k}).second) continue;
-    const std::string name = "BM_GemmPacked/yolo_m" + std::to_string(m) +
-                             "_n" + std::to_string(n) + "_k" +
-                             std::to_string(k);
+    const std::string suffix = "yolo_m" + std::to_string(m) + "_n" +
+                               std::to_string(n) + "_k" + std::to_string(k);
     benchmark::RegisterBenchmark(
-        name.c_str(), [m, n, k](benchmark::State& st) {
+        ("BM_GemmPacked/" + suffix).c_str(),
+        [m, n, k](benchmark::State& st) {
           GemmPackedShapeBench(st, m, n, k);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_GemmInt8/" + suffix).c_str(), [m, n, k](benchmark::State& st) {
+          GemmInt8ShapeBench(st, m, n, k);
         });
   }
 }

@@ -5,7 +5,7 @@
 # sanitizer passes catch the data-race / memory-hazard classes that
 # plain test runs cannot.
 #
-#   scripts/verify.sh            # tier-1 + tsan smoke + asan smoke
+#   scripts/verify.sh            # tier-1 + int8 smoke + tsan/asan smoke
 #   scripts/verify.sh --tier1    # tier-1 only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,6 +18,9 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== int8 smoke: quantization conformance suite =="
+ctest --test-dir build --output-on-failure -j "${JOBS}" -L int8_smoke
 
 if [[ "${TIER1_ONLY}" == "1" ]]; then
   echo "verify: tier-1 PASS (sanitizer suites skipped)"

@@ -1,6 +1,7 @@
 #include "core/detector.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "base/thread_pool.h"
 #include "darknet/weights_io.h"
@@ -163,6 +164,82 @@ void Detector::FuseBatchNorm() {
       static_cast<ConvLayer&>(net_->layer(i)).FoldBatchNorm();
     }
   }
+}
+
+void Detector::ForwardImage(const Image& image) {
+  const int nw = net_->input_width();
+  const int nh = net_->input_height();
+  if (net_->batch() != 1) THALI_CHECK_OK(net_->SetBatch(1));
+  if (!(input_staging_.shape() == net_->input_shape())) {
+    input_staging_.Resize(net_->input_shape());
+  }
+  const Image* net_input = &image;
+  Letterbox lb;
+  if (image.width() != nw || image.height() != nh) {
+    lb = LetterboxImage(image, nw, nh);
+    net_input = &lb.image;
+  }
+  std::copy(net_input->data(), net_input->data() + net_input->size(),
+            input_staging_.data());
+  net_->Forward(input_staging_, /*train=*/false);
+}
+
+Detector::Int8CalibrationOptions Detector::CalibrationOptionsFromEnv() {
+  Int8CalibrationOptions options;
+  const char* mode = std::getenv("THALI_INT8_CALIB");
+  if (mode != nullptr && std::string_view(mode) == "percentile") {
+    options.mode = Int8CalibrationOptions::Mode::kPercentile;
+  }
+  const char* pct = std::getenv("THALI_INT8_PERCENTILE");
+  if (pct != nullptr && pct[0] != '\0') {
+    const double v = std::atof(pct);
+    if (v > 0.0 && v <= 100.0) options.percentile = v;
+  }
+  return options;
+}
+
+int Detector::CalibrateInt8(const FoodDataset& dataset,
+                            std::span<const int> indices,
+                            const Int8CalibrationOptions& options) {
+  ReentrancyGuard guard(in_detect_);
+  // The quantized path runs on folded weights; fold first so the
+  // observed ranges describe the network int8 actually executes.
+  // (FoldBatchNorm is a per-layer no-op once folded.)
+  for (int i = 0; i < net_->num_layers(); ++i) {
+    if (std::string_view(net_->layer(i).kind()) == "convolutional") {
+      static_cast<ConvLayer&>(net_->layer(i)).FoldBatchNorm();
+    }
+  }
+  std::vector<ConvLayer*> eligible;
+  for (int i = 0; i < net_->num_layers(); ++i) {
+    Layer& l = net_->layer(i);
+    if (std::string_view(l.kind()) != "convolutional") continue;
+    if (l.plan().conv_algo != ConvAlgo::kQuantInt8) continue;
+    eligible.push_back(static_cast<ConvLayer*>(&l));
+  }
+  if (eligible.empty() || indices.empty()) return 0;
+  for (ConvLayer* conv : eligible) conv->ResetCalibration();
+
+  const int limit = std::min(static_cast<int>(indices.size()),
+                             std::max(1, options.max_images));
+  const auto run_pass = [&](CalibPhase phase) {
+    net_->set_calib_phase(phase);
+    for (int i = 0; i < limit; ++i) {
+      ForwardImage(dataset.item(indices[static_cast<size_t>(i)]).image);
+    }
+    net_->set_calib_phase(CalibPhase::kOff);
+  };
+  run_pass(CalibPhase::kRange);
+  const bool percentile =
+      options.mode == Int8CalibrationOptions::Mode::kPercentile;
+  if (percentile) run_pass(CalibPhase::kHist);
+
+  int armed = 0;
+  for (ConvLayer* conv : eligible) {
+    conv->FinalizeCalibration(percentile ? options.percentile : 100.0);
+    if (conv->has_activation_range()) ++armed;
+  }
+  return armed;
 }
 
 }  // namespace thali

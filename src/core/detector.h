@@ -9,6 +9,7 @@
 
 #include "base/statusor.h"
 #include "darknet/cfg.h"
+#include "data/dataset.h"
 #include "eval/detection.h"
 #include "image/image.h"
 #include "nn/detection_head.h"
@@ -103,7 +104,40 @@ class Detector {
   // touches only weights/biases, never activation buffers.
   void FuseBatchNorm();
 
+  // How Detector::CalibrateInt8 derives activation ranges.
+  struct Int8CalibrationOptions {
+    enum class Mode { kMinMax, kPercentile };
+    Mode mode = Mode::kMinMax;
+    // kPercentile: each tail of the input histogram is trimmed to
+    // (100 - percentile)/2 percent of the observed values.
+    double percentile = 99.9;
+    // Images forwarded per calibration pass (the percentile mode runs
+    // two passes: range, then histogram).
+    int max_images = 32;
+  };
+
+  // Arms the THALI_INT8 conv path: folds batch norms (the quantized
+  // path runs on folded weights), then runs fp32 forward passes over
+  // `indices` into `dataset` with the network's calibration phase set,
+  // and installs each eligible conv's activation range. A no-op network
+  // without kQuantInt8 plan entries (int8 off) returns 0. Returns the
+  // number of conv layers armed for int8. Persist the result with
+  // darknet/calibration_io.h to skip this pass on later loads.
+  int CalibrateInt8(const FoodDataset& dataset, std::span<const int> indices,
+                    const Int8CalibrationOptions& options);
+  int CalibrateInt8(const FoodDataset& dataset, std::span<const int> indices) {
+    return CalibrateInt8(dataset, indices, Int8CalibrationOptions());
+  }
+
+  // Builds calibration options from the environment:
+  // THALI_INT8_CALIB = minmax (default) | percentile, and
+  // THALI_INT8_PERCENTILE = the percentile (default 99.9).
+  static Int8CalibrationOptions CalibrationOptionsFromEnv();
+
  private:
+  // Letterboxes one image into the staging tensor and runs a batch-1
+  // forward pass (calibration passes).
+  void ForwardImage(const Image& image);
   std::unique_ptr<Network> net_;
   std::vector<DetectionHead*> heads_;
   Options opts_;

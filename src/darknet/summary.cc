@@ -11,6 +11,8 @@
 #include "nn/shortcut_layer.h"
 #include "nn/upsample_layer.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
+#include "tensor/qtensor.h"
 
 namespace thali {
 
@@ -76,6 +78,34 @@ std::string NetworkSummary(const Network& net) {
                     DimString(layer.output_shape()).c_str(),
                     static_cast<long long>(params));
   }
+  // Compiled-plan table: which algorithm/layout/dtype each layer actually
+  // runs with, so plan decisions are inspectable without digging through
+  // ExecPlan::ToString logs. Only meaningful once a fused inference plan
+  // exists; reference plans print the headline line only.
+  const ExecPlan& plan = net.exec_plan();
+  int64_t int8_bytes = 0;
+  int int8_layers = 0;
+  if (plan.fused) {
+    os << StrFormat("\nplan: %4s  %-14s %10s  %5s %5s  %6s %5s\n", "idx",
+                    "type", "algo", "in", "out", "elide", "dtype");
+    for (int i = 0; i < net.num_layers(); ++i) {
+      const Layer& layer = net.layer(i);
+      const LayerPlan& lp = plan.layers[static_cast<size_t>(i)];
+      const char* dtype = "f32";
+      if (lp.conv_algo == ConvAlgo::kQuantInt8) {
+        const auto& conv = static_cast<const ConvLayer&>(layer);
+        // A kQuantInt8 plan entry runs fp32 until calibration arms it.
+        dtype = conv.has_activation_range() ? DTypeName(DType::kI8) : "f32*";
+        int8_bytes += conv.int8_weight_bytes();
+        ++int8_layers;
+      }
+      os << StrFormat("plan: %4d  %-14s %10s  %5s %5s  %6s %5s\n", i,
+                      std::string(layer.kind()).c_str(),
+                      ConvAlgoName(lp.conv_algo), ActLayoutName(lp.in_layout),
+                      ActLayoutName(lp.out_layout),
+                      lp.copy_elided ? "elide" : "-", dtype);
+    }
+  }
   os << StrFormat(
       "total: %lld parameters, %lld floats of per-thread workspace, batch %d\n",
       static_cast<long long>(total_params),
@@ -83,6 +113,13 @@ std::string NetworkSummary(const Network& net) {
   os << StrFormat("gemm: %s kernel (cpu: %s), %lld bytes of pre-packed weights\n",
                   GemmKernelName(), CpuFeatureString().c_str(),
                   static_cast<long long>(packed_bytes));
+  if (net.int8_enabled()) {
+    os << StrFormat(
+        "int8: %s kernel, %d quantized conv layers, %lld bytes of int8 "
+        "weights\n",
+        SelectInt8GemmKernel().name, int8_layers,
+        static_cast<long long>(int8_bytes));
+  }
   return os.str();
 }
 

@@ -7,6 +7,7 @@
 #include "nn/network.h"
 #include "tensor/act_kernels.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/gemm_pack.h"
 #include "tensor/im2col.h"
 #include "tensor/winograd.h"
@@ -22,6 +23,8 @@ constexpr int64_t kColCacheMaxFloats = int64_t{1} << 24;
 // Per-filter loops below this many batch*spatial elements are not worth
 // a chunk of their own.
 constexpr int64_t kBnGrainElems = int64_t{1} << 14;
+// Histogram resolution of the percentile calibration pass.
+constexpr int64_t kCalibBins = 2048;
 }  // namespace
 
 Status ConvLayer::Configure(const Shape& input_shape, const Network&) {
@@ -98,6 +101,22 @@ int64_t ConvLayer::WorkspaceSize() const {
     case ConvAlgo::kWinograd:
       return WinogradWorkspaceFloats(in_c_, opts_.filters, in_shape_.dim(2),
                                      in_shape_.dim(3));
+    case ConvAlgo::kQuantInt8: {
+      // The int8 path's byte scratch, and enough for the fp32 Winograd
+      // forward it falls back to before calibration (or under
+      // THALI_NO_PACK).
+      const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
+      const int64_t int8_floats =
+          (Int8ConvWorkspaceBytes(opts_.filters, out_h_ * out_w_, k,
+                                  in_c_ * in_shape_.dim(2) *
+                                      in_shape_.dim(3)) +
+           3) /
+          4;
+      return std::max(int8_floats,
+                      WinogradWorkspaceFloats(in_c_, opts_.filters,
+                                              in_shape_.dim(2),
+                                              in_shape_.dim(3)));
+    }
     case ConvAlgo::kIm2col:
       break;
   }
@@ -123,7 +142,28 @@ void ConvLayer::InitWeights(Rng& rng) {
 
 void ConvLayer::PrepackWeights() {
   if (!inference()) return;
-  if (plan().conv_algo == ConvAlgo::kWinograd) {
+  if (plan().conv_algo == ConvAlgo::kQuantInt8) {
+    // Quantize the fp32 weights per output channel. The Winograd pack
+    // below is kept too: Forward falls back to it until the layer has a
+    // calibrated activation range (and under THALI_NO_PACK).
+    const int64_t m = opts_.filters;
+    const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
+    const Shape qshape({m, Int8PackedK(k)});
+    if (qweights_.q.dtype() != DType::kI8 ||
+        !(qweights_.q.shape() == qshape)) {
+      qweights_.q.Resize(DType::kI8, qshape);
+    }
+    qweights_.scale.resize(static_cast<size_t>(m));
+    qweights_.zero_point = 0;
+    wcolsum_.resize(static_cast<size_t>(m));
+    Int8QuantizeWeights(weights_.data(), m, k, qweights_.q.data<int8_t>(),
+                        qweights_.scale.data(), wcolsum_.data());
+  } else {
+    qweights_.Clear();
+    wcolsum_.clear();
+  }
+  if (plan().conv_algo == ConvAlgo::kWinograd ||
+      plan().conv_algo == ConvAlgo::kQuantInt8) {
     // Winograd plans always hold U = G w G^T (the GEMM A matrices); the
     // prepacked panel copy exists only while the packed driver is on —
     // THALI_NO_PACK runs the 16 GEMMs through the reference entry point
@@ -186,7 +226,20 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
   // HW. CNHW: plane (c, b) at (c*batch + b)*HW — per-item base b*HW,
   // channel stride batch*HW. Both the im2col gather and the GEMM C
   // write-back absorb either layout through these strides.
-  const ConvAlgo algo = plan().conv_algo;
+  ConvAlgo algo = plan().conv_algo;
+  if (algo == ConvAlgo::kQuantInt8) {
+    if (net.calib_phase() != CalibPhase::kOff) {
+      ObserveCalibration(input, net.calib_phase());
+    }
+    // The quantized path needs a calibrated input range, folded batch
+    // norm and the packed-GEMM regime; until then (and during
+    // calibration passes) the layer runs its fp32 Winograd fallback —
+    // same geometry, workspace sized for both.
+    const bool int8_active = !opts_.batch_normalize && has_act_range_ &&
+                             net.calib_phase() == CalibPhase::kOff &&
+                             GemmPackingEnabled();
+    if (!int8_active) algo = ConvAlgo::kWinograd;
+  }
   const bool cnhw_in = plan().in_layout == ActLayout::kCNHW;
   const bool cnhw_out = plan().out_layout == ActLayout::kCNHW;
   const int64_t in_chan_stride = cnhw_in ? batch * in_hw : in_hw;
@@ -216,11 +269,12 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
   // mish epilogue (fused plans only) runs the same fast kernel the
   // separate pass would, so packed and unpacked runs still agree.
   const bool use_packed = inference() && GemmPackingEnabled();
-  if (algo == ConvAlgo::kWinograd) {
-    // FoldBatchNorm and weight loading invalidate the transformed
-    // weights too; re-derive lazily like the packed panels.
+  if (algo == ConvAlgo::kWinograd || algo == ConvAlgo::kQuantInt8) {
+    // FoldBatchNorm and weight loading invalidate the transformed (and
+    // quantized) weights too; re-derive lazily like the packed panels.
     if (packed_dirty_ || u_.size() == 0 ||
-        (use_packed && wino_packed_.size() == 0)) {
+        (use_packed && wino_packed_.size() == 0) ||
+        (plan().conv_algo == ConvAlgo::kQuantInt8 && qweights_.empty())) {
       PrepackWeights();
     }
   } else if (use_packed && (packed_dirty_ || packed_weights_.size() == 0)) {
@@ -229,7 +283,8 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
   GemmEpilogue epilogue;
   bool fused_bias = false;
   bool fused_act = false;
-  if (use_packed && algo != ConvAlgo::kWinograd && !opts_.batch_normalize) {
+  if (use_packed && algo != ConvAlgo::kWinograd &&
+      algo != ConvAlgo::kQuantInt8 && !opts_.batch_normalize) {
     epilogue.bias = biases_.data();
     fused_bias = true;
     switch (opts_.activation) {
@@ -261,7 +316,66 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
   Tensor& raw =
       opts_.batch_normalize && !inference() ? conv_out_ : output_;
 
-  if (algo == ConvAlgo::kWinograd) {
+  if (algo == ConvAlgo::kQuantInt8) {
+    // Quantized path: quantize the input planes to 7-bit unsigned, u8
+    // im2col (border pad = the zero point, which represents x = 0
+    // exactly), pack, exact-integer GEMM, then the shared requantize
+    // epilogue fuses bias and leaky/relu; mish and logistic run their
+    // separate passes below like the fp32 paths.
+    Int8Epilogue epi;
+    epi.in_scale = act_in_scale_;
+    epi.in_zp = act_in_zp_;
+    epi.wscale = qweights_.scale.data();
+    epi.wcolsum = wcolsum_.data();
+    epi.bias = biases_.data();
+    fused_bias = true;
+    switch (opts_.activation) {
+      case Activation::kLinear:
+        fused_act = true;  // nothing to apply
+        break;
+      case Activation::kLeaky:
+        epi.activation = GemmActivation::kLeaky;
+        fused_act = true;
+        break;
+      case Activation::kRelu:
+        epi.activation = GemmActivation::kRelu;
+        fused_act = true;
+        break;
+      default:
+        break;
+    }
+    const int64_t ws_floats = WorkspaceSize();
+    const int64_t kp = Int8PackedK(k);
+    const float inv_scale = 1.0f / act_in_scale_;
+    const uint8_t zp_byte = static_cast<uint8_t>(act_in_zp_);
+    const auto align64 = [](int64_t v) { return (v + 63) / 64 * 64; };
+    ParallelForBounded(
+        0, batch, 1, net.workspace_slots(),
+        [&](int64_t b0, int64_t b1, int tid) {
+          // Byte sections inside the float workspace, laid out exactly
+          // as Int8ConvWorkspaceBytes sized them.
+          uint8_t* wsb =
+              reinterpret_cast<uint8_t*>(net.workspace(tid, ws_floats));
+          uint8_t* qin = wsb;
+          uint8_t* col = qin + align64(in_plane);
+          uint8_t* packed = col + align64(k * n);
+          int32_t* acc = reinterpret_cast<int32_t*>(packed + align64(kp * n));
+          for (int64_t b = b0; b < b1; ++b) {
+            const float* in = input.data() + b * in_item;
+            for (int64_t c = 0; c < in_c_; ++c) {
+              Int8QuantizeActivations(in + c * in_chan_stride, in_hw,
+                                      inv_scale, act_in_zp_, qin + c * in_hw);
+            }
+            Im2ColStridedU8(qin, in_hw, in_c_, in_shape_.dim(2),
+                            in_shape_.dim(3), opts_.ksize, opts_.stride,
+                            opts_.pad, zp_byte, col);
+            Int8PackActCols(col, k, n, packed);
+            Int8GemmPrepacked(m, n, k, qweights_.q.data<int8_t>(), packed,
+                              epi, raw.data() + b * out_item,
+                              out_chan_stride, acc);
+          }
+        });
+  } else if (algo == ConvAlgo::kWinograd) {
     // Per-item Winograd; at batch 1 the single chunk runs inline so the
     // 16 transform-domain GEMMs fan out across the pool instead. Bias
     // and activation stay separate passes (no GEMM C traversal to fuse
@@ -618,6 +732,86 @@ std::vector<ConstParam> ConvLayer::Params() const {
     params.push_back({&scales_, &scale_grads_, false, "scales"});
   }
   return params;
+}
+
+void ConvLayer::SetActivationRange(float range_min, float range_max) {
+  act_in_min_ = range_min;
+  act_in_max_ = range_max;
+  Int8RangeToScaleZp(range_min, range_max, &act_in_scale_, &act_in_zp_);
+  has_act_range_ = true;
+}
+
+void ConvLayer::ResetCalibration() {
+  has_act_range_ = false;
+  act_in_min_ = act_in_max_ = 0.0f;
+  act_in_scale_ = 1.0f;
+  act_in_zp_ = 0;
+  calib_seen_ = false;
+  calib_min_ = calib_max_ = 0.0f;
+  calib_hist_.clear();
+}
+
+void ConvLayer::ObserveCalibration(const Tensor& input, CalibPhase phase) {
+  // Single-threaded on purpose: calibration is an offline pass, and the
+  // sequential reduction keeps the observed range deterministic.
+  const float* x = input.data();
+  const int64_t count = input.size();
+  if (count == 0) return;
+  if (phase == CalibPhase::kRange) {
+    float lo = calib_seen_ ? calib_min_ : x[0];
+    float hi = calib_seen_ ? calib_max_ : x[0];
+    for (int64_t i = 0; i < count; ++i) {
+      lo = std::min(lo, x[i]);
+      hi = std::max(hi, x[i]);
+    }
+    calib_min_ = lo;
+    calib_max_ = hi;
+    calib_seen_ = true;
+    return;
+  }
+  // kHist over the kRange interval; values outside it (the hist pass may
+  // see different images) clamp into the edge bins.
+  if (!calib_seen_ || calib_max_ <= calib_min_) return;
+  if (calib_hist_.size() != static_cast<size_t>(kCalibBins)) {
+    calib_hist_.assign(static_cast<size_t>(kCalibBins), 0);
+  }
+  const float inv_bin =
+      static_cast<float>(kCalibBins) / (calib_max_ - calib_min_);
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t b = static_cast<int64_t>((x[i] - calib_min_) * inv_bin);
+    b = std::clamp<int64_t>(b, 0, kCalibBins - 1);
+    ++calib_hist_[static_cast<size_t>(b)];
+  }
+}
+
+void ConvLayer::FinalizeCalibration(double percentile) {
+  if (!calib_seen_) return;
+  int64_t total = 0;
+  for (int64_t c : calib_hist_) total += c;
+  if (percentile >= 100.0 || total == 0) {
+    SetActivationRange(calib_min_, calib_max_);
+    return;
+  }
+  // Trim each tail to at most (100 - percentile)/2 percent of the mass.
+  const int64_t tail = static_cast<int64_t>(
+      static_cast<double>(total) * (100.0 - percentile) / 200.0);
+  int64_t lo_bin = 0;
+  int64_t acc = 0;
+  while (lo_bin < kCalibBins - 1 &&
+         acc + calib_hist_[static_cast<size_t>(lo_bin)] <= tail) {
+    acc += calib_hist_[static_cast<size_t>(lo_bin)];
+    ++lo_bin;
+  }
+  int64_t hi_bin = kCalibBins - 1;
+  acc = 0;
+  while (hi_bin > lo_bin &&
+         acc + calib_hist_[static_cast<size_t>(hi_bin)] <= tail) {
+    acc += calib_hist_[static_cast<size_t>(hi_bin)];
+    --hi_bin;
+  }
+  const float bin_w = (calib_max_ - calib_min_) / kCalibBins;
+  SetActivationRange(calib_min_ + bin_w * static_cast<float>(lo_bin),
+                     calib_min_ + bin_w * static_cast<float>(hi_bin + 1));
 }
 
 void ConvLayer::FoldBatchNorm() {

@@ -6,6 +6,7 @@
 #include "base/rng.h"
 #include "nn/activation.h"
 #include "nn/layer.h"
+#include "tensor/qtensor.h"
 
 namespace thali {
 
@@ -59,6 +60,35 @@ class ConvLayer : public Layer {
     return packed_weights_.size() * static_cast<int64_t>(sizeof(float));
   }
 
+  // Bytes held by the quantized int8 weight copy (0 when the layer's
+  // plan is not kQuantInt8 or weights are not packed yet).
+  int64_t int8_weight_bytes() const { return qweights_.q.bytes(); }
+
+  // --- int8 activation calibration (kQuantInt8 plans only) ---
+  //
+  // The quantized path needs the input activation range of each int8
+  // conv. Detector::CalibrateInt8 collects it by running fp32 forwards
+  // with net.calib_phase() set (kRange then optionally kHist) and then
+  // calling FinalizeCalibration; a persisted calibration instead lands
+  // directly in SetActivationRange. Until a range is set, Forward falls
+  // back to the fp32 Winograd path.
+
+  // Installs the input range; derives (scale, zero point) per
+  // tensor/gemm_int8.h and arms the quantized path.
+  void SetActivationRange(float range_min, float range_max);
+  bool has_activation_range() const { return has_act_range_; }
+  float activation_range_min() const { return act_in_min_; }
+  float activation_range_max() const { return act_in_max_; }
+
+  // Clears accumulated calibration statistics (and the installed range).
+  void ResetCalibration();
+
+  // Converts accumulated statistics into an activation range:
+  // percentile == 100 keeps the observed min/max; otherwise the
+  // histogram pass's tails are trimmed so each holds at most
+  // (100 - percentile)/2 percent of the observed values.
+  void FinalizeCalibration(double percentile);
+
   const Options& options() const { return opts_; }
 
   // He-style initialization scaled for the fan-in, matching Darknet's
@@ -92,6 +122,10 @@ class ConvLayer : public Layer {
   void BatchNormForward(bool train);
   void BatchNormBackward();
 
+  // Records input statistics for the active calibration phase (min/max
+  // under kRange, histogram under kHist).
+  void ObserveCalibration(const Tensor& input, CalibPhase phase);
+
   // Sizes the activation-shaped caches for the current out_shape_ and
   // mode (inference layers keep none); shared by Configure and Rebatch.
   void SizeActivationCaches();
@@ -103,6 +137,8 @@ class ConvLayer : public Layer {
 
   Tensor weights_, weight_grads_;
   Tensor packed_weights_;      // microkernel panel layout (inference only)
+  QTensor qweights_;           // per-channel int8 rows (kQuantInt8 plans)
+  std::vector<int32_t> wcolsum_;  // per-filter quantized-row sums
   Tensor u_;                   // Winograd-transformed weights U = G w G^T
                                // (16 x F x C; kWinograd plans only)
   Tensor wino_packed_;         // the 16 U_k prepacked into GEMM A panels
@@ -118,6 +154,16 @@ class ConvLayer : public Layer {
   Tensor col_cache_;         // per-item im2col panels cached by Forward
   bool cols_cached_ = false; // whether col_cache_ matches the last Forward
   Tensor wg_scratch_;        // per-item weight-gradient slots (Backward)
+
+  // int8 activation quantization state (kQuantInt8 plans).
+  bool has_act_range_ = false;
+  float act_in_min_ = 0.0f, act_in_max_ = 0.0f;
+  float act_in_scale_ = 1.0f;
+  int32_t act_in_zp_ = 0;
+  // Calibration accumulators (only touched while a phase is active).
+  float calib_min_ = 0.0f, calib_max_ = 0.0f;
+  bool calib_seen_ = false;
+  std::vector<int64_t> calib_hist_;
 };
 
 }  // namespace thali

@@ -25,6 +25,7 @@ int64_t AlignUp(int64_t v) {
 }
 
 std::atomic<int> g_fuse_override{-1};
+std::atomic<int> g_int8_override{-1};
 
 // Layers the `input` argument and ExtraInputIndices say layer i reads.
 std::vector<int> InputsOf(const Network& net, int i) {
@@ -136,6 +137,7 @@ ArenaPlan PlanArenaGrouped(const Network& net, const std::vector<int>& last_use,
     a.floats = floats;
     a.first_use = i;
     a.last_use = last_use[static_cast<size_t>(i)];
+    a.aliased = parent[static_cast<size_t>(i)] >= 0;
   }
   return plan;
 }
@@ -156,6 +158,8 @@ const char* ConvAlgoName(ConvAlgo algo) {
       return "direct1x1";
     case ConvAlgo::kWinograd:
       return "winograd";
+    case ConvAlgo::kQuantInt8:
+      return "int8";
     default:
       return "im2col";
   }
@@ -165,6 +169,12 @@ bool FusionEnabled() {
   const int o = g_fuse_override.load(std::memory_order_relaxed);
   if (o >= 0) return o != 0;
   return !internal::NoFuseEnvValueDisables(std::getenv("THALI_NO_FUSE"));
+}
+
+bool Int8Enabled() {
+  const int o = g_int8_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  return internal::Int8EnvValueEnables(std::getenv("THALI_INT8"));
 }
 
 namespace internal {
@@ -178,6 +188,15 @@ bool NoFuseEnvValueDisables(const char* value) {
          !(value[0] == '0' && value[1] == '\0');
 }
 
+void SetInt8ForTesting(int enabled) {
+  g_int8_override.store(enabled, std::memory_order_relaxed);
+}
+
+bool Int8EnvValueEnables(const char* value) {
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
 }  // namespace internal
 
 ArenaPlan PlanActivationArena(const Network& net) {
@@ -187,7 +206,8 @@ ArenaPlan PlanActivationArena(const Network& net) {
                           std::vector<int64_t>(static_cast<size_t>(n), 0));
 }
 
-ExecPlan CompileExecPlan(const Network& net, bool fuse, bool arena_enabled) {
+ExecPlan CompileExecPlan(const Network& net, bool fuse, bool arena_enabled,
+                         bool int8) {
   const int n = net.num_layers();
   ExecPlan plan;
   plan.fused = fuse;
@@ -278,7 +298,13 @@ ExecPlan CompileExecPlan(const Network& net, bool fuse, bool arena_enabled) {
       if (o.ksize == 1 && o.stride == 1 && o.pad == 0) {
         lp.conv_algo = ConvAlgo::kDirect1x1;
       } else if (o.ksize == 3 && o.stride == 1 && o.pad == 1) {
-        lp.conv_algo = ConvAlgo::kWinograd;
+        // int8 takes the Winograd geometry, but NCHW-pinned convs stay
+        // fp32 to protect whatever consumer forced the pin (in the
+        // thali net the head feeders are 1x1 direct convs, already
+        // fp32; the guard covers pinned 3x3s in other topologies).
+        lp.conv_algo = int8 && !forced[static_cast<size_t>(i)]
+                           ? ConvAlgo::kQuantInt8
+                           : ConvAlgo::kWinograd;
       } else {
         lp.conv_algo = ConvAlgo::kIm2col;
       }

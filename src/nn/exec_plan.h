@@ -24,6 +24,18 @@ enum class ExecMode { kTraining, kInference };
 
 const char* ExecModeName(ExecMode mode);
 
+// Which activation-statistics pass, if any, the network's Forward is
+// currently running (int8 calibration — see Detector::CalibrateInt8).
+//
+//  kOff   — normal execution. Quantized conv paths may run.
+//  kRange — conv layers record the min/max of their fp32 input.
+//  kHist  — conv layers accumulate an input histogram over the range
+//           found by a prior kRange pass (percentile calibration).
+//
+// While a calibration phase is active every conv runs its fp32 path, so
+// the observed statistics describe the unquantized network.
+enum class CalibPhase { kOff, kRange, kHist };
+
 // Memory layout of one layer's activation tensor.
 //
 //  kNCHW — the Darknet layout every layer uses in training mode: batch
@@ -54,7 +66,13 @@ const char* ActLayoutName(ActLayout layout);
 //               reference (transforms re-associate the 3x3 dot
 //               products); covered by the documented fused-plan
 //               tolerance (see tensor/winograd.h).
-enum class ConvAlgo { kIm2col, kDirect1x1, kWinograd };
+//  kQuantInt8 — per-channel symmetric int8 (tensor/gemm_int8.h) for the
+//               same 3x3/stride-1/pad-1 geometry, selected only when the
+//               network was finalized with THALI_INT8 enabled and the
+//               layer is not NCHW-pinned (detection-head feeders stay
+//               fp32). Forward falls back to kWinograd at runtime until
+//               the layer has a calibrated activation range.
+enum class ConvAlgo { kIm2col, kDirect1x1, kWinograd, kQuantInt8 };
 
 const char* ConvAlgoName(ConvAlgo algo);
 
@@ -83,6 +101,11 @@ struct ArenaAssignment {
   int first_use = 0;   // layer index producing the buffer
   int last_use = 0;    // last layer index reading it (num_layers = post-
                        // forward consumer: detection heads / final output)
+  // The slot is an interior view of another layer's block (copy-elided
+  // route slice / adopted concat source / in-place shortcut) — its
+  // offset may not be cache-line aligned, so the network binds it with
+  // BindExternalAliased instead of BindExternal.
+  bool aliased = false;
 };
 
 // The planner's result: per-layer offsets plus the headline numbers the
@@ -143,7 +166,10 @@ struct ExecPlan {
 // Elision requires layout-uniform members and (kCNHW or batch == 1) so
 // a member's storage is one contiguous range. Requires every layer to
 // be configured (shapes known).
-ExecPlan CompileExecPlan(const Network& net, bool fuse, bool arena_enabled);
+// With int8=true (latched from THALI_INT8 by Network::Finalize), step 2
+// upgrades eligible Winograd-geometry convs to kQuantInt8.
+ExecPlan CompileExecPlan(const Network& net, bool fuse, bool arena_enabled,
+                         bool int8 = false);
 
 // Liveness-based first-fit arena planning over the network DAG. A
 // layer's output is live from the step that produces it through its last
@@ -160,6 +186,11 @@ ArenaPlan PlanActivationArena(const Network& net);
 // value, so later SetBatch re-plans keep the same decision.
 bool FusionEnabled();
 
+// True when THALI_INT8 opts the int8 conv path in (set and not "0").
+// Unlike the other knobs this one is opt-IN: default builds never
+// quantize. Network::Finalize latches the value like FusionEnabled.
+bool Int8Enabled();
+
 namespace internal {
 
 // Force fusion on (1) / off (0) or restore the THALI_NO_FUSE
@@ -169,6 +200,13 @@ void SetFusionForTesting(int enabled);
 // True when the given THALI_NO_FUSE value disables fusion (any
 // non-empty string except "0").
 bool NoFuseEnvValueDisables(const char* value);
+
+// Force int8 on (1) / off (0) or restore the THALI_INT8 environment
+// default (-1).
+void SetInt8ForTesting(int enabled);
+
+// True when the given THALI_INT8 value enables int8 (set and not "0").
+bool Int8EnvValueEnables(const char* value);
 
 }  // namespace internal
 

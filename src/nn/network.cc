@@ -1,6 +1,7 @@
 #include "nn/network.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 
 #include "base/logging.h"
@@ -39,6 +40,7 @@ Status Network::Finalize(ExecMode mode) {
   // if the environment changes while the process runs.
   arena_disabled_ = ArenaDisabledByEnv();
   fuse_disabled_ = !FusionEnabled();
+  int8_enabled_ = mode == ExecMode::kInference && Int8Enabled();
   Shape prev = input_shape();
   for (auto& layer : layers_) {
     layer->set_exec_mode(mode_);
@@ -94,20 +96,33 @@ Status Network::SetBatch(int batch) {
 void Network::PlanBuffers() {
   const bool fuse = mode_ == ExecMode::kInference && !fuse_disabled_;
   const bool use_arena = mode_ == ExecMode::kInference && !arena_disabled_;
-  eplan_ = CompileExecPlan(*this, fuse, use_arena);
+  eplan_ = CompileExecPlan(*this, fuse, use_arena, fuse && int8_enabled_);
   for (int i = 0; i < num_layers(); ++i) {
     layers_[static_cast<size_t>(i)]->set_plan(
         eplan_.layers[static_cast<size_t>(i)]);
   }
   if (mode_ != ExecMode::kInference) return;  // SetShapes owns the buffers
   if (use_arena) {
-    arena_.Resize(Shape({eplan_.arena.arena_floats}));
+    // Slots are 16-float (64-byte) aligned relative to the arena base,
+    // but vector<float> storage only guarantees 16 bytes — over-allocate
+    // and align the base up so BindExternal's cache-line contract holds.
+    arena_.Resize(Shape({eplan_.arena.arena_floats + 15}));
+    const uintptr_t raw = reinterpret_cast<uintptr_t>(arena_.data());
+    float* base = reinterpret_cast<float*>((raw + 63) & ~uintptr_t{63});
     for (int i = 0; i < num_layers(); ++i) {
       const ArenaAssignment& slot =
           eplan_.arena.assignments[static_cast<size_t>(i)];
-      layers_[static_cast<size_t>(i)]->output().BindExternal(
-          arena_.data() + slot.offset, layers_[static_cast<size_t>(i)]
-                                           ->output_shape());
+      Tensor& out = layers_[static_cast<size_t>(i)]->output();
+      if (slot.aliased) {
+        // Interior view of another layer's block (copy-elided route /
+        // adopted concat source / in-place shortcut): arbitrary offset.
+        out.BindExternalAliased(base + slot.offset,
+                                layers_[static_cast<size_t>(i)]
+                                    ->output_shape());
+      } else {
+        out.BindExternal(base + slot.offset, layers_[static_cast<size_t>(i)]
+                                                 ->output_shape());
+      }
     }
   } else {
     arena_ = Tensor();

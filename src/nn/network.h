@@ -84,6 +84,15 @@ class Network {
   // Execution mode chosen at Finalize.
   ExecMode exec_mode() const { return mode_; }
 
+  // THALI_INT8 opt-in, latched at Finalize like the fuse/arena knobs.
+  // When false the plan compiler never emits kQuantInt8.
+  bool int8_enabled() const { return int8_enabled_; }
+
+  // Active calibration pass. Conv layers consult this in Forward: any
+  // phase other than kOff forces the fp32 path and records statistics.
+  CalibPhase calib_phase() const { return calib_phase_; }
+  void set_calib_phase(CalibPhase phase) { calib_phase_ = phase; }
+
   // The activation-arena plan computed at Finalize/SetBatch. For
   // kTraining networks the plan is computed for reporting only
   // (enabled=false); for kInference it reflects the live layout unless
@@ -144,6 +153,9 @@ class Network {
   // SetBatch re-plans keep the same decisions.
   bool arena_disabled_ = false;
   bool fuse_disabled_ = false;
+  // THALI_INT8, sampled once at Finalize (opt-in, so the default is off).
+  bool int8_enabled_ = false;
+  CalibPhase calib_phase_ = CalibPhase::kOff;
   bool finalized_ = false;
   std::vector<std::unique_ptr<Layer>> layers_;
   // One im2col scratch tensor per parallel strand (distinct allocations,

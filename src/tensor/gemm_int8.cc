@@ -1,0 +1,272 @@
+#include "tensor/gemm_int8.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <string_view>
+
+#include "base/cpu_features.h"
+#include "base/logging.h"
+#include "base/thread_pool.h"
+
+namespace thali {
+
+namespace {
+
+// Multiply-accumulate count below which the GEMM stays inline (mirrors
+// the fp32 driver's kGrainFlops; int8 work is cheaper per MAC, so the
+// grain is larger).
+constexpr int64_t kInt8GrainMacs = 1 << 16;
+
+std::atomic<const Int8GemmKernel*> g_int8_kernel_override{nullptr};
+
+// Round to nearest, ties to even — identical to SSE cvtps2dq in the
+// default rounding mode, so a vectorized quantizer would agree bit for
+// bit with this scalar one.
+inline int32_t RoundNearestEven(float v) {
+  return static_cast<int32_t>(std::lrintf(v));
+}
+
+// Scalar reference family. Walks the exact packed panel layout the AVX2
+// kernel consumes; plain i32 sums, so (with the saturation-free 7-bit
+// activation bound) the two families agree bit for bit.
+void AccumulateScalar(int64_t m0, int64_t m1, int64_t n, int64_t kp,
+                      const int8_t* qw, const uint8_t* packed, int32_t* acc,
+                      int64_t ldacc) {
+  const int64_t nfull = n / 8;
+  const int64_t ntail = n - nfull * 8;
+  const uint8_t* tails = packed + nfull * kp * 8;
+  for (int64_t i = m0; i < m1; ++i) {
+    const int8_t* w = qw + i * kp;
+    int32_t* ai = acc + i * ldacc;
+    for (int64_t u = 0; u < nfull; ++u) {
+      const uint8_t* strip = packed + u * kp * 8;
+      for (int64_t l = 0; l < 8; ++l) {
+        int32_t sum = 0;
+        for (int64_t p = 0; p < kp; ++p) {
+          sum += static_cast<int32_t>(w[p]) *
+                 static_cast<int32_t>(strip[(p >> 2) * 32 + l * 4 + (p & 3)]);
+        }
+        ai[u * 8 + l] = sum;
+      }
+    }
+    for (int64_t t = 0; t < ntail; ++t) {
+      const uint8_t* col = tails + t * kp;
+      int32_t sum = 0;
+      for (int64_t p = 0; p < kp; ++p) {
+        sum += static_cast<int32_t>(w[p]) * static_cast<int32_t>(col[p]);
+      }
+      ai[nfull * 8 + t] = sum;
+    }
+  }
+}
+
+const Int8GemmKernel kScalarInt8Kernel = {"scalar-int8", AccumulateScalar};
+
+}  // namespace
+
+const Int8GemmKernel& ScalarInt8GemmKernel() { return kScalarInt8Kernel; }
+
+const Int8GemmKernel& SelectInt8GemmKernel() {
+  const Int8GemmKernel* forced =
+      g_int8_kernel_override.load(std::memory_order_acquire);
+  if (forced != nullptr) return *forced;
+  static const Int8GemmKernel* chosen = [] {
+    const Int8GemmKernel* avx2 = Avx2Int8GemmKernel();
+    if (avx2 != nullptr && CpuInfo().avx2) return avx2;
+    return &kScalarInt8Kernel;
+  }();
+  return *chosen;
+}
+
+void Int8QuantizeWeights(const float* w, int64_t m, int64_t k, int8_t* qw,
+                         float* scale, int32_t* colsum) {
+  const int64_t kp = Int8PackedK(k);
+  for (int64_t f = 0; f < m; ++f) {
+    const float* row = w + f * k;
+    float maxabs = 0.0f;
+    for (int64_t p = 0; p < k; ++p) {
+      maxabs = std::max(maxabs, std::fabs(row[p]));
+    }
+    const float s = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+    const float inv = 1.0f / s;
+    int8_t* q = qw + f * kp;
+    int32_t sum = 0;
+    for (int64_t p = 0; p < k; ++p) {
+      const int32_t v =
+          std::clamp(RoundNearestEven(row[p] * inv), -127, 127);
+      q[p] = static_cast<int8_t>(v);
+      sum += v;
+    }
+    for (int64_t p = k; p < kp; ++p) q[p] = 0;
+    scale[f] = s;
+    colsum[f] = sum;
+  }
+}
+
+void Int8RangeToScaleZp(float range_min, float range_max, float* scale,
+                        int32_t* zp) {
+  // Widen to include 0 so conv zero padding quantizes exactly to zp.
+  const float lo = std::min(range_min, 0.0f);
+  const float hi = std::max(range_max, 0.0f);
+  const float s = std::max((hi - lo) / 127.0f, 1e-8f);
+  *scale = s;
+  *zp = std::clamp(RoundNearestEven(-lo / s), 0, 127);
+}
+
+void Int8QuantizeActivations(const float* x, int64_t count, float inv_scale,
+                             int32_t zp, uint8_t* u) {
+  for (int64_t i = 0; i < count; ++i) {
+    const int32_t v = RoundNearestEven(x[i] * inv_scale) + zp;
+    u[i] = static_cast<uint8_t>(std::clamp(v, 0, 127));
+  }
+}
+
+void Int8PackActCols(const uint8_t* qcol, int64_t k, int64_t n,
+                     uint8_t* packed) {
+  const int64_t kp = Int8PackedK(k);
+  const int64_t nfull = n / 8;
+  const int64_t ntail = n - nfull * 8;
+  for (int64_t u = 0; u < nfull; ++u) {
+    uint8_t* strip = packed + u * kp * 8;
+    const uint8_t* src = qcol + u * 8;
+    for (int64_t p = 0; p < k; ++p) {
+      uint8_t* quad = strip + (p >> 2) * 32 + (p & 3);
+      const uint8_t* row = src + p * n;
+      for (int64_t l = 0; l < 8; ++l) quad[l * 4] = row[l];
+    }
+    for (int64_t p = k; p < kp; ++p) {
+      uint8_t* quad = strip + (p >> 2) * 32 + (p & 3);
+      for (int64_t l = 0; l < 8; ++l) quad[l * 4] = 0;
+    }
+  }
+  uint8_t* tails = packed + nfull * kp * 8;
+  for (int64_t t = 0; t < ntail; ++t) {
+    uint8_t* col = tails + t * kp;
+    const int64_t j = nfull * 8 + t;
+    for (int64_t p = 0; p < k; ++p) col[p] = qcol[p * n + j];
+    for (int64_t p = k; p < kp; ++p) col[p] = 0;
+  }
+}
+
+namespace {
+
+// Scalar reference epilogue. The AVX2 version in gemm_int8_avx2.cc
+// repeats this exact elementwise float sequence with 8-lane ops (no
+// FMA), so the two are bit-identical — asserted by the epilogue
+// conformance test.
+void EpilogueScalar(const Int8Epilogue& e, int64_t m0, int64_t m1, int64_t n,
+                    const int32_t* acc, int64_t ldacc, float* c, int64_t ldc) {
+  for (int64_t i = m0; i < m1; ++i) {
+    const int32_t* ai = acc + i * ldacc;
+    float* ci = c + i * ldc;
+    const float s = e.in_scale * e.wscale[i];
+    const int32_t comp = e.in_zp * e.wcolsum[i];
+    const float bias = e.bias != nullptr ? e.bias[i] : 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      ci[j] = static_cast<float>(ai[j] - comp) * s + bias;
+    }
+    switch (e.activation) {
+      case GemmActivation::kLeaky:
+        for (int64_t j = 0; j < n; ++j) {
+          ci[j] = ci[j] > 0 ? ci[j] : 0.1f * ci[j];
+        }
+        break;
+      case GemmActivation::kRelu:
+        for (int64_t j = 0; j < n; ++j) ci[j] = ci[j] > 0 ? ci[j] : 0.0f;
+        break;
+      default:
+        break;  // kNone; kMish never reaches the int8 epilogue
+    }
+  }
+}
+
+std::atomic<Int8EpilogueFn> g_int8_epilogue_override{nullptr};
+
+}  // namespace
+
+void Int8ApplyEpilogue(const Int8Epilogue& e, int64_t m0, int64_t m1,
+                       int64_t n, const int32_t* acc, int64_t ldacc, float* c,
+                       int64_t ldc) {
+  const Int8EpilogueFn forced =
+      g_int8_epilogue_override.load(std::memory_order_acquire);
+  if (forced != nullptr) {
+    forced(e, m0, m1, n, acc, ldacc, c, ldc);
+    return;
+  }
+  static const Int8EpilogueFn chosen = [] {
+    const Int8EpilogueFn avx2 = Avx2Int8EpilogueOrNull();
+    if (avx2 != nullptr && CpuInfo().avx2) return avx2;
+    return static_cast<Int8EpilogueFn>(EpilogueScalar);
+  }();
+  chosen(e, m0, m1, n, acc, ldacc, c, ldc);
+}
+
+void Int8GemmPrepacked(int64_t m, int64_t n, int64_t k, const int8_t* qw,
+                       const uint8_t* packed, const Int8Epilogue& e, float* c,
+                       int64_t ldc, int32_t* acc) {
+  THALI_CHECK_GT(m, 0);
+  THALI_CHECK_GT(n, 0);
+  THALI_CHECK_GT(k, 0);
+  const Int8GemmKernel& kernel = SelectInt8GemmKernel();
+  const int64_t kp = Int8PackedK(k);
+  const int64_t row_macs = n * kp;
+  if (m * row_macs <= kInt8GrainMacs) {
+    kernel.accumulate(0, m, n, kp, qw, packed, acc, n);
+    Int8ApplyEpilogue(e, 0, m, n, acc, n, c, ldc);
+    return;
+  }
+  // Row blocks in multiples of 6 keep every chunk boundary on a register
+  // tile boundary of the AVX2 kernel (which is irrelevant for bitwise
+  // identity — integer sums — but keeps edge handling off interior rows).
+  const int64_t grain =
+      std::max<int64_t>(6, (kInt8GrainMacs / std::max<int64_t>(1, row_macs) +
+                            5) /
+                               6 * 6);
+  ParallelFor(0, m, grain, [&](int64_t m0, int64_t m1, int) {
+    kernel.accumulate(m0, m1, n, kp, qw, packed, acc, n);
+    Int8ApplyEpilogue(e, m0, m1, n, acc, n, c, ldc);
+  });
+}
+
+int64_t Int8ConvWorkspaceBytes(int64_t m, int64_t n, int64_t k,
+                               int64_t in_planes) {
+  auto align = [](int64_t v) { return (v + 63) / 64 * 64; };
+  return align(in_planes) +                  // quantized input planes (u8)
+         align(k * n) +                      // u8 im2col panel
+         align(Int8PackedActBytes(k, n)) +   // packed activation panel
+         align(m * n * 4) + 64;              // i32 accumulator tile
+}
+
+namespace internal {
+
+void SetInt8GemmKernelForTesting(const char* name) {
+  const Int8GemmKernel* k = nullptr;
+  if (name != nullptr) {
+    const std::string_view want(name);
+    if (want == "scalar") {
+      k = &kScalarInt8Kernel;
+    } else if (want == "avx2") {
+      k = Avx2Int8GemmKernel();  // stays null (auto) when unavailable
+    }
+  }
+  g_int8_kernel_override.store(k, std::memory_order_release);
+}
+
+void SetInt8EpilogueForTesting(const char* name) {
+  Int8EpilogueFn fn = nullptr;
+  if (name != nullptr) {
+    const std::string_view want(name);
+    if (want == "scalar") {
+      fn = EpilogueScalar;
+    } else if (want == "avx2") {
+      fn = Avx2Int8EpilogueOrNull();  // stays null (auto) when unavailable
+    }
+  }
+  g_int8_epilogue_override.store(fn, std::memory_order_release);
+}
+
+}  // namespace internal
+
+}  // namespace thali

@@ -1,0 +1,147 @@
+#ifndef THALI_TENSOR_GEMM_INT8_H_
+#define THALI_TENSOR_GEMM_INT8_H_
+
+#include <cstdint>
+
+#include "tensor/gemm.h"
+
+namespace thali {
+
+// Per-channel symmetric int8 GEMM for inference convolutions.
+//
+// The quantization scheme (see DESIGN.md "Quantization"):
+//
+//   weights     w[f][p] ~= s_w[f] * qw[f][p],   qw in [-127, 127]
+//   activations x[p][j] ~= s_in * (u[p][j] - zp), u in [0, 127]
+//
+// Activations are quantized to SEVEN-bit unsigned [0, 127] (not the full
+// u8 range) so the AVX2 kernel's vpmaddubsw pair sums are bounded by
+// 127*127*2 = 32258 < 32767 — the i16 intermediate can never saturate,
+// which makes the integer accumulation EXACT. Both kernel families
+// (scalar, AVX2) therefore produce bit-identical i32 accumulators, and a
+// single shared requantization epilogue turns them into identical fp32:
+//
+//   acc[f][j] = sum_p qw[f][p] * u[p][j]                    (exact i32)
+//   c[f][j]   = (acc[f][j] - zp * colsum[f]) * (s_in * s_w[f]) + bias[f]
+//   c[f][j]   = activation(c[f][j])                         (leaky/relu)
+//
+// where colsum[f] = sum_p qw[f][p] folds the activation zero point out
+// of the integer domain. k is padded to kp = RoundUp(k, 4) with ZERO
+// weight bytes, so padded taps contribute exactly 0 regardless of the
+// activation byte they pair with; conv border padding quantizes the real
+// x = 0 as u = zp, which the colsum compensation also cancels exactly.
+
+// Padded depth shared by the weight rows and the packed activations.
+inline int64_t Int8PackedK(int64_t k) { return (k + 3) / 4 * 4; }
+
+// Bytes of a quantized weight blob: m rows of kp bytes.
+inline int64_t Int8PackedWeightBytes(int64_t m, int64_t k) {
+  return m * Int8PackedK(k);
+}
+
+// Quantizes the row-major m x k weight matrix: per-row symmetric scale
+// s_w[f] = maxabs(row f)/127, round-to-nearest-even, k padded to kp with
+// zeros. Also emits colsum[f] over the quantized row.
+void Int8QuantizeWeights(const float* w, int64_t m, int64_t k, int8_t* qw,
+                         float* scale, int32_t* colsum);
+
+// Quantizes `count` floats to 7-bit unsigned: clamp(rne(x/s) + zp, 0, 127).
+// Shared by every caller (conv input quantization, tests, benches) so all
+// paths agree bit for bit.
+void Int8QuantizeActivations(const float* x, int64_t count, float inv_scale,
+                             int32_t zp, uint8_t* u);
+
+// Derives (scale, zp) from a calibrated activation range. The range is
+// widened to include 0 so conv zero padding stays exactly representable.
+void Int8RangeToScaleZp(float range_min, float range_max, float* scale,
+                        int32_t* zp);
+
+// Bytes of a packed activation panel for a k x n column matrix: kp * n.
+inline int64_t Int8PackedActBytes(int64_t k, int64_t n) {
+  return Int8PackedK(k) * n;
+}
+
+// Packs the quantized k x n column matrix `qcol` (row-major, row stride
+// n) into the kernel panel layout: columns grouped in strips of 8, each
+// strip interleaved in k-quads (byte (p, j) of strip u at
+// strip_base + (p/4)*32 + (j%8)*4 + p%4, strip_base = packed + u*kp*8),
+// so one 32-byte load feeds 8 columns x 4 k-steps of vpmaddubsw. The
+// n % 8 tail columns follow flat (k-contiguous, kp bytes each) for the
+// k-vectorized tail-dot kernel. Padding rows p >= k are zero.
+void Int8PackActCols(const uint8_t* qcol, int64_t k, int64_t n,
+                     uint8_t* packed);
+
+// One int8 kernel family: accumulates rows [m0, m1) of the i32 product
+// into acc (row-major, row stride ldacc) from a quantized weight blob
+// (rows of kp bytes) and a packed activation panel. Accumulation is
+// exact integer arithmetic, so every family produces identical bits.
+struct Int8GemmKernel {
+  const char* name;  // "avx2-ubsw-6x8" / "scalar-int8"
+  void (*accumulate)(int64_t m0, int64_t m1, int64_t n, int64_t kp,
+                     const int8_t* qw, const uint8_t* packed, int32_t* acc,
+                     int64_t ldacc);
+};
+
+const Int8GemmKernel& ScalarInt8GemmKernel();
+// nullptr when this build has no AVX2 TU (non-x86 targets).
+const Int8GemmKernel* Avx2Int8GemmKernel();
+// Runtime dispatch: AVX2 when the CPU supports it, scalar otherwise.
+const Int8GemmKernel& SelectInt8GemmKernel();
+
+// Requantization parameters of one int8 GEMM (the epilogue inputs).
+struct Int8Epilogue {
+  float in_scale = 1.0f;           // s_in
+  int32_t in_zp = 0;               // activation zero point
+  const float* wscale = nullptr;   // s_w[m]
+  const int32_t* wcolsum = nullptr;  // colsum[m]
+  const float* bias = nullptr;     // per-row bias, may be null
+  GemmActivation activation = GemmActivation::kNone;  // kLeaky/kRelu fused
+};
+
+// C[f][j] = act((acc - zp*colsum[f]) * s_in*s_w[f] + bias[f]) over rows
+// [m0, m1). Both kernel families requantize through this one entry
+// point. Internally it dispatches between a scalar reference and an
+// AVX2 lane-parallel version; every op is elementwise IEEE arithmetic
+// (cvt, mul, add, compare — no FMA contraction in either TU), so the
+// two produce bit-identical floats and the dispatch cannot break the
+// family-identity guarantee. Small-k conv shapes are epilogue-bound
+// (outputs scale with m*n while MACs scale with m*n*k), which is why
+// this is vectorized at all.
+void Int8ApplyEpilogue(const Int8Epilogue& e, int64_t m0, int64_t m1,
+                       int64_t n, const int32_t* acc, int64_t ldacc, float* c,
+                       int64_t ldc);
+
+// One requantization epilogue implementation (same contract as
+// Int8ApplyEpilogue minus the dispatch).
+using Int8EpilogueFn = void (*)(const Int8Epilogue& e, int64_t m0, int64_t m1,
+                                int64_t n, const int32_t* acc, int64_t ldacc,
+                                float* c, int64_t ldc);
+
+// nullptr when this build has no AVX2 TU (non-x86 targets).
+Int8EpilogueFn Avx2Int8EpilogueOrNull();
+
+// Full quantized GEMM: dispatches the kernel family, row-parallel with
+// the shared thread pool (integer accumulation + disjoint rows keep the
+// result bitwise identical at every thread count), then requantizes into
+// fp32 C (row stride ldc). `acc` must hold m * n int32 of scratch.
+void Int8GemmPrepacked(int64_t m, int64_t n, int64_t k, const int8_t* qw,
+                       const uint8_t* packed, const Int8Epilogue& e, float* c,
+                       int64_t ldc, int32_t* acc);
+
+// Workspace bytes one batch item of an int8 conv forward needs: the
+// quantized input planes, the u8 im2col panel, the packed activation
+// panel and the i32 accumulator tile, each 64-byte aligned.
+int64_t Int8ConvWorkspaceBytes(int64_t m, int64_t n, int64_t k,
+                               int64_t in_planes);
+
+namespace internal {
+// Force dispatch to "scalar" or "avx2" (ignored when unavailable), or
+// nullptr to restore automatic detection.
+void SetInt8GemmKernelForTesting(const char* name);
+// Same, for the requantization epilogue inside Int8ApplyEpilogue.
+void SetInt8EpilogueForTesting(const char* name);
+}  // namespace internal
+
+}  // namespace thali
+
+#endif  // THALI_TENSOR_GEMM_INT8_H_

@@ -38,6 +38,37 @@ void Im2ColStrided(const float* im, int64_t chan_stride, int64_t channels,
   }
 }
 
+void Im2ColStridedU8(const uint8_t* im, int64_t chan_stride, int64_t channels,
+                     int64_t height, int64_t width, int64_t ksize,
+                     int64_t stride, int64_t pad, uint8_t pad_value,
+                     uint8_t* col) {
+  const int64_t out_h = ConvOutSize(height, ksize, stride, pad);
+  const int64_t out_w = ConvOutSize(width, ksize, stride, pad);
+  const int64_t cols = out_h * out_w;
+
+  int64_t row = 0;
+  for (int64_t c = 0; c < channels; ++c) {
+    const uint8_t* imc = im + c * chan_stride;
+    for (int64_t kh = 0; kh < ksize; ++kh) {
+      for (int64_t kw = 0; kw < ksize; ++kw, ++row) {
+        uint8_t* out = col + row * cols;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= height) {
+            for (int64_t ow = 0; ow < out_w; ++ow) *out++ = pad_value;
+            continue;
+          }
+          const uint8_t* imrow = imc + ih * width;
+          int64_t iw = -pad + kw;
+          for (int64_t ow = 0; ow < out_w; ++ow, iw += stride) {
+            *out++ = (iw >= 0 && iw < width) ? imrow[iw] : pad_value;
+          }
+        }
+      }
+    }
+  }
+}
+
 void Col2Im(const float* col, int64_t channels, int64_t height, int64_t width,
             int64_t ksize, int64_t stride, int64_t pad, float* im) {
   const int64_t out_h = ConvOutSize(height, ksize, stride, pad);

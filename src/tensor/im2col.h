@@ -19,6 +19,14 @@ void Im2ColStrided(const float* im, int64_t chan_stride, int64_t channels,
                    int64_t height, int64_t width, int64_t ksize,
                    int64_t stride, int64_t pad, float* col);
 
+// Im2ColStrided over quantized u8 planes. Out-of-image taps read as
+// `pad_value` — the activation zero point, which quantizes the real
+// x = 0 exactly (see tensor/gemm_int8.h).
+void Im2ColStridedU8(const uint8_t* im, int64_t chan_stride, int64_t channels,
+                     int64_t height, int64_t width, int64_t ksize,
+                     int64_t stride, int64_t pad, uint8_t pad_value,
+                     uint8_t* col);
+
 // Inverse scatter-add of Im2Col used on the backward pass: accumulates the
 // column-matrix gradient back into the (pre-zeroed) image gradient buffer.
 void Col2Im(const float* col, int64_t channels, int64_t height, int64_t width,

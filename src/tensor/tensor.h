@@ -65,8 +65,37 @@ class Tensor {
 
   // Binds the tensor to `shape.num_elements()` floats at `ptr`, owned by
   // someone else (the activation arena). Any owned storage is released.
-  // The binder must keep `ptr` alive and may rebind at any time.
+  //
+  // Contract:
+  //  - Lifetime: the binder must keep `ptr` alive for as long as the
+  //    tensor is bound, and may rebind at any time (SetBatch re-plans).
+  //  - Alignment: `ptr` must be 64-byte aligned — arena slots are placed
+  //    on cache-line boundaries and vectorized kernels rely on it. Views
+  //    that legitimately alias the interior of another tensor's storage
+  //    (route slices, concat-adopted outputs, in-place shortcuts) land
+  //    at arbitrary offsets and must use BindExternalAliased instead.
+  //  - Aliasing/reuse: distinct BindExternal ranges may share arena
+  //    storage across *time* (liveness-disjoint layers reuse offsets),
+  //    so a bound output is only valid between its producing step and
+  //    its last consumer; snapshot (copy) it to keep it longer.
   void BindExternal(float* ptr, Shape shape) {
+    THALI_CHECK(ptr != nullptr);
+    THALI_CHECK_EQ(reinterpret_cast<uintptr_t>(ptr) & 63u, 0u)
+        << "BindExternal pointer must be 64-byte aligned "
+        << "(use BindExternalAliased for interior views)";
+    shape_ = std::move(shape);
+    external_ = ptr;
+    data_.clear();
+    data_.shrink_to_fit();
+  }
+
+  // BindExternal for a view that aliases the interior of another bound
+  // range (copy-elided route/concat/shortcut outputs): same lifetime
+  // rules, no alignment requirement. The view is live only while its
+  // group root's block is live, and writes through it are writes into
+  // the root's storage — the plan compiler guarantees the members'
+  // liveness intervals make that safe.
+  void BindExternalAliased(float* ptr, Shape shape) {
     THALI_CHECK(ptr != nullptr);
     shape_ = std::move(shape);
     external_ = ptr;

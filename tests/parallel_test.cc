@@ -24,6 +24,7 @@
 #include "nn/network.h"
 #include "nn/yolo_layer.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
 
 namespace thali {
 namespace {
@@ -36,6 +37,9 @@ class ParallelTest : public ::testing::Test {
   void TearDown() override {
     SetMaxParallelism(1);
     internal::SetGemmPackingForTesting(-1);
+    internal::SetFusionForTesting(-1);
+    internal::SetInt8ForTesting(-1);
+    internal::SetInt8GemmKernelForTesting(nullptr);
   }
 };
 
@@ -301,6 +305,98 @@ TEST_F(ParallelTest, FoldedThaliInferenceBitwiseIdenticalWithFusedEpilogue) {
           << "packing=" << packing << " threads=" << threads;
     }
   }
+}
+
+// Full yolov4-thali int8 inference: builds with int8 latched (and
+// optionally fusion disabled, where int8 must become a no-op), folds
+// batch norm, min/max-calibrates every kQuantInt8 conv on the test
+// input, then forwards through a SetBatch(1 -> 4 -> 1) cycle with the
+// given kernel family forced. Returns the final batch-1 head
+// activations flattened for bitwise comparison.
+std::vector<float> ThaliInt8Forward(int threads, const char* kernel,
+                                    bool fuse, int int8_mode) {
+  SetMaxParallelism(threads);
+  internal::SetInt8ForTesting(int8_mode);
+  internal::SetFusionForTesting(fuse ? -1 : 0);
+  Rng rng(4242);
+  auto built = BuildNetworkFromCfg(YoloThaliCfg(YoloThaliOptions{}),
+                                   /*batch_override=*/1, rng,
+                                   ExecMode::kInference);
+  internal::SetFusionForTesting(-1);
+  internal::SetInt8ForTesting(-1);
+  THALI_CHECK_OK(built.status());
+  Network& net = *built->net;
+  for (int i = 0; i < net.num_layers(); ++i) {
+    if (std::string_view(net.layer(i).kind()) == "convolutional") {
+      static_cast<ConvLayer&>(net.layer(i)).FoldBatchNorm();
+    }
+  }
+  Tensor input(net.input_shape());
+  Rng irng(17);
+  for (int64_t i = 0; i < input.size(); ++i) input[i] = irng.NextGaussian();
+
+  net.set_calib_phase(CalibPhase::kRange);
+  Tensor calib = input;
+  net.Forward(calib, /*train=*/false);
+  net.set_calib_phase(CalibPhase::kOff);
+  for (int i = 0; i < net.num_layers(); ++i) {
+    Layer& l = net.layer(i);
+    if (std::string_view(l.kind()) != "convolutional") continue;
+    if (l.plan().conv_algo != ConvAlgo::kQuantInt8) continue;
+    static_cast<ConvLayer&>(l).FinalizeCalibration(100.0);
+  }
+
+  internal::SetInt8GemmKernelForTesting(kernel);
+  Tensor first = input;
+  net.Forward(first, /*train=*/false);
+  THALI_CHECK_OK(net.SetBatch(4));
+  Tensor batched(net.input_shape());
+  for (int64_t b = 0; b < 4; ++b) {
+    std::copy(input.data(), input.data() + input.size(),
+              batched.data() + b * input.size());
+  }
+  net.Forward(batched, /*train=*/false);
+  THALI_CHECK_OK(net.SetBatch(1));
+  Tensor again = input;
+  net.Forward(again, /*train=*/false);
+  internal::SetInt8GemmKernelForTesting(nullptr);
+
+  std::vector<float> flat;
+  for (YoloLayer* head : built->yolo_layers) {
+    const Tensor& out = head->output();
+    flat.insert(flat.end(), out.data(), out.data() + out.size());
+  }
+  return flat;
+}
+
+TEST_F(ParallelTest, Int8InferenceBitwiseIdenticalAcrossThreadsAndKernels) {
+  // The quantized forward must be bitwise stable across thread counts,
+  // kernel families, and batch re-planning — exact integer accumulation
+  // plus the shared scalar requantize epilogue make this a hard
+  // equality, unlike the fp32 Winograd tolerance.
+  const std::vector<float> base = ThaliInt8Forward(1, "scalar", true, 1);
+  ASSERT_FALSE(base.empty());
+  for (const char* kernel : {"scalar", "avx2"}) {
+    for (const int threads : {1, 2, 4}) {
+      if (std::string_view(kernel) == "scalar" && threads == 1) continue;
+      const std::vector<float> got = ThaliInt8Forward(threads, kernel, true, 1);
+      ASSERT_EQ(got.size(), base.size());
+      EXPECT_EQ(
+          std::memcmp(got.data(), base.data(), got.size() * sizeof(float)), 0)
+          << "kernel=" << kernel << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelTest, Int8UnderNoFuseIsBitwiseFp32) {
+  // THALI_NO_FUSE disables the whole fused plan, so THALI_INT8 must
+  // become a no-op: identical bits to an int8-off no-fuse run.
+  const std::vector<float> fp32 = ThaliInt8Forward(4, "avx2", false, 0);
+  const std::vector<float> int8 = ThaliInt8Forward(4, "avx2", false, 1);
+  ASSERT_EQ(int8.size(), fp32.size());
+  ASSERT_FALSE(fp32.empty());
+  EXPECT_EQ(
+      std::memcmp(int8.data(), fp32.data(), int8.size() * sizeof(float)), 0);
 }
 
 // Conformance sweep over every conv shape in yolov4-thali: the fused
