@@ -23,8 +23,10 @@
 #include "base/stopwatch.h"
 #include "base/string_util.h"
 #include "bench_common.h"
+#include "data/dataset.h"
 #include "data/food_classes.h"
 #include "data/renderer.h"
+#include "nn/exec_plan.h"
 #include "serve/server.h"
 
 namespace thali {
@@ -47,24 +49,49 @@ Image BenchImage(uint64_t seed) {
 struct SweepResult {
   int concurrency = 0;
   int max_batch_size = 0;
+  bool int8 = false;
   int64_t requests = 0;
   double throughput_rps = 0.0;
   double mean_batch = 0.0;
   bench::LatencySummary latency;
 };
 
-// Runs one (concurrency, max_batch_size) configuration for
+// A few rendered platters for int8 activation-range calibration. The
+// bench serves random weights, so the ranges are arbitrary but valid —
+// the cost under test (quantize/u8-GEMM/requantize + chained u8 edges)
+// is independent of the values.
+const FoodDataset& CalibSet() {
+  static const FoodDataset* ds = [] {
+    DatasetSpec spec;
+    spec.num_images = 6;
+    return new FoodDataset(FoodDataset::Generate(IndianFood10(), spec));
+  }();
+  return *ds;
+}
+
+// Runs one (concurrency, max_batch_size, int8) configuration for
 // kSecondsPerConfig of closed-loop load and reports client-observed
 // latency (which includes any backpressure retries).
 SweepResult RunConfig(const std::string& cfg, int concurrency,
-                      int max_batch_size) {
+                      int max_batch_size, bool int8) {
   serve::Server::Options opts;
   opts.num_workers = 1;  // single worker: isolates the batching effect
   opts.queue_capacity = 2 * concurrency + max_batch_size;
   opts.max_batch_size = max_batch_size;
   opts.max_linger = std::chrono::microseconds(2000);
-  auto server_or = serve::Server::Create(
-      opts, [&cfg] { return Detector::FromCfg(cfg, /*seed=*/7); });
+  auto server_or = serve::Server::Create(opts, [&cfg, int8] {
+    // Same effect as THALI_INT8=1 in the worker's environment, minus
+    // the env juggling; the detector finalizes under the forced value.
+    internal::SetInt8ForTesting(int8 ? 1 : 0);
+    auto det = Detector::FromCfg(cfg, /*seed=*/7);
+    internal::SetInt8ForTesting(-1);
+    if (det.ok() && int8) {
+      const std::vector<int> idx = {0, 1, 2, 3, 4, 5};
+      const int armed = det->CalibrateInt8(CalibSet(), idx);
+      THALI_CHECK_GT(armed, 0) << "int8 sweep armed no conv layers";
+    }
+    return det;
+  });
   THALI_CHECK(server_or.ok()) << server_or.status().ToString();
   serve::Server& server = **server_or;
 
@@ -102,6 +129,7 @@ SweepResult RunConfig(const std::string& cfg, int concurrency,
   SweepResult r;
   r.concurrency = concurrency;
   r.max_batch_size = max_batch_size;
+  r.int8 = int8;
   r.requests = static_cast<int64_t>(all.size());
   r.throughput_rps = static_cast<double>(all.size()) / kMeasureSeconds;
   r.mean_batch = server.metrics().MeanBatchSize();
@@ -115,15 +143,17 @@ void WriteServingBench() {
   const int batch_sizes[] = {1, 4, 8};
 
   std::vector<SweepResult> results;
-  for (int conc : concurrencies) {
-    for (int mbs : batch_sizes) {
-      SweepResult r = RunConfig(cfg, conc, mbs);
-      std::printf(
-          "concurrency=%d max_batch=%d  %7.1f req/s  mean_batch=%.2f  "
-          "p50=%.2fms p99=%.2fms\n",
-          r.concurrency, r.max_batch_size, r.throughput_rps, r.mean_batch,
-          r.latency.p50_ms, r.latency.p99_ms);
-      results.push_back(r);
+  for (int int8 = 0; int8 < 2; ++int8) {
+    for (int conc : concurrencies) {
+      for (int mbs : batch_sizes) {
+        SweepResult r = RunConfig(cfg, conc, mbs, int8 != 0);
+        std::printf(
+            "concurrency=%d max_batch=%d int8=%d  %7.1f req/s  "
+            "mean_batch=%.2f  p50=%.2fms p99=%.2fms\n",
+            r.concurrency, r.max_batch_size, r.int8 ? 1 : 0, r.throughput_rps,
+            r.mean_batch, r.latency.p50_ms, r.latency.p99_ms);
+        results.push_back(r);
+      }
     }
   }
 
@@ -137,7 +167,9 @@ void WriteServingBench() {
       "client-observed end-to-end ms (exact sample percentiles, not "
       "histogram estimates). mean_batch is the average formed batch "
       "size. Each config runs a discarded warmup phase before the "
-      "measured window.\",\n";
+      "measured window. int8=1 rows serve the calibrated THALI_INT8 "
+      "quantize-once chained plan (same detector, int8 conv path + u8 "
+      "activation edges).\",\n";
   json += "  \"model\": \"yolov4-thali 96x96\",\n";
   json += StrFormat("  \"warmup_seconds\": %.1f,\n", kWarmupSeconds);
   json += StrFormat("  \"seconds_per_config\": %.1f,\n", kMeasureSeconds);
@@ -145,10 +177,11 @@ void WriteServingBench() {
   for (size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
     json += StrFormat(
-        "    {\"concurrency\": %d, \"max_batch_size\": %d, \"requests\": "
-        "%lld, \"throughput_rps\": %.2f, \"mean_batch\": %.2f, \"p50_ms\": "
-        "%.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f}%s\n",
-        r.concurrency, r.max_batch_size,
+        "    {\"concurrency\": %d, \"max_batch_size\": %d, \"int8\": %d, "
+        "\"requests\": %lld, \"throughput_rps\": %.2f, \"mean_batch\": %.2f, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": "
+        "%.3f}%s\n",
+        r.concurrency, r.max_batch_size, r.int8 ? 1 : 0,
         static_cast<long long>(r.requests), r.throughput_rps, r.mean_batch,
         r.latency.p50_ms, r.latency.p95_ms, r.latency.p99_ms,
         r.latency.max_ms, i + 1 == results.size() ? "" : ",");

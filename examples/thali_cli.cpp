@@ -24,6 +24,7 @@
 #include "darknet/model_zoo.h"
 #include "darknet/summary.h"
 #include "data/annotation.h"
+#include "data/dataset.h"
 #include "data/food_classes.h"
 #include "data/renderer.h"
 #include "eval/report.h"
@@ -77,6 +78,24 @@ int CmdCfg(int argc, char** argv) {
 int CmdSummary(int argc, char** argv) {
   const int classes = ArgI(argc, argv, "--classes", 10);
   const int size = ArgI(argc, argv, "--size", 96);
+  if (ArgB(argc, argv, "--calib")) {
+    // Calibrated view: under THALI_INT8=1 a short synthetic calibration
+    // pass arms the quantized convs and chains the u8 edges, so the
+    // plan table shows the dtypes the net would actually deploy with.
+    auto det_or = Detector::FromCfg(CfgFor(classes, size, 0));
+    THALI_CHECK(det_or.ok()) << det_or.status().ToString();
+    Detector detector = std::move(det_or).value();
+    DatasetSpec spec;
+    spec.num_images = 6;
+    spec.width = size;
+    spec.height = size;
+    const FoodDataset calib = FoodDataset::Generate(
+        classes == 20 ? IndianFood20() : IndianFood10(), spec);
+    const std::vector<int> idx = {0, 1, 2, 3, 4, 5};
+    detector.CalibrateInt8(calib, idx);
+    std::fputs(NetworkSummary(detector.network()).c_str(), stdout);
+    return 0;
+  }
   Rng rng(1);
   // Inference mode: the summary describes the net as deployed (arena
   // plan, pre-packed weights, dispatched gemm kernel).

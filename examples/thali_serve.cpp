@@ -17,8 +17,10 @@
 #include "base/file_util.h"
 #include "core/detector.h"
 #include "darknet/model_zoo.h"
+#include "data/dataset.h"
 #include "data/food_classes.h"
 #include "data/renderer.h"
+#include "nn/exec_plan.h"
 #include "serve/server.h"
 
 namespace {
@@ -50,14 +52,31 @@ int main() {
     std::printf("Serving model %s\n", weights.c_str());
   }
 
+  // THALI_INT8=1 serves the quantized plan: each worker's detector runs
+  // a short calibration pass over rendered platters at startup, which
+  // arms the int8 convs and chains the u8 activation edges.
+  const bool int8 = Int8Enabled();
+  if (int8) {
+    std::printf("THALI_INT8=1: serving the calibrated int8 chained plan.\n");
+  }
+
   serve::Server::Options opts;
   opts.num_workers = 2;
   opts.queue_capacity = 32;
   opts.max_batch_size = 4;
   opts.max_linger = std::chrono::microseconds(2000);
   auto server_or = serve::Server::Create(opts, [&] {
-    return weights.empty() ? Detector::FromCfg(cfg)
-                           : Detector::FromFiles(cfg, weights);
+    auto det = weights.empty() ? Detector::FromCfg(cfg)
+                               : Detector::FromFiles(cfg, weights);
+    if (det.ok() && int8) {
+      DatasetSpec spec;
+      spec.num_images = 6;
+      const FoodDataset calib = FoodDataset::Generate(classes, spec);
+      const std::vector<int> idx = {0, 1, 2, 3, 4, 5};
+      const int armed = det->CalibrateInt8(calib, idx);
+      std::printf("int8: calibrated %d conv layers for this worker\n", armed);
+    }
+    return det;
   });
   THALI_CHECK(server_or.ok()) << server_or.status().ToString();
   serve::Server& server = **server_or;

@@ -22,6 +22,13 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 echo "== int8 smoke: quantization conformance suite =="
 ctest --test-dir build --output-on-failure -j "${JOBS}" -L int8_smoke
 
+echo "== int8 chained-edge gate: calibrated yolov4-thali must chain =="
+# End-to-end THALI_INT8=1 forward on the fused plan; the test fails if
+# the compiled plan reports zero chained edges or fewer than 30
+# quantized layers on yolov4-thali after calibration + replan.
+THALI_INT8=1 ./build/tests/int8/int8_test \
+  --gtest_filter='Int8Test.ReplanAfterCalibrationChainsMajorityOfThali'
+
 if [[ "${TIER1_ONLY}" == "1" ]]; then
   echo "verify: tier-1 PASS (sanitizer suites skipped)"
   exit 0

@@ -214,11 +214,17 @@ int Detector::CalibrateInt8(const FoodDataset& dataset,
   for (int i = 0; i < net_->num_layers(); ++i) {
     Layer& l = net_->layer(i);
     if (std::string_view(l.kind()) != "convolutional") continue;
-    if (l.plan().conv_algo != ConvAlgo::kQuantInt8) continue;
+    if (l.plan().conv_algo != ConvAlgo::kQuantInt8 &&
+        l.plan().conv_algo != ConvAlgo::kQuantInt8Direct1x1) {
+      continue;
+    }
     eligible.push_back(static_cast<ConvLayer*>(&l));
   }
   if (eligible.empty() || indices.empty()) return 0;
   for (ConvLayer* conv : eligible) conv->ResetCalibration();
+  // Dropping the ranges invalidates any quantize-once chains a previous
+  // calibration installed; re-plan before the fp32 calibration forwards.
+  THALI_CHECK_OK(net_->ReplanInference());
 
   const int limit = std::min(static_cast<int>(indices.size()),
                              std::max(1, options.max_images));
@@ -239,6 +245,9 @@ int Detector::CalibrateInt8(const FoodDataset& dataset,
     conv->FinalizeCalibration(percentile ? options.percentile : 100.0);
     if (conv->has_activation_range()) ++armed;
   }
+  // The freshly installed ranges make quantize-once chains legal;
+  // recompile the plan so the next Forward runs them.
+  THALI_CHECK_OK(net_->ReplanInference());
   return armed;
 }
 

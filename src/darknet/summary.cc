@@ -86,24 +86,28 @@ std::string NetworkSummary(const Network& net) {
   int64_t int8_bytes = 0;
   int int8_layers = 0;
   if (plan.fused) {
-    os << StrFormat("\nplan: %4s  %-14s %10s  %5s %5s  %6s %5s\n", "idx",
-                    "type", "algo", "in", "out", "elide", "dtype");
+    os << StrFormat("\nplan: %4s  %-14s %10s  %5s %5s  %6s %5s  %4s %4s %8s\n",
+                    "idx", "type", "algo", "in", "out", "elide", "dtype",
+                    "din", "dout", "chain");
     for (int i = 0; i < net.num_layers(); ++i) {
       const Layer& layer = net.layer(i);
       const LayerPlan& lp = plan.layers[static_cast<size_t>(i)];
       const char* dtype = "f32";
-      if (lp.conv_algo == ConvAlgo::kQuantInt8) {
+      if (lp.conv_algo == ConvAlgo::kQuantInt8 ||
+          lp.conv_algo == ConvAlgo::kQuantInt8Direct1x1) {
         const auto& conv = static_cast<const ConvLayer&>(layer);
-        // A kQuantInt8 plan entry runs fp32 until calibration arms it.
+        // A quantized plan entry runs fp32 until calibration arms it.
         dtype = conv.has_activation_range() ? DTypeName(DType::kI8) : "f32*";
         int8_bytes += conv.int8_weight_bytes();
         ++int8_layers;
       }
-      os << StrFormat("plan: %4d  %-14s %10s  %5s %5s  %6s %5s\n", i,
-                      std::string(layer.kind()).c_str(),
+      os << StrFormat("plan: %4d  %-14s %10s  %5s %5s  %6s %5s  %4s %4s %8s\n",
+                      i, std::string(layer.kind()).c_str(),
                       ConvAlgoName(lp.conv_algo), ActLayoutName(lp.in_layout),
                       ActLayoutName(lp.out_layout),
-                      lp.copy_elided ? "elide" : "-", dtype);
+                      lp.copy_elided ? "elide" : "-", dtype,
+                      DTypeName(lp.in_dtype), DTypeName(lp.out_dtype),
+                      lp.in_dtype == DType::kU8 ? "chained" : "-");
     }
   }
   os << StrFormat(
@@ -116,9 +120,11 @@ std::string NetworkSummary(const Network& net) {
   if (net.int8_enabled()) {
     os << StrFormat(
         "int8: %s kernel, %d quantized conv layers, %lld bytes of int8 "
-        "weights\n",
+        "weights, %d quantized layers total, %d chained edges, %d dequant "
+        "edges\n",
         SelectInt8GemmKernel().name, int8_layers,
-        static_cast<long long>(int8_bytes));
+        static_cast<long long>(int8_bytes), plan.quantized_layers,
+        plan.chained_edges, plan.dequant_edges);
   }
   return os.str();
 }

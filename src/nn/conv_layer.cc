@@ -117,11 +117,57 @@ int64_t ConvLayer::WorkspaceSize() const {
                                               in_shape_.dim(2),
                                               in_shape_.dim(3)));
     }
+    case ConvAlgo::kQuantInt8Direct1x1: {
+      // With CNHW on both sides the whole batch is one GEMM over a
+      // [C, batch*HW] panel; otherwise the path runs per item. The
+      // fp32 kDirect1x1 fallback needs no scratch at all.
+      const bool whole = plan().in_layout == ActLayout::kCNHW &&
+                         plan().out_layout == ActLayout::kCNHW;
+      const int64_t n =
+          (whole ? in_shape_.dim(0) : int64_t{1}) * out_h_ * out_w_;
+      return (Int8Direct1x1WorkspaceBytes(opts_.filters, n, in_c_) + 3) / 4;
+    }
     case ConvAlgo::kIm2col:
       break;
   }
   if (IsDirect1x1()) return 0;  // input planes already form the col matrix
   return in_c_ * opts_.ksize * opts_.ksize * out_h_ * out_w_;
+}
+
+void ConvLayer::OnPlanUpdated() {
+  int8_ws_ = Int8Sections();
+  const ConvAlgo algo = plan().conv_algo;
+  if (algo != ConvAlgo::kQuantInt8 &&
+      algo != ConvAlgo::kQuantInt8Direct1x1) {
+    return;
+  }
+  const auto align64 = [](int64_t v) { return (v + 63) / 64 * 64; };
+  const int64_t out_hw = out_h_ * out_w_;
+  const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
+  const int64_t kp = Int8PackedK(k);
+  if (algo == ConvAlgo::kQuantInt8) {
+    const int64_t in_planes = in_c_ * in_shape_.dim(2) * in_shape_.dim(3);
+    int8_ws_.gemm_n = out_hw;
+    int8_ws_.qin = 0;
+    int8_ws_.col = align64(in_planes);
+    int8_ws_.packed = int8_ws_.col + align64(k * out_hw);
+    int8_ws_.acc = int8_ws_.packed + align64(kp * out_hw);
+    int8_ws_.ws_floats =
+        (Int8ConvWorkspaceBytes(opts_.filters, out_hw, k, in_planes) + 3) / 4;
+  } else {
+    int8_ws_.whole_batch = plan().in_layout == ActLayout::kCNHW &&
+                           plan().out_layout == ActLayout::kCNHW;
+    const int64_t n =
+        (int8_ws_.whole_batch ? in_shape_.dim(0) : int64_t{1}) * out_hw;
+    int8_ws_.gemm_n = n;
+    int8_ws_.qin = 0;
+    int8_ws_.col = -1;  // no im2col panel on the direct path
+    int8_ws_.packed = align64(k * n);
+    int8_ws_.acc = int8_ws_.packed + align64(kp * n);
+    int8_ws_.ws_floats =
+        (Int8Direct1x1WorkspaceBytes(opts_.filters, n, k) + 3) / 4;
+  }
+  int8_ws_.valid = true;
 }
 
 void ConvLayer::InitWeights(Rng& rng) {
@@ -142,10 +188,13 @@ void ConvLayer::InitWeights(Rng& rng) {
 
 void ConvLayer::PrepackWeights() {
   if (!inference()) return;
-  if (plan().conv_algo == ConvAlgo::kQuantInt8) {
-    // Quantize the fp32 weights per output channel. The Winograd pack
-    // below is kept too: Forward falls back to it until the layer has a
-    // calibrated activation range (and under THALI_NO_PACK).
+  const bool quant_algo = plan().conv_algo == ConvAlgo::kQuantInt8 ||
+                          plan().conv_algo == ConvAlgo::kQuantInt8Direct1x1;
+  if (quant_algo) {
+    // Quantize the fp32 weights per output channel. The fp32 pack below
+    // (Winograd for 3x3, plain panels for 1x1) is kept too: Forward
+    // falls back to it until the layer has a calibrated activation
+    // range (and under THALI_NO_PACK).
     const int64_t m = opts_.filters;
     const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
     const Shape qshape({m, Int8PackedK(k)});
@@ -161,6 +210,12 @@ void ConvLayer::PrepackWeights() {
   } else {
     qweights_.Clear();
     wcolsum_.clear();
+  }
+  if (plan().conv_algo == ConvAlgo::kQuantInt8Direct1x1) {
+    // The 1x1 quant path shares the plain fp32 panel pack below for its
+    // kDirect1x1 fallback; no Winograd state.
+    u_ = Tensor();
+    wino_packed_ = Tensor();
   }
   if (plan().conv_algo == ConvAlgo::kWinograd ||
       plan().conv_algo == ConvAlgo::kQuantInt8) {
@@ -227,18 +282,30 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
   // channel stride batch*HW. Both the im2col gather and the GEMM C
   // write-back absorb either layout through these strides.
   ConvAlgo algo = plan().conv_algo;
-  if (algo == ConvAlgo::kQuantInt8) {
+  if (algo == ConvAlgo::kQuantInt8 ||
+      algo == ConvAlgo::kQuantInt8Direct1x1) {
     if (net.calib_phase() != CalibPhase::kOff) {
       ObserveCalibration(input, net.calib_phase());
     }
     // The quantized path needs a calibrated input range, folded batch
     // norm and the packed-GEMM regime; until then (and during
-    // calibration passes) the layer runs its fp32 Winograd fallback —
-    // same geometry, workspace sized for both.
+    // calibration passes) the layer runs its fp32 fallback — Winograd
+    // for the 3x3 geometry, direct 1x1 otherwise. A CHAINED layer has
+    // no fp32 fallback (its u8 input is never materialized as floats),
+    // which is why every calibration-state change must go through
+    // Network::ReplanInference before the next Forward.
     const bool int8_active = !opts_.batch_normalize && has_act_range_ &&
                              net.calib_phase() == CalibPhase::kOff &&
                              GemmPackingEnabled();
-    if (!int8_active) algo = ConvAlgo::kWinograd;
+    if (!int8_active) {
+      THALI_CHECK(plan().in_dtype == DType::kF32 &&
+                  plan().out_dtype == DType::kF32)
+          << "conv " << index()
+          << ": chained int8 plan with an inactive quantized path — "
+             "ReplanInference was skipped after a calibration change";
+      algo = algo == ConvAlgo::kQuantInt8 ? ConvAlgo::kWinograd
+                                          : ConvAlgo::kDirect1x1;
+    }
   }
   const bool cnhw_in = plan().in_layout == ActLayout::kCNHW;
   const bool cnhw_out = plan().out_layout == ActLayout::kCNHW;
@@ -316,15 +383,22 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
   Tensor& raw =
       opts_.batch_normalize && !inference() ? conv_out_ : output_;
 
-  if (algo == ConvAlgo::kQuantInt8) {
-    // Quantized path: quantize the input planes to 7-bit unsigned, u8
-    // im2col (border pad = the zero point, which represents x = 0
-    // exactly), pack, exact-integer GEMM, then the shared requantize
-    // epilogue fuses bias and leaky/relu; mish and logistic run their
-    // separate passes below like the fp32 paths.
+  if (algo == ConvAlgo::kQuantInt8 ||
+      algo == ConvAlgo::kQuantInt8Direct1x1) {
+    // Quantized path: the u8 activation columns come either from the
+    // chained producer's buffer (plan().in_dtype == kU8 — quantize-once)
+    // or from quantizing the fp32 input planes here; then pack,
+    // exact-integer GEMM, and the shared requantize epilogue fuses bias
+    // and leaky/relu. When plan().out_dtype == kU8 the epilogue also
+    // requantizes straight into this layer's u8 buffer (mish included,
+    // via the fast-math vector kernel); f32-out mish keeps its separate
+    // FastMishInPlace pass below so unchained values stay bitwise
+    // identical to the pre-chaining path.
+    const bool chained_in = plan().in_dtype == DType::kU8;
+    const bool u8_out = plan().out_dtype == DType::kU8;
     Int8Epilogue epi;
-    epi.in_scale = act_in_scale_;
-    epi.in_zp = act_in_zp_;
+    epi.in_scale = chained_in ? plan().in_qscale : act_in_scale_;
+    epi.in_zp = chained_in ? plan().in_qzp : act_in_zp_;
     epi.wscale = qweights_.scale.data();
     epi.wcolsum = wcolsum_.data();
     epi.bias = biases_.data();
@@ -341,40 +415,152 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
         epi.activation = GemmActivation::kRelu;
         fused_act = true;
         break;
+      case Activation::kMish:
+        if (u8_out) {
+          epi.activation = GemmActivation::kMish;
+          fused_act = true;
+        }
+        break;
       default:
         break;
     }
-    const int64_t ws_floats = WorkspaceSize();
-    const int64_t kp = Int8PackedK(k);
+    if (u8_out) {
+      THALI_CHECK(fused_act)
+          << "conv " << index() << ": u8-out plan with unfusable activation";
+      epi.out_inv_scale = 1.0f / plan().out_qscale;
+      epi.out_zp = plan().out_qzp;
+    }
+    const uint8_t* qsrc =
+        chained_in ? net.quant_act(index() - 1) : nullptr;
+    uint8_t* qdst = u8_out ? net.quant_act(index()) : nullptr;
+    THALI_CHECK(int8_ws_.valid) << "conv " << index()
+                                << ": int8 sections not planned";
+    THALI_CHECK(!chained_in || qsrc != nullptr);
+    THALI_CHECK(!u8_out || qdst != nullptr);
+    const int64_t ws_floats = int8_ws_.ws_floats;
     const float inv_scale = 1.0f / act_in_scale_;
-    const uint8_t zp_byte = static_cast<uint8_t>(act_in_zp_);
-    const auto align64 = [](int64_t v) { return (v + 63) / 64 * 64; };
-    ParallelForBounded(
-        0, batch, 1, net.workspace_slots(),
-        [&](int64_t b0, int64_t b1, int tid) {
-          // Byte sections inside the float workspace, laid out exactly
-          // as Int8ConvWorkspaceBytes sized them.
-          uint8_t* wsb =
-              reinterpret_cast<uint8_t*>(net.workspace(tid, ws_floats));
-          uint8_t* qin = wsb;
-          uint8_t* col = qin + align64(in_plane);
-          uint8_t* packed = col + align64(k * n);
-          int32_t* acc = reinterpret_cast<int32_t*>(packed + align64(kp * n));
-          for (int64_t b = b0; b < b1; ++b) {
-            const float* in = input.data() + b * in_item;
-            for (int64_t c = 0; c < in_c_; ++c) {
-              Int8QuantizeActivations(in + c * in_chan_stride, in_hw,
-                                      inv_scale, act_in_zp_, qin + c * in_hw);
+    const int8_t* qw = qweights_.q.data<int8_t>();
+    if (algo == ConvAlgo::kQuantInt8) {
+      THALI_CHECK(int8_ws_.gemm_n == n);
+      const uint8_t in_zp_byte =
+          static_cast<uint8_t>(chained_in ? plan().in_qzp : act_in_zp_);
+      ParallelForBounded(
+          0, batch, 1, net.workspace_slots(),
+          [&](int64_t b0, int64_t b1, int tid) {
+            // Byte sections inside the float workspace, precomputed by
+            // OnPlanUpdated to match Int8ConvWorkspaceBytes.
+            uint8_t* wsb =
+                reinterpret_cast<uint8_t*>(net.workspace(tid, ws_floats));
+            uint8_t* qin = wsb + int8_ws_.qin;
+            uint8_t* col = wsb + int8_ws_.col;
+            uint8_t* packed = wsb + int8_ws_.packed;
+            int32_t* acc = reinterpret_cast<int32_t*>(wsb + int8_ws_.acc);
+            for (int64_t b = b0; b < b1; ++b) {
+              const uint8_t* qim;
+              int64_t qim_stride;
+              if (chained_in) {
+                // The producer already wrote this layer's input domain;
+                // im2col gathers straight from its u8 planes (border
+                // pad = the shared zero point, exact x = 0).
+                qim = qsrc + b * in_item;
+                qim_stride = in_chan_stride;
+              } else {
+                const float* in = input.data() + b * in_item;
+                for (int64_t c = 0; c < in_c_; ++c) {
+                  Int8QuantizeActivations(in + c * in_chan_stride, in_hw,
+                                          inv_scale, act_in_zp_,
+                                          qin + c * in_hw);
+                }
+                qim = qin;
+                qim_stride = in_hw;
+              }
+              Im2ColStridedU8(qim, qim_stride, in_c_, in_shape_.dim(2),
+                              in_shape_.dim(3), opts_.ksize, opts_.stride,
+                              opts_.pad, in_zp_byte, col);
+              Int8PackActCols(col, k, n, packed);
+              Int8Epilogue e = epi;
+              float* cmat = nullptr;
+              if (u8_out) {
+                e.out_u8 = qdst + b * out_item;
+              } else {
+                cmat = raw.data() + b * out_item;
+              }
+              Int8GemmPrepacked(m, n, k, qw, packed, e, cmat,
+                                out_chan_stride, acc);
             }
-            Im2ColStridedU8(qin, in_hw, in_c_, in_shape_.dim(2),
-                            in_shape_.dim(3), opts_.ksize, opts_.stride,
-                            opts_.pad, zp_byte, col);
-            Int8PackActCols(col, k, n, packed);
-            Int8GemmPrepacked(m, n, k, qweights_.q.data<int8_t>(), packed,
-                              epi, raw.data() + b * out_item,
-                              out_chan_stride, acc);
-          }
-        });
+          });
+    } else if (int8_ws_.whole_batch) {
+      // 1x1, blocked layout on both sides: the whole batch is one GEMM
+      // over the [C, batch*HW] block (no im2col — the channel planes
+      // already form the col matrix). Runs inline; the GEMM itself
+      // row-parallelizes across the pool.
+      const int64_t nb = batch * n;
+      THALI_CHECK(int8_ws_.gemm_n == nb);
+      uint8_t* wsb = reinterpret_cast<uint8_t*>(net.workspace(0, ws_floats));
+      uint8_t* packed = wsb + int8_ws_.packed;
+      int32_t* acc = reinterpret_cast<int32_t*>(wsb + int8_ws_.acc);
+      const uint8_t* qcols;
+      if (chained_in) {
+        qcols = qsrc;
+      } else {
+        uint8_t* qin = wsb + int8_ws_.qin;
+        Int8QuantizeActivations(input.data(), k * nb, inv_scale, act_in_zp_,
+                                qin);
+        qcols = qin;
+      }
+      Int8PackActCols(qcols, k, nb, packed);
+      Int8Epilogue e = epi;
+      float* cmat = nullptr;
+      if (u8_out) {
+        e.out_u8 = qdst;
+      } else {
+        cmat = raw.data();
+      }
+      Int8GemmPrepacked(m, nb, k, qw, packed, e, cmat, batch * out_hw, acc);
+    } else {
+      // 1x1, mixed or NCHW layouts: one GEMM per item, packing the u8
+      // columns straight from the (possibly strided) channel planes.
+      THALI_CHECK(int8_ws_.gemm_n == n);
+      ParallelForBounded(
+          0, batch, 1, net.workspace_slots(),
+          [&](int64_t b0, int64_t b1, int tid) {
+            uint8_t* wsb =
+                reinterpret_cast<uint8_t*>(net.workspace(tid, ws_floats));
+            uint8_t* qin = wsb + int8_ws_.qin;
+            uint8_t* packed = wsb + int8_ws_.packed;
+            int32_t* acc = reinterpret_cast<int32_t*>(wsb + int8_ws_.acc);
+            for (int64_t b = b0; b < b1; ++b) {
+              if (chained_in) {
+                Int8PackActColsStrided(qsrc + b * in_item, in_chan_stride, k,
+                                       n, packed);
+              } else {
+                const float* in = input.data() + b * in_item;
+                if (cnhw_in) {
+                  for (int64_t c = 0; c < in_c_; ++c) {
+                    Int8QuantizeActivations(in + c * in_chan_stride, in_hw,
+                                            inv_scale, act_in_zp_,
+                                            qin + c * in_hw);
+                  }
+                } else {
+                  // NCHW item: the k*HW block is contiguous.
+                  Int8QuantizeActivations(in, k * in_hw, inv_scale,
+                                          act_in_zp_, qin);
+                }
+                Int8PackActCols(qin, k, n, packed);
+              }
+              Int8Epilogue e = epi;
+              float* cmat = nullptr;
+              if (u8_out) {
+                e.out_u8 = qdst + b * out_item;
+              } else {
+                cmat = raw.data() + b * out_item;
+              }
+              Int8GemmPrepacked(m, n, k, qw, packed, e, cmat,
+                                out_chan_stride, acc);
+            }
+          });
+    }
+    if (u8_out) return;  // bias + activation fused; no fp32 output exists
   } else if (algo == ConvAlgo::kWinograd) {
     // Per-item Winograd; at batch 1 the single chunk runs inline so the
     // 16 transform-domain GEMMs fan out across the pool instead. Bias

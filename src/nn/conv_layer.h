@@ -44,6 +44,12 @@ class ConvLayer : public Layer {
   std::vector<ConstParam> Params() const override;
   int64_t WorkspaceSize() const override;
 
+  // Precomputes the int8 byte-workspace section offsets for the current
+  // plan/shapes (quant algos only). Forward used to re-derive these
+  // inside its batch loop on every call; now they are computed exactly
+  // once per plan push and asserted against in the hot path.
+  void OnPlanUpdated() override;
+
   // Packs weights_ into the GEMM panel layout so inference forwards skip
   // the per-call A packing (and fuse bias/activation into the GEMM
   // write-back once batch norm has been folded). No-op for training
@@ -155,7 +161,24 @@ class ConvLayer : public Layer {
   bool cols_cached_ = false; // whether col_cache_ matches the last Forward
   Tensor wg_scratch_;        // per-item weight-gradient slots (Backward)
 
-  // int8 activation quantization state (kQuantInt8 plans).
+  // Byte-section offsets inside the per-strand float workspace of the
+  // quantized paths, laid out exactly as Int8ConvWorkspaceBytes /
+  // Int8Direct1x1WorkspaceBytes size them. Derived from the plan once
+  // in OnPlanUpdated (Finalize / SetBatch / ReplanInference), never in
+  // Forward.
+  struct Int8Sections {
+    int64_t qin = 0;     // quantized input planes (u8)
+    int64_t col = 0;     // u8 im2col panel (kQuantInt8 only)
+    int64_t packed = 0;  // packed activation panel
+    int64_t acc = 0;     // i32 accumulator tile
+    int64_t ws_floats = 0;  // floats to request from net.workspace()
+    int64_t gemm_n = 0;     // GEMM width the sections were sized for
+    bool whole_batch = false;  // direct-1x1 CNHW both sides: one GEMM
+    bool valid = false;
+  };
+  Int8Sections int8_ws_;
+
+  // int8 activation quantization state (quantized plans).
   bool has_act_range_ = false;
   float act_in_min_ = 0.0f, act_in_max_ = 0.0f;
   float act_in_scale_ = 1.0f;

@@ -11,6 +11,9 @@
 #include "nn/conv_layer.h"
 #include "nn/network.h"
 #include "nn/route_layer.h"
+#include "nn/shortcut_layer.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
 
 namespace thali {
 
@@ -160,6 +163,8 @@ const char* ConvAlgoName(ConvAlgo algo) {
       return "winograd";
     case ConvAlgo::kQuantInt8:
       return "int8";
+    case ConvAlgo::kQuantInt8Direct1x1:
+      return "int8-1x1";
     default:
       return "im2col";
   }
@@ -296,7 +301,12 @@ ExecPlan CompileExecPlan(const Network& net, bool fuse, bool arena_enabled,
       LayerPlan& lp = plan.layers[static_cast<size_t>(i)];
       const auto& o = static_cast<const ConvLayer&>(net.layer(i)).options();
       if (o.ksize == 1 && o.stride == 1 && o.pad == 0) {
-        lp.conv_algo = ConvAlgo::kDirect1x1;
+        // int8 takes 1x1s regardless of layout pins — like kDirect1x1,
+        // the quantized GEMM absorbs layouts through strides, so even
+        // the NCHW-pinned head feeders quantize (their f32 output is a
+        // dequant edge into the yolo heads).
+        lp.conv_algo =
+            int8 ? ConvAlgo::kQuantInt8Direct1x1 : ConvAlgo::kDirect1x1;
       } else if (o.ksize == 3 && o.stride == 1 && o.pad == 1) {
         // int8 takes the Winograd geometry, but NCHW-pinned convs stay
         // fp32 to protect whatever consumer forced the pin (in the
@@ -392,6 +402,226 @@ ExecPlan CompileExecPlan(const Network& net, bool fuse, bool arena_enabled,
         }
       }
     }
+
+    // 4. Quantize-once dtype assignment. A u8 edge means the producer's
+    // requantize epilogue emits 7-bit bytes in the edge domain and the
+    // consumer skips quantize + pack-from-fp32. The pass only sees
+    // chains once calibration ranges exist: the Finalize-time compile is
+    // chain-free (nothing is calibrated yet) and
+    // Network::ReplanInference recompiles after Detector::CalibrateInt8
+    // or LoadCalibration installs ranges. Dropping ranges
+    // (ResetCalibration) must likewise replan, because a chained conv
+    // has no fp32 fallback.
+    if (int8 && GemmPackingEnabled()) {
+      // qconv: convs the runtime int8 gate will actually keep quantized
+      // (algo selected int8, range installed, batch norm folded).
+      // qprod: qconv whose activation the requantize epilogue can apply
+      // (linear/leaky/relu, mish through the FastMish family) so its
+      // OUTPUT may be u8. qpass: layout-uniform passthroughs that move
+      // u8 bytes exactly — max and concat/upsample copies commute with
+      // the monotonic quantizer, shortcut's clamped add needs a linear
+      // activation; a passthrough reading the fp32 network input can
+      // never be u8.
+      std::vector<char> qconv(static_cast<size_t>(n), 0);
+      std::vector<char> qprod(static_cast<size_t>(n), 0);
+      std::vector<char> qpass(static_cast<size_t>(n), 0);
+      for (int i = 0; i < n; ++i) {
+        const LayerPlan& lp = plan.layers[static_cast<size_t>(i)];
+        if (cls[static_cast<size_t>(i)] == kConv) {
+          if (lp.conv_algo != ConvAlgo::kQuantInt8 &&
+              lp.conv_algo != ConvAlgo::kQuantInt8Direct1x1) {
+            continue;
+          }
+          const auto& cv = static_cast<const ConvLayer&>(net.layer(i));
+          if (cv.options().batch_normalize || !cv.has_activation_range()) {
+            continue;
+          }
+          qconv[static_cast<size_t>(i)] = 1;
+          const Activation a = cv.options().activation;
+          qprod[static_cast<size_t>(i)] =
+              a == Activation::kLinear || a == Activation::kLeaky ||
+              a == Activation::kRelu ||
+              (a == Activation::kMish && lp.fast_act);
+        } else if (cls[static_cast<size_t>(i)] == kPass) {
+          bool ok = lp.in_layout == lp.out_layout &&
+                    !(i == 0 && net.layer(i).ReadsPreviousOutput());
+          if (ok && net.layer(i).kind() == std::string_view("shortcut")) {
+            ok = static_cast<const ShortcutLayer&>(net.layer(i))
+                     .options()
+                     .activation == Activation::kLinear;
+          }
+          qpass[static_cast<size_t>(i)] = ok;
+        }
+      }
+
+      // f32[i] == layer i's OUTPUT tensor must stay fp32. Seeds: the
+      // network output, post-forward consumers (yolo head inputs), any
+      // layer that cannot emit u8, and the sources of any consumer that
+      // cannot read u8. Passthroughs propagate the force both ways (they
+      // cannot convert), exactly like the layout fixpoint above.
+      std::vector<char> f32(static_cast<size_t>(n), 0);
+      for (int i = 0; i < n; ++i) {
+        if (i == n - 1 || net.layer(i).OutputLiveAfterForward() ||
+            (!qprod[static_cast<size_t>(i)] &&
+             !qpass[static_cast<size_t>(i)])) {
+          f32[static_cast<size_t>(i)] = 1;
+        }
+        if (!qconv[static_cast<size_t>(i)] &&
+            !qpass[static_cast<size_t>(i)]) {
+          for (int s : InputsOf(net, i)) f32[static_cast<size_t>(s)] = 1;
+        }
+      }
+      bool dchanged = true;
+      while (dchanged) {
+        dchanged = false;
+        for (int i = 0; i < n; ++i) {
+          if (!qpass[static_cast<size_t>(i)]) continue;
+          const std::vector<int> ins = InputsOf(net, i);
+          bool in_f32 = false;
+          for (int s : ins) in_f32 = in_f32 || f32[static_cast<size_t>(s)];
+          if (in_f32 && !f32[static_cast<size_t>(i)]) {
+            f32[static_cast<size_t>(i)] = 1;
+            dchanged = true;
+          }
+          if (f32[static_cast<size_t>(i)]) {
+            for (int s : ins) {
+              if (!f32[static_cast<size_t>(s)]) {
+                f32[static_cast<size_t>(s)] = 1;
+                dchanged = true;
+              }
+            }
+          }
+        }
+      }
+
+      // One tensor can reach several quantized convs through
+      // passthroughs (which move bytes without requantizing), so the u8
+      // domain is per connected COMPONENT: union-find joins every u8
+      // passthrough with its inputs, and the component's range is the
+      // union of the calibrated ranges of every quantized conv reading
+      // any member tensor.
+      std::vector<int> uf(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) uf[static_cast<size_t>(i)] = i;
+      auto find = [&uf](int x) {
+        while (uf[static_cast<size_t>(x)] != x) {
+          uf[static_cast<size_t>(x)] =
+              uf[static_cast<size_t>(uf[static_cast<size_t>(x)])];
+          x = uf[static_cast<size_t>(x)];
+        }
+        return x;
+      };
+      for (int i = 0; i < n; ++i) {
+        if (!qpass[static_cast<size_t>(i)] || f32[static_cast<size_t>(i)]) {
+          continue;
+        }
+        for (int s : InputsOf(net, i)) {
+          const int a = find(i);
+          const int b = find(s);
+          if (a != b) uf[static_cast<size_t>(a)] = b;
+        }
+      }
+      std::vector<float> cmin(static_cast<size_t>(n), 0.0f);
+      std::vector<float> cmax(static_cast<size_t>(n), 0.0f);
+      std::vector<char> chas(static_cast<size_t>(n), 0);
+      for (int j = 0; j < n; ++j) {
+        if (!qconv[static_cast<size_t>(j)]) continue;
+        const auto& cv = static_cast<const ConvLayer&>(net.layer(j));
+        for (int s : InputsOf(net, j)) {
+          if (f32[static_cast<size_t>(s)]) continue;
+          const int r = find(s);
+          if (!chas[static_cast<size_t>(r)]) {
+            cmin[static_cast<size_t>(r)] = cv.activation_range_min();
+            cmax[static_cast<size_t>(r)] = cv.activation_range_max();
+            chas[static_cast<size_t>(r)] = 1;
+          } else {
+            cmin[static_cast<size_t>(r)] = std::min(
+                cmin[static_cast<size_t>(r)], cv.activation_range_min());
+            cmax[static_cast<size_t>(r)] = std::max(
+                cmax[static_cast<size_t>(r)], cv.activation_range_max());
+          }
+        }
+      }
+      // A u8 component no quantized conv ever reads has no domain; only
+      // dead subgraphs could produce one, but fp32 is always safe.
+      // Forcing the WHOLE component keeps passthrough in/out dtypes
+      // consistent without re-running the fixpoint.
+      for (int i = 0; i < n; ++i) {
+        if (!f32[static_cast<size_t>(i)] && !chas[static_cast<size_t>(find(i))]) {
+          f32[static_cast<size_t>(i)] = 1;
+        }
+      }
+      std::vector<float> cscale(static_cast<size_t>(n), 1.0f);
+      std::vector<int32_t> czp(static_cast<size_t>(n), 0);
+      for (int r = 0; r < n; ++r) {
+        if (chas[static_cast<size_t>(r)]) {
+          Int8RangeToScaleZp(cmin[static_cast<size_t>(r)],
+                             cmax[static_cast<size_t>(r)],
+                             &cscale[static_cast<size_t>(r)],
+                             &czp[static_cast<size_t>(r)]);
+        }
+      }
+
+      // Annotate the plan. u8 storage reuses the copy-elision alias
+      // forest: a u8 layer's root is provably u8 too (alias edges only
+      // link layers whose dtypes the fixpoint tied together), so the
+      // network can allocate one u8 block per root and the element
+      // offsets inside the fp32 block double as byte offsets.
+      for (int i = 0; i < n; ++i) {
+        LayerPlan& lp = plan.layers[static_cast<size_t>(i)];
+        if (f32[static_cast<size_t>(i)]) continue;
+        lp.out_dtype = DType::kU8;
+        const int r = find(i);
+        lp.out_qscale = cscale[static_cast<size_t>(r)];
+        lp.out_qzp = czp[static_cast<size_t>(r)];
+        int root = i;
+        int64_t off = 0;
+        while (parent[static_cast<size_t>(root)] >= 0) {
+          off += poffset[static_cast<size_t>(root)];
+          root = parent[static_cast<size_t>(root)];
+        }
+        lp.quant_root = root;
+        lp.quant_offset = off;
+      }
+      for (int i = 0; i < n; ++i) {
+        const LayerPlan& lp = plan.layers[static_cast<size_t>(i)];
+        if (lp.out_dtype == DType::kU8) {
+          THALI_CHECK(plan.layers[static_cast<size_t>(lp.quant_root)]
+                          .out_dtype == DType::kU8);
+        }
+      }
+      for (int j = 0; j < n; ++j) {
+        LayerPlan& lp = plan.layers[static_cast<size_t>(j)];
+        if (!qconv[static_cast<size_t>(j)] && !qpass[static_cast<size_t>(j)]) {
+          continue;
+        }
+        const std::vector<int> ins = InputsOf(net, j);
+        bool all_u8 = !ins.empty();
+        for (int s : ins) {
+          all_u8 = all_u8 &&
+                   plan.layers[static_cast<size_t>(s)].out_dtype == DType::kU8;
+        }
+        if (!all_u8) continue;
+        lp.in_dtype = DType::kU8;
+        const int r = find(ins[0]);
+        lp.in_qscale = cscale[static_cast<size_t>(r)];
+        lp.in_qzp = czp[static_cast<size_t>(r)];
+      }
+      for (int j = 0; j < n; ++j) {
+        for (int s : InputsOf(net, j)) {
+          if (plan.layers[static_cast<size_t>(s)].out_dtype == DType::kU8) {
+            ++plan.chained_edges;
+          } else if (qconv[static_cast<size_t>(s)]) {
+            ++plan.dequant_edges;
+          }
+        }
+      }
+      for (int i = 0; i < n; ++i) {
+        if (qconv[static_cast<size_t>(i)] ||
+            plan.layers[static_cast<size_t>(i)].out_dtype == DType::kU8) {
+          ++plan.quantized_layers;
+        }
+      }
+    }
   }
 
   plan.arena = PlanArenaGrouped(net, last_use, parent, poffset);
@@ -401,16 +631,25 @@ ExecPlan CompileExecPlan(const Network& net, bool fuse, bool arena_enabled,
 
 std::string ExecPlan::ToString() const {
   std::ostringstream os;
-  os << StrFormat("%4s %5s %5s %10s %5s %6s\n", "idx", "in", "out", "conv",
-                  "fast", "elide");
+  os << StrFormat("%4s %5s %5s %10s %5s %6s %4s %4s %7s\n", "idx", "in",
+                  "out", "conv", "fast", "elide", "din", "dout", "chain");
   for (size_t i = 0; i < layers.size(); ++i) {
     const LayerPlan& lp = layers[i];
-    os << StrFormat("%4d %5s %5s %10s %5s %6s\n", static_cast<int>(i),
-                    ActLayoutName(lp.in_layout), ActLayoutName(lp.out_layout),
-                    ConvAlgoName(lp.conv_algo), lp.fast_act ? "mish" : "-",
-                    lp.copy_elided ? "elide" : "-");
+    os << StrFormat("%4d %5s %5s %10s %5s %6s %4s %4s %7s\n",
+                    static_cast<int>(i), ActLayoutName(lp.in_layout),
+                    ActLayoutName(lp.out_layout), ConvAlgoName(lp.conv_algo),
+                    lp.fast_act ? "mish" : "-",
+                    lp.copy_elided ? "elide" : "-", DTypeName(lp.in_dtype),
+                    DTypeName(lp.out_dtype),
+                    lp.in_dtype == DType::kU8 ? "chained" : "-");
   }
-  os << (fused ? "fused plan\n" : "reference plan (fusion disabled)\n");
+  os << (fused ? "fused plan" : "reference plan (fusion disabled)");
+  if (chained_edges > 0 || dequant_edges > 0 || quantized_layers > 0) {
+    os << StrFormat(
+        ": %d quantized layers, %d chained edges, %d dequant edges",
+        quantized_layers, chained_edges, dequant_edges);
+  }
+  os << "\n";
   return os.str();
 }
 

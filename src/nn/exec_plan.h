@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "tensor/qtensor.h"
+
 namespace thali {
 
 class Network;
@@ -72,7 +74,20 @@ const char* ActLayoutName(ActLayout layout);
 //               layer is not NCHW-pinned (detection-head feeders stay
 //               fp32). Forward falls back to kWinograd at runtime until
 //               the layer has a calibrated activation range.
-enum class ConvAlgo { kIm2col, kDirect1x1, kWinograd, kQuantInt8 };
+//  kQuantInt8Direct1x1 — int8 variant of kDirect1x1 (1x1/stride-1/
+//               pad-0): the quantized channel planes ARE the GEMM B
+//               matrix, so the path quantizes (or chains) and packs
+//               with no im2col at all. Selected under THALI_INT8
+//               regardless of layout pins (the GEMM absorbs layouts
+//               through strides like kDirect1x1 does). Forward falls
+//               back to kDirect1x1 until calibrated.
+enum class ConvAlgo {
+  kIm2col,
+  kDirect1x1,
+  kWinograd,
+  kQuantInt8,
+  kQuantInt8Direct1x1,
+};
 
 const char* ConvAlgoName(ConvAlgo algo);
 
@@ -92,6 +107,35 @@ struct LayerPlan {
   // (route view/concat) so its Forward copies nothing. The arena
   // planner places every aliased layer inside its group root's block.
   bool copy_elided = false;
+
+  // --- Quantize-once chaining (filled by Network::ReplanInference once
+  // calibration ranges exist; kF32 everywhere before that). ---
+  //
+  // Dtype of the activation tensor this layer READS and WRITES. kU8
+  // means the 7-bit unsigned quantized domain of gemm_int8.h: an
+  // in_dtype of kU8 marks a CHAINED layer (it consumes the producer's
+  // requantized bytes and never touches fp32 input); an out_dtype of
+  // kU8 means every consumer is quantized, so the fp32 arena slot for
+  // this layer is never written in steady state.
+  DType in_dtype = DType::kF32;
+  DType out_dtype = DType::kF32;
+  // Quantization domain of the u8 edge tensors (meaningful only when
+  // the matching dtype is kU8). One tensor can feed several quantized
+  // convs, so the domain is per-TENSOR, not per-consumer: the dtype
+  // pass unions the calibrated ranges of every quantized consumer
+  // reachable through passthroughs and derives one (scale, zp) for the
+  // whole component. A chained conv therefore dequantizes with the
+  // edge domain here rather than its own calibrated range.
+  float in_qscale = 1.0f;
+  float out_qscale = 1.0f;
+  int32_t in_qzp = 0;
+  int32_t out_qzp = 0;
+  // Storage of the u8 tensor this layer writes: index of the layer
+  // whose DTypeBuffer holds the bytes (the alias-group root, mirroring
+  // the fp32 elision forest) and the byte offset inside it. -1 when
+  // out_dtype is kF32.
+  int quant_root = -1;
+  int64_t quant_offset = 0;
 };
 
 // One layer's slot in the activation arena.
@@ -135,8 +179,17 @@ struct ExecPlan {
   std::vector<LayerPlan> layers;  // one per layer
   ArenaPlan arena;
 
+  // Quantize-once chaining stats (zero until ReplanInference installs
+  // dtypes): edges whose producer writes u8 (consumer skips
+  // quantize+pack-from-fp32), edges where an armed quantized conv must
+  // dequantize to fp32 for an unquantized consumer, and layers running
+  // in the quantized domain (quantized convs + u8 passthroughs).
+  int chained_edges = 0;
+  int dequant_edges = 0;
+  int quantized_layers = 0;
+
   // Per-layer table of the compiler's decisions (layouts, conv
-  // algorithm, fast activations, elided copies).
+  // algorithm, fast activations, elided copies, dtypes).
   std::string ToString() const;
 };
 

@@ -130,6 +130,12 @@ class Layer {
   const LayerPlan& plan() const { return plan_; }
   void set_plan(const LayerPlan& plan) { plan_ = plan; }
 
+  // Called by Network::PlanBuffers after every layer's plan has been
+  // (re)pushed — at Finalize, SetBatch and ReplanInference. Layers that
+  // derive per-forward state from the plan (the conv int8 workspace
+  // sections) recompute it here instead of on every Forward.
+  virtual void OnPlanUpdated() {}
+
   // When frozen, the optimizer skips this layer's parameters (transfer
   // learning freezes backbone layers).
   bool frozen() const { return frozen_; }

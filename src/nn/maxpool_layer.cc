@@ -36,7 +36,7 @@ Status MaxPoolLayer::Configure(const Shape& input_shape, const Network&) {
 // plane p and writes output plane p for p = 0..batch*C-1, and pooling
 // preserves the channel count, so the (b,c) <-> (c,b) plane orderings
 // of NCHW and CNHW map through identically.
-void MaxPoolLayer::Forward(const Tensor& input, Network&, bool) {
+void MaxPoolLayer::Forward(const Tensor& input, Network& net, bool) {
   const int64_t batch = in_shape_.dim(0);
   const int64_t c = in_shape_.dim(1);
   const int64_t ih = in_shape_.dim(2);
@@ -45,6 +45,37 @@ void MaxPoolLayer::Forward(const Tensor& input, Network&, bool) {
   const int64_t ow = out_shape_.dim(3);
   const int64_t offset = -opts_.padding / 2;
   const bool track_argmax = !argmax_.empty();
+
+  if (plan().out_dtype == DType::kU8) {
+    // Quantize-once chain: pool the u8 bytes directly. The quantizer is
+    // monotonic, so the byte max picks the same tap the fp32 max would;
+    // an all-padding window writes the zero point (the exact image of
+    // the fp32 path's 0.0f).
+    const uint8_t* qin = net.quant_act(index() - 1);
+    uint8_t* qout = net.quant_act(index());
+    const uint8_t zp = static_cast<uint8_t>(plan().out_qzp);
+    int64_t qi = 0;
+    for (int64_t p = 0; p < batch * c; ++p) {
+      const uint8_t* plane = qin + p * ih * iw;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x, ++qi) {
+          int best = -1;
+          for (int64_t ky = 0; ky < opts_.size; ++ky) {
+            const int64_t sy = y * opts_.stride + offset + ky;
+            if (sy < 0 || sy >= ih) continue;
+            for (int64_t kx = 0; kx < opts_.size; ++kx) {
+              const int64_t sx = x * opts_.stride + offset + kx;
+              if (sx < 0 || sx >= iw) continue;
+              const int v = plane[sy * iw + sx];
+              if (v > best) best = v;
+            }
+          }
+          qout[qi] = best >= 0 ? static_cast<uint8_t>(best) : zp;
+        }
+      }
+    }
+    return;
+  }
 
   int64_t out_idx = 0;
   for (int64_t b = 0; b < batch; ++b) {

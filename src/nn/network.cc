@@ -93,6 +93,24 @@ Status Network::SetBatch(int batch) {
   return Status::OK();
 }
 
+Status Network::ReplanInference() {
+  THALI_CHECK(finalized_) << "ReplanInference before Finalize";
+  if (mode_ != ExecMode::kInference) return Status::OK();
+  PlanBuffers();
+  // Grow-only workspace re-derivation, like SetBatch: a freshly chained
+  // plan can change per-layer scratch needs (e.g. a conv that now skips
+  // its fp32 im2col panel never needs MORE, but keep the general form).
+  int64_t max_ws = 0;
+  for (auto& layer : layers_) {
+    max_ws = std::max(max_ws, layer->WorkspaceSize());
+  }
+  if (max_ws > workspace_floats_) {
+    workspace_floats_ = max_ws;
+    for (Tensor& ws : workspaces_) ws.Resize(Shape({max_ws}));
+  }
+  return Status::OK();
+}
+
 void Network::PlanBuffers() {
   const bool fuse = mode_ == ExecMode::kInference && !fuse_disabled_;
   const bool use_arena = mode_ == ExecMode::kInference && !arena_disabled_;
@@ -101,6 +119,30 @@ void Network::PlanBuffers() {
     layers_[static_cast<size_t>(i)]->set_plan(
         eplan_.layers[static_cast<size_t>(i)]);
   }
+  // u8 chain storage: one block per alias-group root the dtype pass
+  // marked kU8 (mirrors the fp32 arena's alias forest; empty without
+  // chains), then the resolved per-layer base pointers. Root blocks are
+  // allocated before any pointer resolves into them.
+  qbufs_.clear();
+  qbufs_.resize(static_cast<size_t>(num_layers()));
+  qact_.assign(static_cast<size_t>(num_layers()), nullptr);
+  for (int i = 0; i < num_layers(); ++i) {
+    const LayerPlan& lp = eplan_.layers[static_cast<size_t>(i)];
+    if (lp.out_dtype == DType::kU8 && lp.quant_root == i) {
+      qbufs_[static_cast<size_t>(i)].Resize(
+          DType::kU8, layers_[static_cast<size_t>(i)]->output_shape());
+    }
+  }
+  for (int i = 0; i < num_layers(); ++i) {
+    const LayerPlan& lp = eplan_.layers[static_cast<size_t>(i)];
+    if (lp.out_dtype == DType::kU8) {
+      qact_[static_cast<size_t>(i)] =
+          qbufs_[static_cast<size_t>(lp.quant_root)].raw() + lp.quant_offset;
+    }
+  }
+  // Plan-derived layer state (conv int8 workspace sections) recomputes
+  // once here instead of per Forward.
+  for (auto& layer : layers_) layer->OnPlanUpdated();
   if (mode_ != ExecMode::kInference) return;  // SetShapes owns the buffers
   if (use_arena) {
     // Slots are 16-float (64-byte) aligned relative to the arena base,

@@ -47,6 +47,16 @@ class Network {
   // untouched, so a loaded model keeps its weights across batch changes.
   Status SetBatch(int batch);
 
+  // Recompiles the execution plan of a finalized inference network
+  // without touching shapes. Quantize-once chaining depends on
+  // calibration state the plan compiler reads from the conv layers, so
+  // this must run after Detector::CalibrateInt8 / LoadCalibration
+  // install activation ranges (to pick the chains up) and after
+  // ResetCalibration drops them (a chained conv has no fp32 fallback).
+  // No-op outside THALI_INT8 inference. Grows workspaces if the fresh
+  // plan needs more scratch.
+  Status ReplanInference();
+
   // Runs all layers; returns the last layer's output. `input` must be
   // (batch, channels, height, width). With train=true, layers use batch
   // statistics and keep backward caches — kTraining networks only.
@@ -119,6 +129,16 @@ class Network {
   // capacity — an undersized workspace would otherwise be a silent
   // buffer overrun.
   float* workspace(int tid, int64_t required);
+
+  // Base of layer i's u8 activation tensor, or nullptr when the plan
+  // keeps that layer fp32. Valid after PlanBuffers; chained producers
+  // write their requantized bytes here and chained consumers read their
+  // sources' pointers. Storage lives in per-alias-group DTypeBuffers
+  // parallel to the fp32 arena (the fp32 slots stay bound, so
+  // THALI_INT8=0 and unchained plans are untouched).
+  uint8_t* quant_act(int i) {
+    return qact_.empty() ? nullptr : qact_[static_cast<size_t>(i)];
+  }
   // Scratch floats available per slot.
   int64_t workspace_size() const { return workspace_floats_; }
   // Number of per-thread slots; callers running layer code in parallel
@@ -164,6 +184,11 @@ class Network {
   int64_t workspace_floats_ = 0;
   // Shared activation storage for arena-planned inference outputs.
   Tensor arena_;
+  // u8 activation blocks for quantize-once chaining: one buffer per
+  // alias-group root whose planned out_dtype is kU8, plus the resolved
+  // per-layer base pointers (both empty without chains).
+  std::vector<DTypeBuffer> qbufs_;
+  std::vector<uint8_t*> qact_;
   ExecPlan eplan_;
 };
 

@@ -53,6 +53,37 @@ void RouteLayer::Forward(const Tensor&, Network& net, bool) {
   const int64_t spatial = out_shape_.dim(2) * out_shape_.dim(3);
   const int64_t out_c = out_shape_.dim(1);
 
+  if (plan().out_dtype == DType::kU8) {
+    // Quantize-once chain: concatenate the sources' u8 bytes instead of
+    // floats. Element offsets are byte offsets, so the loops mirror the
+    // fp32 ones exactly; the dtype pass guarantees every source shares
+    // this layer's dtype (and quantization domain).
+    uint8_t* out = net.quant_act(index());
+    if (plan().out_layout == ActLayout::kCNHW) {
+      int64_t chan_base = 0;
+      for (size_t s = 0; s < sources_.size(); ++s) {
+        const uint8_t* from = net.quant_act(sources_[s]) +
+                              src_offset_[s] * batch * spatial;
+        uint8_t* to = out + chan_base * batch * spatial;
+        std::copy(from, from + src_chans_[s] * batch * spatial, to);
+        chan_base += src_chans_[s];
+      }
+      return;
+    }
+    int64_t chan_base = 0;
+    for (size_t s = 0; s < sources_.size(); ++s) {
+      const uint8_t* src = net.quant_act(sources_[s]);
+      const int64_t src_c = net.layer(sources_[s]).output_shape().dim(1);
+      for (int64_t b = 0; b < batch; ++b) {
+        const uint8_t* from = src + (b * src_c + src_offset_[s]) * spatial;
+        uint8_t* to = out + (b * out_c + chan_base) * spatial;
+        std::copy(from, from + src_chans_[s] * spatial, to);
+      }
+      chan_base += src_chans_[s];
+    }
+    return;
+  }
+
   if (plan().out_layout == ActLayout::kCNHW) {
     // Blocked layout: a channel range is one contiguous span (plane
     // (c, b) lives at (c*batch + b)*spatial), so each source is a

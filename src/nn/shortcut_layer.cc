@@ -28,6 +28,23 @@ Status ShortcutLayer::Configure(const Shape& input_shape, const Network& net) {
 // layer's block: each o[i] reads a[i] before overwriting it, so the
 // in-place add needs no special casing.
 void ShortcutLayer::Forward(const Tensor& input, Network& net, bool) {
+  if (plan().out_dtype == DType::kU8) {
+    // Quantize-once chain (linear-activation shortcuts only, per the
+    // dtype pass). Both inputs share the output's quantization domain,
+    // so with q = rne(x/s) + zp the fp32 sum maps to a + b - zp,
+    // saturated to the 7-bit activation range. In-place elision is safe
+    // for the same reason as the fp32 path: o[i] reads a[i] first.
+    const uint8_t* a = net.quant_act(index() - 1);
+    const uint8_t* b = net.quant_act(from_);
+    uint8_t* o = net.quant_act(index());
+    const int zp = plan().out_qzp;
+    const int64_t n = out_shape_.num_elements();
+    for (int64_t i = 0; i < n; ++i) {
+      const int v = static_cast<int>(a[i]) + static_cast<int>(b[i]) - zp;
+      o[i] = static_cast<uint8_t>(v < 0 ? 0 : (v > 127 ? 127 : v));
+    }
+    return;
+  }
   const Tensor& from = net.layer(from_).output();
   const float* a = input.data();
   const float* b = from.data();

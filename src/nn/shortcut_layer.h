@@ -29,6 +29,7 @@ class ShortcutLayer : public Layer {
   std::vector<int> ExtraInputIndices() const override { return {from_}; }
 
   int from_index() const { return from_; }
+  const Options& options() const { return opts_; }
 
  private:
   Options opts_;

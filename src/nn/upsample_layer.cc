@@ -19,11 +19,28 @@ Status UpsampleLayer::Configure(const Shape& input_shape, const Network&) {
 // channel count is preserved. When the plan compiler adopted this
 // layer into a following route's concat block, output_ is simply bound
 // inside that block — the writes below land in place.
-void UpsampleLayer::Forward(const Tensor& input, Network&, bool) {
+void UpsampleLayer::Forward(const Tensor& input, Network& net, bool) {
   const int64_t planes = in_shape_.dim(0) * in_shape_.dim(1);
   const int64_t ih = in_shape_.dim(2);
   const int64_t iw = in_shape_.dim(3);
   const int64_t ow = iw * stride_;
+  if (plan().out_dtype == DType::kU8) {
+    // Quantize-once chain: replicate the u8 bytes with the same nearest-
+    // neighbor loops (value-preserving, so the quantization domain
+    // passes through untouched).
+    const uint8_t* qin = net.quant_act(index() - 1);
+    uint8_t* qout = net.quant_act(index());
+    for (int64_t p = 0; p < planes; ++p) {
+      const uint8_t* src = qin + p * ih * iw;
+      uint8_t* dst = qout + p * ih * iw * stride_ * stride_;
+      for (int64_t y = 0; y < ih * stride_; ++y) {
+        const uint8_t* srow = src + (y / stride_) * iw;
+        uint8_t* drow = dst + y * ow;
+        for (int64_t x = 0; x < ow; ++x) drow[x] = srow[x / stride_];
+      }
+    }
+    return;
+  }
   for (int64_t p = 0; p < planes; ++p) {
     const float* src = input.data() + p * ih * iw;
     float* dst = output_.data() + p * ih * iw * stride_ * stride_;

@@ -16,35 +16,14 @@
 
 #include <immintrin.h>
 
+#include "tensor/simd_exp_avx2.h"
+
 namespace thali {
 
 namespace {
 
 using act_detail::ActKernel;
-
-inline __m256 FastExpVec(__m256 x) {
-  const __m256 hi = _mm256_set1_ps(act_detail::kExpHi);
-  const __m256 lo = _mm256_set1_ps(act_detail::kExpLo);
-  x = _mm256_min_ps(x, hi);
-  x = _mm256_max_ps(x, lo);
-  __m256 fx = _mm256_round_ps(_mm256_mul_ps(x, _mm256_set1_ps(act_detail::kLog2e)),
-                              _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(act_detail::kExpC1)));
-  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(act_detail::kExpC2)));
-  const __m256 z = _mm256_mul_ps(x, x);
-  __m256 y = _mm256_set1_ps(act_detail::kExpP0);
-  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(act_detail::kExpP1));
-  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(act_detail::kExpP2));
-  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(act_detail::kExpP3));
-  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(act_detail::kExpP4));
-  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(act_detail::kExpP5));
-  y = _mm256_add_ps(_mm256_mul_ps(y, z), x);
-  y = _mm256_add_ps(y, _mm256_set1_ps(1.0f));
-  const __m256i n = _mm256_cvtps_epi32(fx);
-  const __m256i pow2 =
-      _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
-  return _mm256_mul_ps(y, _mm256_castsi256_ps(pow2));
-}
+using simd_detail::FastMishVec;
 
 void LeakyAvx2(float* x, int64_t n) {
   const __m256 zero = _mm256_setzero_ps();
@@ -71,21 +50,12 @@ void ReluAvx2(float* x, int64_t n) {
 }
 
 void MishAvx2(float* x, int64_t n) {
-  const __m256 two = _mm256_set1_ps(2.0f);
-  const __m256 sat = _mm256_set1_ps(20.0f);
+  // Vector body shared with the int8 requantize epilogue
+  // (simd_exp_avx2.h) so both produce the same bits as the scalar
+  // family.
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    const __m256 v = _mm256_loadu_ps(x + i);
-    const __m256 e = FastExpVec(v);
-    const __m256 num = _mm256_mul_ps(e, _mm256_add_ps(e, two));
-    const __m256 m =
-        _mm256_mul_ps(v, _mm256_div_ps(num, _mm256_add_ps(num, two)));
-    // Saturated lanes (x >= 20) return x exactly, matching both the
-    // scalar fast path and the libm reference's tanh==1 branch. The
-    // blended-away num may be inf (exp overflow after the clamp); its
-    // NaN quotient never escapes the dead lane.
-    const __m256 saturated = _mm256_cmp_ps(v, sat, _CMP_GE_OQ);
-    _mm256_storeu_ps(x + i, _mm256_blendv_ps(m, v, saturated));
+    _mm256_storeu_ps(x + i, FastMishVec(_mm256_loadu_ps(x + i)));
   }
   act_detail::MishScalar(x + i, n - i);
 }

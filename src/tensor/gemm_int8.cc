@@ -9,6 +9,7 @@
 #include "base/cpu_features.h"
 #include "base/logging.h"
 #include "base/thread_pool.h"
+#include "tensor/act_kernels_impl.h"
 
 namespace thali {
 
@@ -123,8 +124,8 @@ void Int8QuantizeActivations(const float* x, int64_t count, float inv_scale,
   }
 }
 
-void Int8PackActCols(const uint8_t* qcol, int64_t k, int64_t n,
-                     uint8_t* packed) {
+void Int8PackActColsStrided(const uint8_t* qcol, int64_t row_stride,
+                            int64_t k, int64_t n, uint8_t* packed) {
   const int64_t kp = Int8PackedK(k);
   const int64_t nfull = n / 8;
   const int64_t ntail = n - nfull * 8;
@@ -133,7 +134,7 @@ void Int8PackActCols(const uint8_t* qcol, int64_t k, int64_t n,
     const uint8_t* src = qcol + u * 8;
     for (int64_t p = 0; p < k; ++p) {
       uint8_t* quad = strip + (p >> 2) * 32 + (p & 3);
-      const uint8_t* row = src + p * n;
+      const uint8_t* row = src + p * row_stride;
       for (int64_t l = 0; l < 8; ++l) quad[l * 4] = row[l];
     }
     for (int64_t p = k; p < kp; ++p) {
@@ -145,39 +146,53 @@ void Int8PackActCols(const uint8_t* qcol, int64_t k, int64_t n,
   for (int64_t t = 0; t < ntail; ++t) {
     uint8_t* col = tails + t * kp;
     const int64_t j = nfull * 8 + t;
-    for (int64_t p = 0; p < k; ++p) col[p] = qcol[p * n + j];
+    for (int64_t p = 0; p < k; ++p) col[p] = qcol[p * row_stride + j];
     for (int64_t p = k; p < kp; ++p) col[p] = 0;
   }
+}
+
+void Int8PackActCols(const uint8_t* qcol, int64_t k, int64_t n,
+                     uint8_t* packed) {
+  Int8PackActColsStrided(qcol, n, k, n, packed);
 }
 
 namespace {
 
 // Scalar reference epilogue. The AVX2 version in gemm_int8_avx2.cc
 // repeats this exact elementwise float sequence with 8-lane ops (no
-// FMA), so the two are bit-identical — asserted by the epilogue
-// conformance test.
+// FMA; mish through the shared FastMish family), so the two are
+// bit-identical — asserted by the epilogue conformance test.
 void EpilogueScalar(const Int8Epilogue& e, int64_t m0, int64_t m1, int64_t n,
                     const int32_t* acc, int64_t ldacc, float* c, int64_t ldc) {
+  const bool u8_out = e.out_u8 != nullptr;
   for (int64_t i = m0; i < m1; ++i) {
     const int32_t* ai = acc + i * ldacc;
-    float* ci = c + i * ldc;
     const float s = e.in_scale * e.wscale[i];
     const int32_t comp = e.in_zp * e.wcolsum[i];
     const float bias = e.bias != nullptr ? e.bias[i] : 0.0f;
     for (int64_t j = 0; j < n; ++j) {
-      ci[j] = static_cast<float>(ai[j] - comp) * s + bias;
-    }
-    switch (e.activation) {
-      case GemmActivation::kLeaky:
-        for (int64_t j = 0; j < n; ++j) {
-          ci[j] = ci[j] > 0 ? ci[j] : 0.1f * ci[j];
-        }
-        break;
-      case GemmActivation::kRelu:
-        for (int64_t j = 0; j < n; ++j) ci[j] = ci[j] > 0 ? ci[j] : 0.0f;
-        break;
-      default:
-        break;  // kNone; kMish never reaches the int8 epilogue
+      float v = static_cast<float>(ai[j] - comp) * s + bias;
+      switch (e.activation) {
+        case GemmActivation::kLeaky:
+          v = v > 0 ? v : 0.1f * v;
+          break;
+        case GemmActivation::kRelu:
+          v = v > 0 ? v : 0.0f;
+          break;
+        case GemmActivation::kMish:
+          v = act_detail::FastMish(v);
+          break;
+        default:
+          break;  // kNone
+      }
+      if (u8_out) {
+        // Requantize into the consumer domain — the exact
+        // Int8QuantizeActivations formula, element for element.
+        const int32_t q = RoundNearestEven(v * e.out_inv_scale) + e.out_zp;
+        e.out_u8[i * ldc + j] = static_cast<uint8_t>(std::clamp(q, 0, 127));
+      } else {
+        c[i * ldc + j] = v;
+      }
     }
   }
 }
@@ -235,6 +250,13 @@ int64_t Int8ConvWorkspaceBytes(int64_t m, int64_t n, int64_t k,
   auto align = [](int64_t v) { return (v + 63) / 64 * 64; };
   return align(in_planes) +                  // quantized input planes (u8)
          align(k * n) +                      // u8 im2col panel
+         align(Int8PackedActBytes(k, n)) +   // packed activation panel
+         align(m * n * 4) + 64;              // i32 accumulator tile
+}
+
+int64_t Int8Direct1x1WorkspaceBytes(int64_t m, int64_t n, int64_t k) {
+  auto align = [](int64_t v) { return (v + 63) / 64 * 64; };
+  return align(k * n) +                      // quantized input planes (u8)
          align(Int8PackedActBytes(k, n)) +   // packed activation panel
          align(m * n * 4) + 64;              // i32 accumulator tile
 }

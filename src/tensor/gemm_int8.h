@@ -71,6 +71,14 @@ inline int64_t Int8PackedActBytes(int64_t k, int64_t n) {
 void Int8PackActCols(const uint8_t* qcol, int64_t k, int64_t n,
                      uint8_t* packed);
 
+// Int8PackActCols over a row-strided source: row p starts at
+// qcol + p * row_stride (row_stride >= n). Lets the direct-1x1 path
+// pack straight from quantized channel planes whose plane stride is not
+// the GEMM width (a CNHW block consumed per batch item). With
+// row_stride == n this is exactly Int8PackActCols.
+void Int8PackActColsStrided(const uint8_t* qcol, int64_t row_stride,
+                            int64_t k, int64_t n, uint8_t* packed);
+
 // One int8 kernel family: accumulates rows [m0, m1) of the i32 product
 // into acc (row-major, row stride ldacc) from a quantized weight blob
 // (rows of kp bytes) and a packed activation panel. Accumulation is
@@ -89,13 +97,30 @@ const Int8GemmKernel* Avx2Int8GemmKernel();
 const Int8GemmKernel& SelectInt8GemmKernel();
 
 // Requantization parameters of one int8 GEMM (the epilogue inputs).
+//
+// With out_u8 == nullptr the epilogue dequantizes into fp32 C (the
+// original PR-7 behaviour). With out_u8 set, the epilogue instead
+// REQUANTIZES the activated value into the consumer's 7-bit unsigned
+// domain (quantize-once chaining between adjacent int8 layers):
+//
+//   u[f][j] = clamp(rne(act(c[f][j]) * out_inv_scale) + out_zp, 0, 127)
+//
+// — the exact Int8QuantizeActivations formula, so a chained edge holds
+// the same bytes an fp32 write followed by the consumer's own quantize
+// would have produced. fp32 C is not written on that path (pass
+// c = nullptr). kMish routes through the FastMish family
+// (act_kernels_impl.h / simd_exp_avx2.h), which is bit-identical
+// between the scalar and AVX2 epilogues like every other op here.
 struct Int8Epilogue {
   float in_scale = 1.0f;           // s_in
   int32_t in_zp = 0;               // activation zero point
   const float* wscale = nullptr;   // s_w[m]
   const int32_t* wcolsum = nullptr;  // colsum[m]
   const float* bias = nullptr;     // per-row bias, may be null
-  GemmActivation activation = GemmActivation::kNone;  // kLeaky/kRelu fused
+  GemmActivation activation = GemmActivation::kNone;  // incl. kMish
+  uint8_t* out_u8 = nullptr;       // u8 destination (row stride ldc)
+  float out_inv_scale = 1.0f;      // 1 / s_out of the consumer domain
+  int32_t out_zp = 0;              // consumer-domain zero point
 };
 
 // C[f][j] = act((acc - zp*colsum[f]) * s_in*s_w[f] + bias[f]) over rows
@@ -123,7 +148,9 @@ Int8EpilogueFn Avx2Int8EpilogueOrNull();
 // Full quantized GEMM: dispatches the kernel family, row-parallel with
 // the shared thread pool (integer accumulation + disjoint rows keep the
 // result bitwise identical at every thread count), then requantizes into
-// fp32 C (row stride ldc). `acc` must hold m * n int32 of scratch.
+// fp32 C (row stride ldc) — or, when e.out_u8 is set, into the u8
+// consumer domain (c may then be nullptr; ldc still strides out_u8).
+// `acc` must hold m * n int32 of scratch.
 void Int8GemmPrepacked(int64_t m, int64_t n, int64_t k, const int8_t* qw,
                        const uint8_t* packed, const Int8Epilogue& e, float* c,
                        int64_t ldc, int32_t* acc);
@@ -133,6 +160,13 @@ void Int8GemmPrepacked(int64_t m, int64_t n, int64_t k, const int8_t* qw,
 // panel and the i32 accumulator tile, each 64-byte aligned.
 int64_t Int8ConvWorkspaceBytes(int64_t m, int64_t n, int64_t k,
                                int64_t in_planes);
+
+// Workspace bytes of one int8 direct-1x1 GEMM over n columns: the
+// quantized input planes (skipped at runtime when the input arrives
+// already chained in u8), the packed activation panel, and the i32
+// accumulator tile — no im2col panel, the channel planes ARE the
+// column matrix.
+int64_t Int8Direct1x1WorkspaceBytes(int64_t m, int64_t n, int64_t k);
 
 namespace internal {
 // Force dispatch to "scalar" or "avx2" (ignored when unavailable), or

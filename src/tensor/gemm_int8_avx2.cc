@@ -16,6 +16,9 @@
 #include <immintrin.h>
 
 #include <algorithm>
+#include <cstring>
+
+#include "tensor/simd_exp_avx2.h"
 
 namespace thali {
 
@@ -166,17 +169,28 @@ const Int8GemmKernel kAvx2Int8Kernel = {"avx2-ubsw-6x8", AccumulateAvx2};
 // float sequence with vector ops: cvtepi32 (round-to-nearest-even, same
 // as static_cast), separate mul and add (this TU is built with -mfma,
 // so the scalar expression form could be FMA-contracted — intrinsics
-// pin the two-rounding sequence), ordered > 0 compare + blend for the
-// activations. Every lane is independent IEEE arithmetic, so the result
-// is bit-identical to the scalar reference. The n % 8 tail uses masked
-// load/store through the SAME vector ops rather than scalar code, again
-// to keep FMA contraction out.
-template <GemmActivation Act>
+// pin the two-rounding sequence), ordered > 0 compare + blend for
+// leaky/relu, the shared FastMishVec (simd_exp_avx2.h) for mish. Every
+// lane is independent IEEE arithmetic, so the result is bit-identical
+// to the scalar reference. The n % 8 tail uses masked load/store
+// through the SAME vector ops rather than scalar code, again to keep
+// FMA contraction out.
+//
+// With U8Out the activated lanes are requantized into the consumer
+// domain — cvtps_epi32 is round-to-nearest-even like the scalar
+// lrintf, so the chained bytes also match the scalar family — and
+// packed 8 x i32 -> 8 x u8 (saturating packs are safe after the
+// explicit [0, 127] clamp).
+template <GemmActivation Act, bool U8Out>
 void EpilogueRowsAvx2(const Int8Epilogue& e, int64_t m0, int64_t m1,
                       int64_t n, const int32_t* acc, int64_t ldacc, float* c,
                       int64_t ldc) {
   const __m256 leak = _mm256_set1_ps(0.1f);
   const __m256 zero = _mm256_setzero_ps();
+  const __m256 vqs = _mm256_set1_ps(e.out_inv_scale);
+  const __m256i vqzp = _mm256_set1_epi32(e.out_zp);
+  const __m256i vqlo = _mm256_setzero_si256();
+  const __m256i vqhi = _mm256_set1_epi32(127);
   const int64_t nv = n / 8 * 8;
   const int64_t ntail = n - nv;
   alignas(32) int32_t mask_bits[8];
@@ -185,7 +199,8 @@ void EpilogueRowsAvx2(const Int8Epilogue& e, int64_t m0, int64_t m1,
       _mm256_load_si256(reinterpret_cast<const __m256i*>(mask_bits));
   for (int64_t i = m0; i < m1; ++i) {
     const int32_t* ai = acc + i * ldacc;
-    float* ci = c + i * ldc;
+    float* ci = U8Out ? nullptr : c + i * ldc;
+    uint8_t* ui = U8Out ? e.out_u8 + i * ldc : nullptr;
     const __m256 vs = _mm256_set1_ps(e.in_scale * e.wscale[i]);
     const __m256 vb =
         _mm256_set1_ps(e.bias != nullptr ? e.bias[i] : 0.0f);
@@ -199,18 +214,51 @@ void EpilogueRowsAvx2(const Int8Epilogue& e, int64_t m0, int64_t m1,
       } else if constexpr (Act == GemmActivation::kRelu) {
         const __m256 gt = _mm256_cmp_ps(v, zero, _CMP_GT_OQ);
         v = _mm256_blendv_ps(zero, v, gt);
+      } else if constexpr (Act == GemmActivation::kMish) {
+        v = simd_detail::FastMishVec(v);
       }
       return v;
+    };
+    const auto quantize = [&](__m256 v) {
+      __m256i q = _mm256_cvtps_epi32(_mm256_mul_ps(v, vqs));
+      q = _mm256_add_epi32(q, vqzp);
+      q = _mm256_min_epi32(_mm256_max_epi32(q, vqlo), vqhi);
+      const __m128i w16 = _mm_packs_epi32(_mm256_castsi256_si128(q),
+                                          _mm256_extracti128_si256(q, 1));
+      return _mm_packus_epi16(w16, w16);
     };
     for (int64_t j = 0; j < nv; j += 8) {
       const __m256i a = _mm256_loadu_si256(
           reinterpret_cast<const __m256i*>(ai + j));
-      _mm256_storeu_ps(ci + j, requant(a));
+      if constexpr (U8Out) {
+        _mm_storel_epi64(reinterpret_cast<__m128i*>(ui + j),
+                         quantize(requant(a)));
+      } else {
+        _mm256_storeu_ps(ci + j, requant(a));
+      }
     }
     if (ntail > 0) {
       const __m256i a = _mm256_maskload_epi32(ai + nv, tail_mask);
-      _mm256_maskstore_ps(ci + nv, tail_mask, requant(a));
+      if constexpr (U8Out) {
+        alignas(16) uint8_t buf[16];
+        _mm_store_si128(reinterpret_cast<__m128i*>(buf),
+                        quantize(requant(a)));
+        std::memcpy(ui + nv, buf, static_cast<size_t>(ntail));
+      } else {
+        _mm256_maskstore_ps(ci + nv, tail_mask, requant(a));
+      }
     }
+  }
+}
+
+template <GemmActivation Act>
+void EpilogueActAvx2(const Int8Epilogue& e, int64_t m0, int64_t m1,
+                     int64_t n, const int32_t* acc, int64_t ldacc, float* c,
+                     int64_t ldc) {
+  if (e.out_u8 != nullptr) {
+    EpilogueRowsAvx2<Act, true>(e, m0, m1, n, acc, ldacc, c, ldc);
+  } else {
+    EpilogueRowsAvx2<Act, false>(e, m0, m1, n, acc, ldacc, c, ldc);
   }
 }
 
@@ -218,16 +266,20 @@ void EpilogueAvx2(const Int8Epilogue& e, int64_t m0, int64_t m1, int64_t n,
                   const int32_t* acc, int64_t ldacc, float* c, int64_t ldc) {
   switch (e.activation) {
     case GemmActivation::kLeaky:
-      EpilogueRowsAvx2<GemmActivation::kLeaky>(e, m0, m1, n, acc, ldacc, c,
-                                               ldc);
+      EpilogueActAvx2<GemmActivation::kLeaky>(e, m0, m1, n, acc, ldacc, c,
+                                              ldc);
       break;
     case GemmActivation::kRelu:
-      EpilogueRowsAvx2<GemmActivation::kRelu>(e, m0, m1, n, acc, ldacc, c,
-                                              ldc);
+      EpilogueActAvx2<GemmActivation::kRelu>(e, m0, m1, n, acc, ldacc, c,
+                                             ldc);
+      break;
+    case GemmActivation::kMish:
+      EpilogueActAvx2<GemmActivation::kMish>(e, m0, m1, n, acc, ldacc, c,
+                                             ldc);
       break;
     default:
-      EpilogueRowsAvx2<GemmActivation::kNone>(e, m0, m1, n, acc, ldacc, c,
-                                              ldc);
+      EpilogueActAvx2<GemmActivation::kNone>(e, m0, m1, n, acc, ldacc, c,
+                                             ldc);
       break;
   }
 }

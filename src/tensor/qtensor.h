@@ -98,10 +98,18 @@ class DTypeBuffer {
   }
 
   void CopyFrom(const DTypeBuffer& o) {
-    Resize(o.dtype_, o.shape_);
-    if (capacity_ > 0) {
-      std::memcpy(aligned(), o.aligned(), static_cast<size_t>(capacity_));
+    if (!o.storage_) {
+      // Unallocated source (default-constructed or Cleared): mirror its
+      // tags without allocating. Resize would allocate here — a default
+      // Shape is rank 0 and num_elements() == 1 — and then memcpy from
+      // the source's null base.
+      Clear();
+      dtype_ = o.dtype_;
+      shape_ = o.shape_;
+      return;
     }
+    Resize(o.dtype_, o.shape_);
+    std::memcpy(aligned(), o.aligned(), static_cast<size_t>(capacity_));
   }
 
   DType dtype_ = DType::kF32;

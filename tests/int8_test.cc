@@ -358,7 +358,7 @@ TEST_F(Int8Test, PlanSelectsInt8OnlyForEligibleUnpinnedConvs) {
   const Network& net = *built.net;
   ASSERT_TRUE(net.int8_enabled());
   ASSERT_TRUE(net.exec_plan().fused);
-  int quantized = 0, head_feeders = 0;
+  int quantized_3x3 = 0, quantized_1x1 = 0, head_feeders = 0;
   for (int i = 0; i < net.num_layers(); ++i) {
     if (std::string_view(net.layer(i).kind()) != "convolutional") continue;
     const auto& conv = static_cast<const ConvLayer&>(net.layer(i));
@@ -370,28 +370,40 @@ TEST_F(Int8Test, PlanSelectsInt8OnlyForEligibleUnpinnedConvs) {
       // so every one quantizes).
       if (lp.out_layout == ActLayout::kCNHW) {
         EXPECT_EQ(lp.conv_algo, ConvAlgo::kQuantInt8) << "layer " << i;
-        ++quantized;
+        ++quantized_3x3;
       } else {
         EXPECT_EQ(lp.conv_algo, ConvAlgo::kWinograd) << "layer " << i;
       }
+    } else if (o.ksize == 1 && o.stride == 1 && o.pad == 0) {
+      // Every 1x1 quantizes, layout pins included — the int8 GEMM reads
+      // through strides like kDirect1x1, so even the NCHW-pinned head
+      // feeders take the quantized algorithm (their fp32 output is the
+      // dequant edge into the yolo heads).
+      EXPECT_EQ(lp.conv_algo, ConvAlgo::kQuantInt8Direct1x1) << "layer " << i;
+      ++quantized_1x1;
+      if (lp.out_layout == ActLayout::kNCHW) ++head_feeders;
     } else {
       EXPECT_NE(lp.conv_algo, ConvAlgo::kQuantInt8) << "layer " << i;
-    }
-    // The detection-head feeders (the NCHW-pinned convs right before the
-    // yolo layers) must never quantize — they are 1x1 direct convs.
-    if (lp.out_layout == ActLayout::kNCHW) {
-      EXPECT_EQ(lp.conv_algo, ConvAlgo::kDirect1x1) << "layer " << i;
-      ++head_feeders;
+      EXPECT_NE(lp.conv_algo, ConvAlgo::kQuantInt8Direct1x1) << "layer " << i;
     }
   }
-  EXPECT_EQ(quantized, 13);     // every 3x3/s1/p1 conv of the model
-  EXPECT_EQ(head_feeders, 3);   // one per detection head
+  EXPECT_EQ(quantized_3x3, 13);  // every 3x3/s1/p1 conv of the model
+  EXPECT_EQ(quantized_1x1, 10);  // every 1x1 conv, head feeders included
+  EXPECT_EQ(head_feeders, 3);    // one per detection head
 
-  // Int8 off: the plan must contain no kQuantInt8 entry at all.
+  // Before calibration no dtype chain exists: every edge is fp32.
+  EXPECT_EQ(net.exec_plan().chained_edges, 0);
+  for (const LayerPlan& lp : net.exec_plan().layers) {
+    EXPECT_EQ(lp.out_dtype, DType::kF32);
+    EXPECT_EQ(lp.in_dtype, DType::kF32);
+  }
+
+  // Int8 off: the plan must contain no quantized entry at all.
   BuiltNetwork off = BuildThali(0);
   EXPECT_FALSE(off.net->int8_enabled());
   for (const LayerPlan& lp : off.net->exec_plan().layers) {
     EXPECT_NE(lp.conv_algo, ConvAlgo::kQuantInt8);
+    EXPECT_NE(lp.conv_algo, ConvAlgo::kQuantInt8Direct1x1);
   }
 }
 
@@ -422,8 +434,9 @@ TEST_F(Int8Test, Int8OffIsBitwiseIdenticalToDefaultFusedPlan) {
 }
 
 // Folds batch norm on every conv and calibrates the int8 layers of an
-// armed-plan network with one min/max pass over `input`. Returns the
-// number of convs armed.
+// armed-plan network with one min/max pass over `input`, then replans
+// so quantize-once chains take effect. Returns the number of convs
+// armed.
 int FoldAndCalibrate(Network& net, const Tensor& input) {
   for (int i = 0; i < net.num_layers(); ++i) {
     if (std::string_view(net.layer(i).kind()) == "convolutional") {
@@ -438,11 +451,15 @@ int FoldAndCalibrate(Network& net, const Tensor& input) {
   for (int i = 0; i < net.num_layers(); ++i) {
     Layer& l = net.layer(i);
     if (std::string_view(l.kind()) != "convolutional") continue;
-    if (l.plan().conv_algo != ConvAlgo::kQuantInt8) continue;
+    if (l.plan().conv_algo != ConvAlgo::kQuantInt8 &&
+        l.plan().conv_algo != ConvAlgo::kQuantInt8Direct1x1) {
+      continue;
+    }
     auto& conv = static_cast<ConvLayer&>(l);
     conv.FinalizeCalibration(100.0);
     if (conv.has_activation_range()) ++armed;
   }
+  THALI_CHECK_OK(net.ReplanInference());
   return armed;
 }
 
@@ -489,6 +506,107 @@ TEST_F(Int8Test, Int8ForwardRunsQuantizedAndTracksFp32) {
   EXPECT_EQ(std::memcmp(scalar_out.data(), got.data(),
                         got.size() * sizeof(float)),
             0);
+}
+
+TEST_F(Int8Test, ReplanAfterCalibrationChainsMajorityOfThali) {
+  BuiltNetwork int8 = BuildThali(1);
+  Tensor input(int8.net->input_shape());
+  Rng irng(41);
+  for (int64_t i = 0; i < input.size(); ++i) input[i] = irng.NextGaussian();
+  ASSERT_GT(FoldAndCalibrate(*int8.net, input), 0);
+
+  const ExecPlan& plan = int8.net->exec_plan();
+  // The tentpole acceptance floor: most of the 52 thali layers run
+  // quantized once chains are up (23 quantized convs plus the u8
+  // passthroughs between them), with real chained edges and the head
+  // feeders' outputs as dequant edges.
+  EXPECT_GE(plan.quantized_layers, 30) << "of " << int8.net->num_layers();
+  EXPECT_GT(plan.chained_edges, 0);
+  EXPECT_GE(plan.dequant_edges, 3);  // one per yolo head at minimum
+  int chained_convs = 0;
+  for (int i = 0; i < int8.net->num_layers(); ++i) {
+    const LayerPlan& lp = plan.layers[static_cast<size_t>(i)];
+    if (lp.in_dtype == DType::kU8) {
+      // A u8 input implies a u8 producer in the same domain.
+      const bool conv = std::string_view(int8.net->layer(i).kind()) ==
+                        "convolutional";
+      if (conv) ++chained_convs;
+      EXPECT_GT(lp.in_qscale, 0.0f) << "layer " << i;
+      EXPECT_GE(lp.in_qzp, 0) << "layer " << i;
+      EXPECT_LE(lp.in_qzp, 127) << "layer " << i;
+    }
+    if (lp.out_dtype == DType::kU8) {
+      EXPECT_GE(lp.quant_root, 0) << "layer " << i;
+      EXPECT_EQ(plan.layers[static_cast<size_t>(lp.quant_root)].out_dtype,
+                DType::kU8)
+          << "layer " << i;
+    }
+  }
+  EXPECT_GT(chained_convs, 0);
+
+  // Dropping the ranges must drop every chain again.
+  for (int i = 0; i < int8.net->num_layers(); ++i) {
+    if (std::string_view(int8.net->layer(i).kind()) != "convolutional") {
+      continue;
+    }
+    static_cast<ConvLayer&>(int8.net->layer(i)).ResetCalibration();
+  }
+  THALI_CHECK_OK(int8.net->ReplanInference());
+  EXPECT_EQ(int8.net->exec_plan().chained_edges, 0);
+  for (const LayerPlan& lp : int8.net->exec_plan().layers) {
+    EXPECT_EQ(lp.out_dtype, DType::kF32);
+  }
+  // And the fp32 fallbacks still forward cleanly.
+  const std::vector<float> out = HeadOutputs(int8);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST_F(Int8Test, U8OutEpilogueFamiliesAgreeBitwiseIncludingMish) {
+  if (Avx2Int8EpilogueOrNull() == nullptr || !CpuInfo().avx2) {
+    GTEST_SKIP() << "no AVX2 epilogue on this host";
+  }
+  Rng rng(808);
+  const int64_t m = 7;
+  std::vector<float> wscale(static_cast<size_t>(m));
+  std::vector<int32_t> wcolsum(static_cast<size_t>(m));
+  std::vector<float> bias(static_cast<size_t>(m));
+  for (int64_t f = 0; f < m; ++f) {
+    wscale[static_cast<size_t>(f)] = 0.002f + 0.008f * static_cast<float>(f);
+    wcolsum[static_cast<size_t>(f)] = rng.NextInt(-4000, 4000);
+    bias[static_cast<size_t>(f)] = 0.25f * static_cast<float>(f - 3);
+  }
+  // Every tail width and all four fusable activations, requantizing to
+  // u8 in an output domain with a nonzero zero point. The mish case
+  // pins the scalar FastMish against the AVX2 FastMishVec bit for bit.
+  for (const int64_t n : {8, 9, 10, 11, 12, 13, 14, 15, 40}) {
+    std::vector<int32_t> acc(static_cast<size_t>(m * n));
+    for (auto& a : acc) a = rng.NextInt(-300000, 300000);
+    for (const GemmActivation act :
+         {GemmActivation::kNone, GemmActivation::kLeaky,
+          GemmActivation::kRelu, GemmActivation::kMish}) {
+      Int8Epilogue epi;
+      epi.in_scale = 0.019f;
+      epi.in_zp = 52;
+      epi.wscale = wscale.data();
+      epi.wcolsum = wcolsum.data();
+      epi.bias = bias.data();
+      epi.activation = act;
+      epi.out_inv_scale = 1.0f / 0.05f;
+      epi.out_zp = 33;
+      std::vector<uint8_t> u_s(static_cast<size_t>(m * n), 0xAA);
+      std::vector<uint8_t> u_v(static_cast<size_t>(m * n), 0x55);
+      internal::SetInt8EpilogueForTesting("scalar");
+      epi.out_u8 = u_s.data();
+      Int8ApplyEpilogue(epi, 0, m, n, acc.data(), n, nullptr, n);
+      internal::SetInt8EpilogueForTesting("avx2");
+      epi.out_u8 = u_v.data();
+      Int8ApplyEpilogue(epi, 0, m, n, acc.data(), n, nullptr, n);
+      internal::SetInt8EpilogueForTesting(nullptr);
+      ASSERT_EQ(std::memcmp(u_s.data(), u_v.data(), u_s.size()), 0)
+          << "n=" << n << " act=" << static_cast<int>(act);
+      for (uint8_t v : u_s) ASSERT_LE(v, 127);
+    }
+  }
 }
 
 TEST_F(Int8Test, CalibrationSurvivesRebatchAndMatchesBatchOne) {

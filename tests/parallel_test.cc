@@ -309,9 +309,9 @@ TEST_F(ParallelTest, FoldedThaliInferenceBitwiseIdenticalWithFusedEpilogue) {
 
 // Full yolov4-thali int8 inference: builds with int8 latched (and
 // optionally fusion disabled, where int8 must become a no-op), folds
-// batch norm, min/max-calibrates every kQuantInt8 conv on the test
-// input, then forwards through a SetBatch(1 -> 4 -> 1) cycle with the
-// given kernel family forced. Returns the final batch-1 head
+// batch norm, min/max-calibrates every quantized-algo conv on the test
+// input, replans so the quantize-once chains arm, then forwards through
+// a SetBatch(1 -> 4 -> 1) cycle with the given kernel family forced. Returns the final batch-1 head
 // activations flattened for bitwise comparison.
 std::vector<float> ThaliInt8Forward(int threads, const char* kernel,
                                     bool fuse, int int8_mode) {
@@ -342,9 +342,16 @@ std::vector<float> ThaliInt8Forward(int threads, const char* kernel,
   for (int i = 0; i < net.num_layers(); ++i) {
     Layer& l = net.layer(i);
     if (std::string_view(l.kind()) != "convolutional") continue;
-    if (l.plan().conv_algo != ConvAlgo::kQuantInt8) continue;
+    if (l.plan().conv_algo != ConvAlgo::kQuantInt8 &&
+        l.plan().conv_algo != ConvAlgo::kQuantInt8Direct1x1) {
+      continue;
+    }
     static_cast<ConvLayer&>(l).FinalizeCalibration(100.0);
   }
+  // Picks up the quantize-once chains (u8 edges, int8 1x1, fused mish
+  // requantize) so the thread x kernel matrix exercises the chained
+  // forward, not just per-layer quantization.
+  THALI_CHECK_OK(net.ReplanInference());
 
   internal::SetInt8GemmKernelForTesting(kernel);
   Tensor first = input;
