@@ -1,0 +1,84 @@
+// thali_netclient: minimal THL1 client for a running thali_netserve.
+//
+//   thali_netclient <port> ping
+//   thali_netclient <port> stats
+//   thali_netclient <port> detect [model] [deadline_ms]
+//
+// `detect` renders one synthetic platter, submits it (optionally pinned
+// to a model id, optionally with a deadline) and prints the boxes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "base/rng.h"
+#include "data/food_classes.h"
+#include "data/renderer.h"
+#include "net/client.h"
+
+int main(int argc, char** argv) {
+  using namespace thali;
+
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <port> ping|stats|detect [model] [deadline_ms]\n",
+                 argv[0]);
+    return 2;
+  }
+  const auto port = static_cast<uint16_t>(std::atoi(argv[1]));
+  const std::string op = argv[2];
+
+  auto client_or = net::NetClient::Connect(port);
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client_or.status().ToString().c_str());
+    return 1;
+  }
+  net::NetClient client = std::move(client_or).value();
+
+  if (op == "ping") {
+    Status s = client.Ping();
+    std::printf("ping: %s\n", s.ToString().c_str());
+    return s.ok() ? 0 : 1;
+  }
+  if (op == "stats") {
+    auto stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", stats->c_str());
+    return 0;
+  }
+  if (op == "detect") {
+    const auto& classes = IndianFood10();
+    PlatterRenderer renderer(classes, PlatterRenderer::Options{});
+    Rng rng(42);
+    RenderedScene scene = renderer.RenderRandomPlatter(3, rng);
+
+    net::DetectRequest req;
+    req.image = std::move(scene.image);
+    if (argc > 3) req.model_id = argv[3];
+    if (argc > 4) req.deadline_ms = static_cast<uint32_t>(std::atoi(argv[4]));
+    auto result = client.Detect(req);
+    if (!result.ok()) {
+      std::fprintf(stderr, "detect: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu detections\n", result->size());
+    for (const Detection& d : *result) {
+      const char* name = d.class_id >= 0 &&
+                                 d.class_id < static_cast<int>(classes.size())
+                             ? classes[d.class_id].display_name.c_str()
+                             : "?";
+      std::printf("  %-14s conf=%.3f box=(%.3f, %.3f, %.3f, %.3f)\n", name,
+                  d.confidence, d.box.x, d.box.y, d.box.w, d.box.h);
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "unknown op '%s'\n", op.c_str());
+  return 2;
+}

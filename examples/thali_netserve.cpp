@@ -1,0 +1,178 @@
+// thali_netserve: the network serving stack end to end — a ModelRouter
+// carrying yolov4-thali and the SSD baseline side by side (20% A/B
+// split), admission control on (priority lanes, deadline shedding), a
+// loopback NetServer in front, then a mixed burst of interactive and
+// batch THL1 clients, a hot weight reload in the middle of the burst,
+// and the per-class tallies + STATS JSON at the end.
+//
+// Environment:
+//   THALI_NET_PORT  port to bind (default 0 = ephemeral, printed)
+//   THALI_NET_POLL  1 forces the poll() event-loop backend
+//   THALI_NETSERVE_WAIT  1 keeps serving until stdin closes instead of
+//                        running the demo burst (pair with thali_netclient)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/file_util.h"
+#include "base/logging.h"
+#include "base/rng.h"
+#include "baseline/ssd_detector.h"
+#include "core/detector.h"
+#include "darknet/model_zoo.h"
+#include "darknet/weights_io.h"
+#include "data/food_classes.h"
+#include "data/renderer.h"
+#include "net/client.h"
+#include "net/net_server.h"
+#include "serve/router.h"
+
+namespace {
+
+using namespace thali;
+
+std::string FindWeights() {
+  for (const char* candidate :
+       {"thali_cache/main.weights", "thali_cache/quickstart.weights"}) {
+    if (PathExists(candidate)) return candidate;
+  }
+  return "";
+}
+
+uint16_t PortFromEnv() {
+  const char* env = std::getenv("THALI_NET_PORT");
+  return env != nullptr ? static_cast<uint16_t>(std::atoi(env)) : 0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace thali;
+
+  const auto& classes = IndianFood10();
+  YoloThaliOptions yopts;
+  yopts.classes = static_cast<int>(classes.size());
+  const std::string cfg = YoloThaliCfg(yopts);
+  const std::string weights = FindWeights();
+  if (weights.empty()) {
+    std::printf("No cached model; serving with random weights (run "
+                "`quickstart` first for real detections).\n");
+  }
+
+  serve::ModelRouter router;
+
+  // Model A: yolov4-thali, 2 workers, admission control on.
+  serve::Server::Options yolo_opts;
+  yolo_opts.num_workers = 2;
+  yolo_opts.queue_capacity = 16;
+  yolo_opts.batch_queue_capacity = 16;
+  yolo_opts.max_batch_size = 4;
+  yolo_opts.admission.enabled = true;
+  Status added = router.AddModel("yolov4-thali", yolo_opts, [&] {
+    return weights.empty() ? Detector::FromCfg(cfg)
+                           : Detector::FromFiles(cfg, weights);
+  });
+  THALI_CHECK(added.ok()) << added.ToString();
+
+  // Model B: the Table III SSD baseline, 1 worker (it is far cheaper).
+  serve::Server::Options ssd_opts;
+  ssd_opts.num_workers = 1;
+  ssd_opts.queue_capacity = 16;
+  ssd_opts.admission.enabled = true;
+  added = router.AddModel("ssd-baseline", ssd_opts, [&] {
+    Rng rng(11);
+    auto ssd = BuildSsdBaseline(static_cast<int>(classes.size()), 96, 96,
+                                /*batch=*/1, BaselineTier::kModern, rng);
+    if (!ssd.ok()) return StatusOr<Detector>(ssd.status());
+    return StatusOr<Detector>(
+        Detector(std::move(ssd->net), {ssd->head}));
+  });
+  THALI_CHECK(added.ok()) << added.ToString();
+
+  // 20 of every 100 default-routed requests exercise the baseline.
+  THALI_CHECK_OK(router.SetAbSplit("ssd-baseline", 20));
+
+  net::NetServer::Options net_opts;
+  net_opts.port = PortFromEnv();
+  auto server_or = net::NetServer::Start(net_opts, &router);
+  THALI_CHECK(server_or.ok()) << server_or.status().ToString();
+  net::NetServer& server = **server_or;
+  std::printf("thali_netserve listening on 127.0.0.1:%u (%s backend), "
+              "models: yolov4-thali (default) + ssd-baseline @ 20%% A/B\n",
+              server.port(),
+              server.backend() == net::EventLoop::Backend::kEpoll ? "epoll"
+                                                                  : "poll");
+
+  const char* wait = std::getenv("THALI_NETSERVE_WAIT");
+  if (wait != nullptr && wait[0] == '1') {
+    std::printf("Serving until stdin closes (THALI_NETSERVE_WAIT=1)...\n");
+    (void)std::getchar();
+    server.Shutdown();
+    return 0;
+  }
+
+  // Demo burst: 3 interactive clients with 500ms deadlines and 2 batch
+  // clients with none, 6 platters each, all over real sockets.
+  constexpr int kInteractive = 3, kBatch = 2, kPerClient = 6;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0}, shed_count{0};
+  for (int c = 0; c < kInteractive + kBatch; ++c) {
+    clients.emplace_back([&, c] {
+      auto client_or = net::NetClient::Connect(server.port());
+      THALI_CHECK(client_or.ok()) << client_or.status().ToString();
+      net::NetClient client = std::move(client_or).value();
+      PlatterRenderer renderer(classes, PlatterRenderer::Options{});
+      Rng rng(1300 + static_cast<uint64_t>(c));
+      for (int i = 0; i < kPerClient; ++i) {
+        RenderedScene scene = renderer.RenderRandomPlatter(2 + i % 3, rng);
+        net::DetectRequest req;
+        req.image = std::move(scene.image);
+        if (c < kInteractive) {
+          req.priority = serve::Priority::kInteractive;
+          req.deadline_ms = 500;
+        } else {
+          req.priority = serve::Priority::kBatch;
+        }
+        auto result = client.Detect(req);
+        if (result.ok()) {
+          ok_count.fetch_add(1);
+        } else {
+          shed_count.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Hot reload mid-burst: re-stage the same weights file. Workers swap
+  // between batches; every in-flight request still completes (watch
+  // weight_reloads in the stats and ok+shed == total below).
+  if (!weights.empty()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Status reloaded = router.ReloadWeights("yolov4-thali", weights);
+    std::printf("Hot reload staged: %s (generation %lld)\n",
+                reloaded.ToString().c_str(),
+                static_cast<long long>(
+                    router.Find("yolov4-thali")->weights_generation()));
+  }
+
+  for (auto& t : clients) t.join();
+  std::printf("\nBurst done: %d ok + %d rejected/timed-out of %d requests\n",
+              ok_count.load(), shed_count.load(),
+              (kInteractive + kBatch) * kPerClient);
+
+  // The STATS op — the same JSON a monitoring scraper would read.
+  auto stats_client = net::NetClient::Connect(server.port());
+  THALI_CHECK(stats_client.ok()) << stats_client.status().ToString();
+  auto stats = stats_client->Stats();
+  THALI_CHECK(stats.ok()) << stats.status().ToString();
+  std::printf("\nSTATS: %s\n", stats->c_str());
+
+  server.Shutdown();
+  return 0;
+}

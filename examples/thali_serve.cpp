@@ -123,7 +123,18 @@ int main() {
               detections.load(), deadline_misses.load(), rejections.load(),
               kClients * kPerClient);
 
+  // Shutdown drains the queue, so the server-side counters are final
+  // here. Print all three legs of the invariant (submitted = completed +
+  // rejected + timed_out) — the client-side tallies above only see the
+  // futures each client happened to hold.
   server.Shutdown();
+  const serve::MetricsSnapshot snap = server.metrics().Snapshot();
+  std::printf("\nServer drained: %lld submitted = %lld completed + %lld "
+              "rejected + %lld timed out\n",
+              static_cast<long long>(snap.submitted),
+              static_cast<long long>(snap.completed),
+              static_cast<long long>(snap.rejected),
+              static_cast<long long>(snap.timed_out));
   std::printf("\n%s", server.metrics().ToString().c_str());
   return 0;
 }

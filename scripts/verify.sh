@@ -22,6 +22,11 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 echo "== int8 smoke: quantization conformance suite =="
 ctest --test-dir build --output-on-failure -j "${JOBS}" -L int8_smoke
 
+echo "== net smoke: THL1 protocol + loopback end-to-end suite =="
+# Framing round-trips, split-point reassembly, hostile-frame rejection,
+# and the socket-path ≡ in-process bitwise pin (tests/net).
+ctest --test-dir build --output-on-failure -j "${JOBS}" -L net_smoke
+
 echo "== int8 chained-edge gate: calibrated yolov4-thali must chain =="
 # End-to-end THALI_INT8=1 forward on the fused plan; the test fails if
 # the compiled plan reports zero chained edges or fewer than 30

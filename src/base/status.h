@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kDeadlineExceeded,
+  kUnavailable,
 };
 
 // Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -71,6 +72,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

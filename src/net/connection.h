@@ -1,0 +1,88 @@
+#ifndef THALI_NET_CONNECTION_H_
+#define THALI_NET_CONNECTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <vector>
+
+#include "base/statusor.h"
+#include "eval/detection.h"
+#include "net/protocol.h"
+#include "serve/server.h"
+
+namespace thali {
+namespace net {
+
+// Per-client connection state: a FrameReader reassembling the inbound
+// byte stream, an ordered pending-reply queue, and an outbound byte
+// buffer with partial-write continuation. All methods run on the event
+// loop thread — a Connection is single-threaded state; the only
+// cross-thread touch is the serve-layer worker fulfilling a pending
+// reply's future.
+//
+// Responses go out in request order (the protocol has no correlation
+// ids): a DETECT reply whose future resolved early waits behind an
+// older pending reply. PumpPending moves resolved head replies into the
+// write buffer; the server then flushes as the socket allows.
+class Connection {
+ public:
+  // One queued reply: either already encoded (PING, STATS, errors) or a
+  // future from serve::Server::Submit that still has to resolve.
+  struct PendingReply {
+    bool ready = false;
+    Op op = Op::kDetect;
+    std::vector<uint8_t> encoded;  // valid when ready
+    std::future<serve::Server::Result> future;  // valid when !ready
+  };
+
+  explicit Connection(int fd) : fd_(fd) {}
+
+  int fd() const { return fd_; }
+
+  // Feeds received bytes into the frame reassembler. A framing error is
+  // sticky and means the connection must be closed.
+  Status FeedBytes(std::span<const uint8_t> bytes) {
+    return reader_.Feed(bytes);
+  }
+
+  // Pops the next complete inbound frame, if any.
+  bool NextFrame(FrameHeader* header, std::vector<uint8_t>* payload) {
+    return reader_.NextFrame(header, payload);
+  }
+
+  // Queues an already-encoded reply (keeps request order).
+  void EnqueueReady(std::vector<uint8_t> frame);
+  // Queues a reply that materializes when `future` resolves.
+  void EnqueueFuture(Op op, std::future<serve::Server::Result> future);
+
+  // Moves every resolved head-of-line reply into the write buffer.
+  // Returns true if new bytes became writable.
+  bool PumpPending();
+
+  // True while any reply is queued or buffered (the event loop polls
+  // futures only for connections that report true).
+  bool HasPendingWork() const {
+    return !pending_.empty() || !outbox_.empty();
+  }
+  size_t pending_count() const { return pending_.size(); }
+
+  // Flushes the write buffer with non-blocking send(); returns
+  // kUnavailable when the socket would block (re-arm write interest),
+  // IOError on a dead peer. Clears flushed bytes.
+  Status FlushWrites();
+
+  bool wants_write() const { return !outbox_.empty(); }
+
+ private:
+  int fd_;
+  FrameReader reader_;
+  std::deque<PendingReply> pending_;
+  std::vector<uint8_t> outbox_;
+  size_t outbox_off_ = 0;  // bytes of outbox_ already sent
+};
+
+}  // namespace net
+}  // namespace thali
+
+#endif  // THALI_NET_CONNECTION_H_

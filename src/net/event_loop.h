@@ -1,0 +1,64 @@
+#ifndef THALI_NET_EVENT_LOOP_H_
+#define THALI_NET_EVENT_LOOP_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/statusor.h"
+
+namespace thali {
+namespace net {
+
+// Readiness multiplexer over the server's fds: epoll(7) where available,
+// with a portable poll(2) backend selected when epoll is unavailable or
+// THALI_NET_POLL=1 (the fallback path stays continuously tested that
+// way). Level-triggered in both backends — the connection state machines
+// re-arm write interest explicitly, so edge semantics buy nothing here.
+class EventLoop {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;  // HUP / ERR: close the connection
+  };
+
+  enum class Backend { kEpoll, kPoll };
+
+  // Picks the backend (env override first, then epoll, then poll).
+  static StatusOr<EventLoop> Create();
+
+  EventLoop(EventLoop&& other) noexcept;
+  EventLoop& operator=(EventLoop&&) = delete;
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Backend backend() const { return backend_; }
+
+  // Registers `fd` for readability (always) and writability (if
+  // `want_write`).
+  Status Add(int fd, bool want_write);
+  // Updates write interest for a registered fd.
+  Status SetWantWrite(int fd, bool want_write);
+  // Deregisters; call before closing the fd.
+  void Remove(int fd);
+
+  // Blocks up to `timeout_ms` (-1 = forever) and appends ready events to
+  // *out (cleared first). Returns the number of events.
+  StatusOr<int> Wait(std::vector<Event>* out, int timeout_ms);
+
+ private:
+  explicit EventLoop(Backend backend, int epoll_fd)
+      : backend_(backend), epoll_fd_(epoll_fd) {}
+
+  Backend backend_;
+  int epoll_fd_ = -1;                       // kEpoll only
+  std::unordered_map<int, bool> want_write_;  // fd -> write interest
+};
+
+}  // namespace net
+}  // namespace thali
+
+#endif  // THALI_NET_EVENT_LOOP_H_

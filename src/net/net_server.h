@@ -1,0 +1,117 @@
+#ifndef THALI_NET_NET_SERVER_H_
+#define THALI_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "base/statusor.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "serve/router.h"
+
+namespace thali {
+namespace net {
+
+// Loopback TCP front-end over a ModelRouter: one event-loop thread
+// multiplexes every client with epoll (or poll — see EventLoop),
+// non-blocking reads feed per-connection frame reassembly, DETECT frames
+// are admitted through the routed serve::Server (priority lanes, deadline
+// and shed policies run there), and responses stream back with partial-
+// write continuation, in request order per connection.
+//
+//   clients ──TCP──▶ EventLoop ──decode──▶ ModelRouter::Route
+//                        ▲                       │ Submit (admission)
+//                        └──encode ◀── future ◀──┘ worker pool
+//
+// Fairness: each loop tick services ready connections starting from a
+// rotating offset and dispatches at most one frame per connection per
+// tick, so one chatty client cannot starve the rest; a connection with
+// max_inflight_per_conn unanswered DETECTs stops being parsed until
+// replies drain (per-client backpressure that also bounds memory).
+//
+// The detection futures resolve on serve-layer worker threads; the loop
+// polls pending heads with a zero-timeout wait while any reply is
+// outstanding (1 ms ticks), and sleeps long otherwise.
+class NetServer {
+ public:
+  struct Options {
+    uint16_t port = 0;  // 0 = ephemeral; read back with port()
+    int max_connections = 64;
+    // DETECTs in flight per connection before the server stops reading
+    // more frames from it.
+    int max_inflight_per_conn = 32;
+  };
+
+  struct Counters {
+    std::atomic<int64_t> connections_accepted{0};
+    std::atomic<int64_t> connections_dropped{0};  // framing/io errors
+    std::atomic<int64_t> frames_received{0};
+    std::atomic<int64_t> detects{0};
+    std::atomic<int64_t> detect_errors{0};  // non-OK submit or decode
+    std::atomic<int64_t> pings{0};
+    std::atomic<int64_t> stats_requests{0};
+  };
+
+  // Binds 127.0.0.1:port and starts the loop thread. `router` must
+  // outlive the server and have at least one model registered.
+  static StatusOr<std::unique_ptr<NetServer>> Start(
+      const Options& options, serve::ModelRouter* router);
+
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  uint16_t port() const { return port_; }
+  const Counters& counters() const { return counters_; }
+  EventLoop::Backend backend() const { return loop_.backend(); }
+
+  // Stops the loop thread and closes every connection. Requests already
+  // handed to the serve layer still complete there (their replies are
+  // dropped with the sockets). Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  NetServer(const Options& options, serve::ModelRouter* router,
+            EventLoop loop, int listen_fd, uint16_t port, int wake_rx,
+            int wake_tx);
+
+  void LoopThread();
+  void AcceptPending();
+  // Reads whatever the socket has; returns false if the connection died
+  // (io/framing error or EOF) and must be closed.
+  bool ReadFromConnection(Connection* conn);
+  // Decodes and dispatches one frame. Never fails the connection: bad
+  // requests get error replies (framing errors are handled upstream).
+  void DispatchFrame(Connection* conn, const FrameHeader& header,
+                     std::vector<uint8_t> payload);
+  void CloseConnection(int fd);
+  std::string BuildStatsJson() const;
+
+  Options options_;
+  serve::ModelRouter* router_;
+  EventLoop loop_;
+  int listen_fd_;
+  uint16_t port_;
+  // Self-pipe waking the loop out of a long sleep for shutdown.
+  int wake_rx_;
+  int wake_tx_;
+
+  Counters counters_;
+  std::map<int, std::unique_ptr<Connection>> conns_;  // loop thread only
+  std::vector<int> rr_order_;  // rotating fairness order, loop thread only
+  size_t rr_next_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::thread loop_thread_;
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace net
+}  // namespace thali
+
+#endif  // THALI_NET_NET_SERVER_H_

@@ -1,0 +1,311 @@
+#include "net/protocol.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/string_util.h"
+
+namespace thali {
+namespace net {
+
+void AppendU8(std::vector<uint8_t>* buf, uint8_t v) { buf->push_back(v); }
+
+void AppendU16(std::vector<uint8_t>* buf, uint16_t v) {
+  buf->push_back(static_cast<uint8_t>(v & 0xff));
+  buf->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void AppendU32(std::vector<uint8_t>* buf, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendF32(std::vector<uint8_t>* buf, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU32(buf, bits);
+}
+
+void AppendBytes(std::vector<uint8_t>* buf, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf->insert(buf->end(), p, p + len);
+}
+
+Status PayloadReader::ReadBytes(void* out, size_t len) {
+  if (remaining() < len) {
+    return Status::Corruption("truncated payload");
+  }
+  std::memcpy(out, data_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status PayloadReader::ReadU8(uint8_t* v) { return ReadBytes(v, 1); }
+
+Status PayloadReader::ReadU16(uint16_t* v) {
+  uint8_t b[2];
+  THALI_RETURN_IF_ERROR(ReadBytes(b, 2));
+  *v = static_cast<uint16_t>(b[0] | (b[1] << 8));
+  return Status::OK();
+}
+
+Status PayloadReader::ReadU32(uint32_t* v) {
+  uint8_t b[4];
+  THALI_RETURN_IF_ERROR(ReadBytes(b, 4));
+  *v = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+       (static_cast<uint32_t>(b[2]) << 16) |
+       (static_cast<uint32_t>(b[3]) << 24);
+  return Status::OK();
+}
+
+Status PayloadReader::ReadF32(float* v) {
+  uint32_t bits;
+  THALI_RETURN_IF_ERROR(ReadU32(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- framing --
+
+std::vector<uint8_t> EncodeFrame(Op op, std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  AppendU32(&frame, kMagic);
+  AppendU16(&frame, kProtocolVersion);
+  AppendU16(&frame, static_cast<uint16_t>(op));
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendBytes(&frame, payload.data(), payload.size());
+  return frame;
+}
+
+Status ParseHeader(std::span<const uint8_t> bytes, FrameHeader* header) {
+  if (bytes.size() < kHeaderBytes) {
+    return Status::InvalidArgument("header needs 12 bytes");
+  }
+  PayloadReader r(bytes.subspan(0, kHeaderBytes));
+  THALI_RETURN_IF_ERROR(r.ReadU32(&header->magic));
+  THALI_RETURN_IF_ERROR(r.ReadU16(&header->version));
+  THALI_RETURN_IF_ERROR(r.ReadU16(&header->op));
+  THALI_RETURN_IF_ERROR(r.ReadU32(&header->payload_len));
+  if (header->magic != kMagic) {
+    return Status::Corruption(
+        StrFormat("bad magic 0x%08x (want 0x%08x)", header->magic, kMagic));
+  }
+  if (header->version != kProtocolVersion) {
+    return Status::Unimplemented(
+        StrFormat("protocol version %u not supported (want %u)",
+                  header->version, kProtocolVersion));
+  }
+  if (header->payload_len > kMaxPayloadBytes) {
+    return Status::ResourceExhausted(
+        StrFormat("payload of %u bytes exceeds limit %u",
+                  header->payload_len, kMaxPayloadBytes));
+  }
+  return Status::OK();
+}
+
+Status FrameReader::Feed(std::span<const uint8_t> bytes) {
+  if (!error_.ok()) return error_;
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  // Validate the header as soon as it is complete so a bad peer is cut
+  // off before it streams an entire bogus payload.
+  if (buf_.size() >= kHeaderBytes) {
+    FrameHeader h;
+    Status st = ParseHeader(buf_, &h);
+    if (!st.ok()) error_ = st;
+  }
+  return error_;
+}
+
+bool FrameReader::NextFrame(FrameHeader* header, std::vector<uint8_t>* payload) {
+  if (!error_.ok() || buf_.size() < kHeaderBytes) return false;
+  FrameHeader h;
+  Status st = ParseHeader(buf_, &h);
+  if (!st.ok()) {
+    error_ = st;
+    return false;
+  }
+  const size_t total = kHeaderBytes + h.payload_len;
+  if (buf_.size() < total) return false;
+  *header = h;
+  payload->assign(buf_.begin() + kHeaderBytes, buf_.begin() + total);
+  buf_.erase(buf_.begin(), buf_.begin() + total);
+  // The next frame's header (if buffered) gets validated eagerly too.
+  if (buf_.size() >= kHeaderBytes) {
+    FrameHeader next;
+    Status nst = ParseHeader(buf_, &next);
+    if (!nst.ok()) error_ = nst;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ detect --
+
+std::vector<uint8_t> EncodeDetectRequest(const DetectRequest& req) {
+  std::vector<uint8_t> payload;
+  const Image& img = req.image;
+  payload.reserve(16 + req.model_id.size() +
+                  static_cast<size_t>(img.size()) * 4);
+  AppendU8(&payload, req.priority == serve::Priority::kBatch ? 1 : 0);
+  AppendU32(&payload, req.deadline_ms);
+  AppendU8(&payload, static_cast<uint8_t>(req.model_id.size()));
+  AppendBytes(&payload, req.model_id.data(), req.model_id.size());
+  AppendU16(&payload, static_cast<uint16_t>(img.width()));
+  AppendU16(&payload, static_cast<uint16_t>(img.height()));
+  AppendU8(&payload, static_cast<uint8_t>(img.channels()));
+  AppendBytes(&payload, img.data(), static_cast<size_t>(img.size()) * 4);
+  return payload;
+}
+
+Status DecodeDetectRequest(std::span<const uint8_t> payload,
+                           DetectRequest* req) {
+  PayloadReader r(payload);
+  uint8_t priority, model_len, channels;
+  uint16_t width, height;
+  THALI_RETURN_IF_ERROR(r.ReadU8(&priority));
+  if (priority > 1) {
+    return Status::InvalidArgument(
+        StrFormat("bad priority byte %u", priority));
+  }
+  req->priority =
+      priority == 1 ? serve::Priority::kBatch : serve::Priority::kInteractive;
+  THALI_RETURN_IF_ERROR(r.ReadU32(&req->deadline_ms));
+  THALI_RETURN_IF_ERROR(r.ReadU8(&model_len));
+  req->model_id.resize(model_len);
+  THALI_RETURN_IF_ERROR(r.ReadBytes(req->model_id.data(), model_len));
+  THALI_RETURN_IF_ERROR(r.ReadU16(&width));
+  THALI_RETURN_IF_ERROR(r.ReadU16(&height));
+  THALI_RETURN_IF_ERROR(r.ReadU8(&channels));
+  if (width == 0 || height == 0 || channels == 0 || channels > 4) {
+    return Status::InvalidArgument(
+        StrFormat("bad image geometry %ux%ux%u", width, height, channels));
+  }
+  const size_t pixel_bytes =
+      static_cast<size_t>(width) * height * channels * 4;
+  if (r.remaining() != pixel_bytes) {
+    return Status::Corruption(
+        StrFormat("pixel payload is %zu bytes, geometry needs %zu",
+                  r.remaining(), pixel_bytes));
+  }
+  req->image = Image(width, height, channels);
+  return r.ReadBytes(req->image.data(), pixel_bytes);
+}
+
+namespace {
+
+void AppendStatusBlock(std::vector<uint8_t>* payload, const Status& status) {
+  AppendU8(payload, static_cast<uint8_t>(status.code()));
+  const std::string& msg = status.message();
+  const uint16_t len =
+      static_cast<uint16_t>(std::min<size_t>(msg.size(), 0xffff));
+  AppendU16(payload, len);
+  AppendBytes(payload, msg.data(), len);
+}
+
+Status ReadStatusBlock(PayloadReader* r, Status* status) {
+  uint8_t code;
+  uint16_t len;
+  THALI_RETURN_IF_ERROR(r->ReadU8(&code));
+  THALI_RETURN_IF_ERROR(r->ReadU16(&len));
+  std::string msg(len, '\0');
+  THALI_RETURN_IF_ERROR(r->ReadBytes(msg.data(), len));
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::Corruption(StrFormat("bad status code %u on wire", code));
+  }
+  *status = Status(static_cast<StatusCode>(code), std::move(msg));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeDetectResponse(
+    const Status& status, std::span<const Detection> detections) {
+  std::vector<uint8_t> payload;
+  AppendStatusBlock(&payload, status);
+  if (status.ok()) {
+    AppendU32(&payload, static_cast<uint32_t>(detections.size()));
+    for (const Detection& d : detections) {
+      AppendU32(&payload, static_cast<uint32_t>(d.class_id));
+      AppendF32(&payload, d.confidence);
+      AppendF32(&payload, d.box.x);
+      AppendF32(&payload, d.box.y);
+      AppendF32(&payload, d.box.w);
+      AppendF32(&payload, d.box.h);
+    }
+  }
+  return EncodeFrame(Op::kDetect, payload);
+}
+
+Status DecodeDetectResponse(std::span<const uint8_t> payload, Status* status,
+                            std::vector<Detection>* detections) {
+  detections->clear();
+  PayloadReader r(payload);
+  THALI_RETURN_IF_ERROR(ReadStatusBlock(&r, status));
+  if (!status->ok()) return Status::OK();
+  uint32_t count;
+  THALI_RETURN_IF_ERROR(r.ReadU32(&count));
+  if (static_cast<size_t>(count) * 24 != r.remaining()) {
+    return Status::Corruption("detection count disagrees with payload size");
+  }
+  detections->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Detection d;
+    uint32_t class_id;
+    THALI_RETURN_IF_ERROR(r.ReadU32(&class_id));
+    d.class_id = static_cast<int>(class_id);
+    THALI_RETURN_IF_ERROR(r.ReadF32(&d.confidence));
+    THALI_RETURN_IF_ERROR(r.ReadF32(&d.box.x));
+    THALI_RETURN_IF_ERROR(r.ReadF32(&d.box.y));
+    THALI_RETURN_IF_ERROR(r.ReadF32(&d.box.w));
+    THALI_RETURN_IF_ERROR(r.ReadF32(&d.box.h));
+    detections->push_back(d);
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------- ping / stats --
+
+std::vector<uint8_t> EncodePingResponse(std::span<const uint8_t> echo) {
+  std::vector<uint8_t> payload;
+  AppendStatusBlock(&payload, Status::OK());
+  AppendBytes(&payload, echo.data(), echo.size());
+  return EncodeFrame(Op::kPing, payload);
+}
+
+std::vector<uint8_t> EncodeStatsResponse(const Status& status,
+                                         const std::string& stats_json) {
+  std::vector<uint8_t> payload;
+  AppendStatusBlock(&payload, status);
+  if (status.ok()) {
+    AppendU32(&payload, static_cast<uint32_t>(stats_json.size()));
+    AppendBytes(&payload, stats_json.data(), stats_json.size());
+  }
+  return EncodeFrame(Op::kStats, payload);
+}
+
+Status DecodeStatsResponse(std::span<const uint8_t> payload, Status* status,
+                           std::string* stats_json) {
+  stats_json->clear();
+  PayloadReader r(payload);
+  THALI_RETURN_IF_ERROR(ReadStatusBlock(&r, status));
+  if (!status->ok()) return Status::OK();
+  uint32_t len;
+  THALI_RETURN_IF_ERROR(r.ReadU32(&len));
+  if (len != r.remaining()) {
+    return Status::Corruption("stats length disagrees with payload size");
+  }
+  stats_json->resize(len);
+  return r.ReadBytes(stats_json->data(), len);
+}
+
+std::vector<uint8_t> EncodeErrorResponse(Op op, const Status& status) {
+  // Status block only, echoing the request op — every response decoder
+  // reads the status block first, so this shape answers any op.
+  std::vector<uint8_t> payload;
+  AppendStatusBlock(&payload, status);
+  return EncodeFrame(op, payload);
+}
+
+}  // namespace net
+}  // namespace thali

@@ -25,6 +25,8 @@ Batcher::Batcher(RequestQueue* queue, Options options, ServerMetrics* metrics)
 bool Batcher::ExpireIfLate(RequestPtr* req, ServeClock::time_point now) {
   if (now < (*req)->deadline) return false;
   metrics_->timed_out.fetch_add(1, std::memory_order_relaxed);
+  metrics_->ForClass((*req)->priority)
+      .timed_out.fetch_add(1, std::memory_order_relaxed);
   metrics_->e2e_ms.Record(ToMs(now - (*req)->submit_time));
   (*req)->promise.set_value(
       Status::DeadlineExceeded("deadline expired while queued"));

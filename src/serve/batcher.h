@@ -9,6 +9,7 @@
 #include "base/statusor.h"
 #include "eval/detection.h"
 #include "image/image.h"
+#include "serve/lane_queue.h"
 #include "serve/metrics.h"
 #include "serve/queue.h"
 
@@ -26,11 +27,14 @@ struct Request {
   ServeClock::time_point submit_time;
   // time_point::max() means no deadline.
   ServeClock::time_point deadline = ServeClock::time_point::max();
+  Priority priority = Priority::kInteractive;
   std::promise<StatusOr<std::vector<Detection>>> promise;
 };
 
 using RequestPtr = std::unique_ptr<Request>;
-using RequestQueue = BoundedQueue<RequestPtr>;
+// Two bounded lanes (interactive / batch); plain Submit lands on the
+// interactive lane, so single-class callers see BoundedQueue semantics.
+using RequestQueue = LaneQueue<RequestPtr>;
 
 // Dynamic micro-batcher: pulls requests off a shared queue and groups them
 // into batches of at most `max_batch_size`, waiting up to `max_linger`

@@ -79,35 +79,114 @@ double ServerMetrics::MeanBatchSize() const {
          static_cast<double>(b);
 }
 
+HistogramSnapshot SnapshotHistogram(const LatencyHistogram& h) {
+  HistogramSnapshot s;
+  s.count = h.count();
+  s.mean_ms = h.MeanMs();
+  s.p50_ms = h.PercentileMs(50);
+  s.p95_ms = h.PercentileMs(95);
+  s.p99_ms = h.PercentileMs(99);
+  return s;
+}
+
+namespace {
+
+ClassSnapshot SnapshotClass(const ServerMetrics::PerClass& c) {
+  ClassSnapshot s;
+  s.submitted = c.submitted.load(std::memory_order_relaxed);
+  s.completed = c.completed.load(std::memory_order_relaxed);
+  s.rejected = c.rejected.load(std::memory_order_relaxed);
+  s.timed_out = c.timed_out.load(std::memory_order_relaxed);
+  s.shed = c.shed.load(std::memory_order_relaxed);
+  s.completed_e2e = SnapshotHistogram(c.completed_e2e_ms);
+  return s;
+}
+
+std::string HistJson(const char* name, const HistogramSnapshot& h) {
+  return StrFormat(
+      "\"%s\": {\"count\": %lld, \"mean_ms\": %.3f, \"p50_ms\": %.3f, "
+      "\"p95_ms\": %.3f, \"p99_ms\": %.3f}",
+      name, static_cast<long long>(h.count), h.mean_ms, h.p50_ms, h.p95_ms,
+      h.p99_ms);
+}
+
+std::string ClassJson(const char* name, const ClassSnapshot& c) {
+  return StrFormat(
+      "\"%s\": {\"submitted\": %lld, \"completed\": %lld, \"rejected\": "
+      "%lld, \"timed_out\": %lld, \"shed\": %lld, %s}",
+      name, static_cast<long long>(c.submitted),
+      static_cast<long long>(c.completed), static_cast<long long>(c.rejected),
+      static_cast<long long>(c.timed_out), static_cast<long long>(c.shed),
+      HistJson("completed_e2e", c.completed_e2e).c_str());
+}
+
+}  // namespace
+
+MetricsSnapshot ServerMetrics::Snapshot() const {
+  MetricsSnapshot s;
+  s.submitted = submitted.load(std::memory_order_relaxed);
+  s.completed = completed.load(std::memory_order_relaxed);
+  s.rejected = rejected.load(std::memory_order_relaxed);
+  s.timed_out = timed_out.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline.load(std::memory_order_relaxed);
+  s.shed_pressure = shed_pressure.load(std::memory_order_relaxed);
+  s.weight_reloads = weight_reloads.load(std::memory_order_relaxed);
+  s.batches = batches.load(std::memory_order_relaxed);
+  s.batched_images = batched_images.load(std::memory_order_relaxed);
+  s.mean_batch = MeanBatchSize();
+  s.queue_wait = SnapshotHistogram(queue_wait_ms);
+  s.e2e = SnapshotHistogram(e2e_ms);
+  s.interactive = SnapshotClass(ForClass(Priority::kInteractive));
+  s.batch = SnapshotClass(ForClass(Priority::kBatch));
+  return s;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string json = "{";
+  json += StrFormat(
+      "\"submitted\": %lld, \"completed\": %lld, \"rejected\": %lld, "
+      "\"timed_out\": %lld, \"shed_deadline\": %lld, \"shed_pressure\": "
+      "%lld, \"weight_reloads\": %lld, \"batches\": %lld, "
+      "\"batched_images\": %lld, \"mean_batch\": %.2f, ",
+      static_cast<long long>(submitted), static_cast<long long>(completed),
+      static_cast<long long>(rejected), static_cast<long long>(timed_out),
+      static_cast<long long>(shed_deadline),
+      static_cast<long long>(shed_pressure),
+      static_cast<long long>(weight_reloads), static_cast<long long>(batches),
+      static_cast<long long>(batched_images), mean_batch);
+  json += HistJson("queue_wait", queue_wait) + ", ";
+  json += HistJson("e2e", e2e) + ", ";
+  json += ClassJson("interactive", interactive) + ", ";
+  json += ClassJson("batch", batch);
+  json += "}";
+  return json;
+}
+
 std::string ServerMetrics::ToString() const {
+  const MetricsSnapshot s = Snapshot();
   TablePrinter counters("Serving counters");
   counters.SetHeader({"submitted", "completed", "rejected", "timed out",
                       "batches", "avg batch"});
-  counters.AddRow(
-      {StrFormat("%lld", static_cast<long long>(
-                             submitted.load(std::memory_order_relaxed))),
-       StrFormat("%lld", static_cast<long long>(
-                             completed.load(std::memory_order_relaxed))),
-       StrFormat("%lld", static_cast<long long>(
-                             rejected.load(std::memory_order_relaxed))),
-       StrFormat("%lld", static_cast<long long>(
-                             timed_out.load(std::memory_order_relaxed))),
-       StrFormat("%lld",
-                 static_cast<long long>(batches.load(std::memory_order_relaxed))),
-       StrFormat("%.2f", MeanBatchSize())});
+  counters.AddRow({StrFormat("%lld", static_cast<long long>(s.submitted)),
+                   StrFormat("%lld", static_cast<long long>(s.completed)),
+                   StrFormat("%lld", static_cast<long long>(s.rejected)),
+                   StrFormat("%lld", static_cast<long long>(s.timed_out)),
+                   StrFormat("%lld", static_cast<long long>(s.batches)),
+                   StrFormat("%.2f", s.mean_batch)});
 
   TablePrinter latency("Serving latency (ms)");
   latency.SetHeader({"stage", "count", "mean", "p50", "p95", "p99"});
   const struct {
     const char* name;
-    const LatencyHistogram* h;
-  } stages[] = {{"queue wait", &queue_wait_ms}, {"end to end", &e2e_ms}};
-  for (const auto& s : stages) {
-    latency.AddRow({s.name, StrFormat("%lld", static_cast<long long>(s.h->count())),
-                    StrFormat("%.3f", s.h->MeanMs()),
-                    StrFormat("%.3f", s.h->PercentileMs(50)),
-                    StrFormat("%.3f", s.h->PercentileMs(95)),
-                    StrFormat("%.3f", s.h->PercentileMs(99))});
+    const HistogramSnapshot* h;
+  } stages[] = {{"queue wait", &s.queue_wait}, {"end to end", &s.e2e}};
+  for (const auto& st : stages) {
+    latency.AddRow({st.name,
+                    StrFormat("%lld", static_cast<long long>(st.h->count)),
+                    StrFormat("%.3f", st.h->mean_ms),
+                    StrFormat("%.3f", st.h->p50_ms),
+                    StrFormat("%.3f", st.h->p95_ms),
+                    StrFormat("%.3f", st.h->p99_ms)});
   }
   return counters.ToString() + latency.ToString();
 }

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/lane_queue.h"
+
 namespace thali {
 namespace serve {
 
@@ -43,27 +45,104 @@ class LatencyHistogram {
   std::atomic<int64_t> sum_us_{0};
 };
 
+// Point-in-time export of one histogram: count / mean / p50 / p95 / p99.
+// Plain values — consumers (the STATS op, the admission policy, the
+// benches) read these without parsing rendered tables.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+// Per-priority-class counters. shed counts admission-policy rejections
+// (a subset of rejected); completed_e2e holds latency for requests that
+// actually ran — the "accepted p99" the overload bench reports.
+struct ClassSnapshot {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  int64_t timed_out = 0;
+  int64_t shed = 0;
+  HistogramSnapshot completed_e2e;
+};
+
+// Struct export of ServerMetrics (see below). Snapshot() assembles it
+// from the live atomics; values are mutually consistent only after a
+// drain (mid-flight snapshots may catch a request between counters,
+// exactly like reading the atomics directly).
+struct MetricsSnapshot {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  int64_t timed_out = 0;
+  int64_t shed_deadline = 0;  // admission: estimated wait > deadline
+  int64_t shed_pressure = 0;  // admission: batch shed on queue pressure
+  int64_t weight_reloads = 0;  // per-worker reloads applied
+  int64_t batches = 0;
+  int64_t batched_images = 0;
+  double mean_batch = 0.0;
+  HistogramSnapshot queue_wait;
+  HistogramSnapshot e2e;
+  ClassSnapshot interactive;
+  ClassSnapshot batch;
+
+  // Renders the snapshot as a flat JSON object (the STATS op payload).
+  std::string ToJson() const;
+};
+
 // Counters and latency distributions for one Server instance. Every
 // submitted request ends in exactly one of {completed, rejected,
 // timed_out}, so after a drain the three sum to `submitted` — the
-// invariant the serve tests pin.
+// invariant the serve tests pin. Admission-policy rejections (shed_*)
+// are a refinement of `rejected`, never a fourth leg.
 struct ServerMetrics {
+  // Wait-free per-class counter block (indexed by Priority).
+  struct PerClass {
+    std::atomic<int64_t> submitted{0};
+    std::atomic<int64_t> completed{0};
+    std::atomic<int64_t> rejected{0};
+    std::atomic<int64_t> timed_out{0};
+    std::atomic<int64_t> shed{0};
+    LatencyHistogram completed_e2e_ms;
+  };
+
   std::atomic<int64_t> submitted{0};   // Submit calls (accepted or not)
   std::atomic<int64_t> completed{0};   // ran the network, future has results
-  std::atomic<int64_t> rejected{0};    // bounced by queue backpressure
+  std::atomic<int64_t> rejected{0};    // bounced (backpressure or shed)
   std::atomic<int64_t> timed_out{0};   // deadline expired while queued
+  std::atomic<int64_t> shed_deadline{0};  // ⊂ rejected
+  std::atomic<int64_t> shed_pressure{0};  // ⊂ rejected
+  std::atomic<int64_t> weight_reloads{0};
   std::atomic<int64_t> batches{0};     // DetectBatch calls issued
   std::atomic<int64_t> batched_images{0};  // total images across batches
 
   LatencyHistogram queue_wait_ms;  // submit -> picked into a batch
   LatencyHistogram e2e_ms;         // submit -> future completed
 
+  std::array<PerClass, 2> per_class;  // indexed by Priority
+
+  PerClass& ForClass(Priority p) {
+    return per_class[static_cast<size_t>(p)];
+  }
+  const PerClass& ForClass(Priority p) const {
+    return per_class[static_cast<size_t>(p)];
+  }
+
   double MeanBatchSize() const;
+
+  // Struct export for programmatic consumers (STATS op, admission
+  // policy, benches).
+  MetricsSnapshot Snapshot() const;
 
   // Renders the counter table and the latency table (count / mean / p50 /
   // p95 / p99 per histogram) via base/table_printer.
   std::string ToString() const;
 };
+
+// Snapshots one histogram (count / mean / p50 / p95 / p99).
+HistogramSnapshot SnapshotHistogram(const LatencyHistogram& h);
 
 }  // namespace serve
 }  // namespace thali

@@ -83,6 +83,13 @@ class BoundedQueue {
     return items_.size();
   }
 
+  // Instantaneous queue depth — what the admission-control policies key
+  // on (src/serve/server.cc, src/net). Same value as size(); the name
+  // matches LaneQueue::Depth so policy code reads uniformly. The result
+  // is a snapshot: it may be stale by the time the caller acts on it,
+  // which shedding tolerates (policies are heuristics, not invariants).
+  size_t Depth() const { return size(); }
+
   size_t capacity() const { return capacity_; }
 
  private:

@@ -16,6 +16,7 @@
 #include "bench_common.h"
 #include "core/detector.h"
 #include "darknet/model_zoo.h"
+#include "darknet/weights_io.h"
 #include "data/food_classes.h"
 #include "data/renderer.h"
 #include "serve/batcher.h"
@@ -136,6 +137,115 @@ TEST(BoundedQueueTest, PopWaitTimesOutOnEmptyOpenQueue) {
   EXPECT_FALSE(q.closed());
 }
 
+// TSan target: Depth() raced against live pushes and pops must only ever
+// see values inside [0, capacity] (snapshot semantics, no torn state).
+TEST(BoundedQueueTest, DepthStaysWithinCapacityUnderConcurrentTraffic) {
+  constexpr int kPerProducer = 400;
+  BoundedQueue<int> q(8);
+  EXPECT_EQ(q.capacity(), 8u);
+
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!q.TryPush(i).ok()) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&q, &popped] {
+      int v;
+      while (q.Pop(&v)) popped.fetch_add(1);
+    });
+  }
+  // The observer hammers Depth() while both sides run.
+  std::thread observer([&q] {
+    for (int i = 0; i < 2000; ++i) {
+      const size_t d = q.Depth();
+      ASSERT_LE(d, q.capacity());
+    }
+  });
+  observer.join();
+  threads[0].join();
+  threads[1].join();
+  q.Close();
+  threads[2].join();
+  threads[3].join();
+  EXPECT_EQ(popped.load(), 2 * kPerProducer);
+  EXPECT_EQ(q.Depth(), 0u);
+}
+
+// ----------------------------------------------------------- lane queue --
+
+TEST(LaneQueueTest, InteractiveFirstWithBoundedBatchConcession) {
+  LaneQueue<int> q(8, 8);
+  // 4 batch items queued first, then 4 interactive.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.TryPush(100 + i, Priority::kBatch).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.TryPush(i, Priority::kInteractive).ok());
+  }
+  // Strict priority would starve batch; the anti-starvation rule lets the
+  // batch lane go first on every 4th pop: I I I B I B B B.
+  std::vector<int> order;
+  int v;
+  while (q.PopWait(&v, milliseconds(0))) order.push_back(v);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 100, 3, 101, 102, 103}));
+}
+
+TEST(LaneQueueTest, LaneCapacitiesAreIndependent) {
+  LaneQueue<int> q(1, 2);
+  EXPECT_EQ(q.Capacity(Priority::kInteractive), 1u);
+  EXPECT_EQ(q.Capacity(Priority::kBatch), 2u);
+  EXPECT_EQ(q.Capacity(), 3u);
+
+  EXPECT_TRUE(q.TryPush(1, Priority::kInteractive).ok());
+  EXPECT_EQ(q.TryPush(2, Priority::kInteractive).code(),
+            StatusCode::kResourceExhausted);
+  // The full interactive lane does not consume batch slots.
+  EXPECT_TRUE(q.TryPush(3, Priority::kBatch).ok());
+  EXPECT_TRUE(q.TryPush(4, Priority::kBatch).ok());
+  EXPECT_EQ(q.TryPush(5, Priority::kBatch).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(q.Depth(Priority::kInteractive), 1u);
+  EXPECT_EQ(q.Depth(Priority::kBatch), 2u);
+  EXPECT_EQ(q.Depth(), 3u);
+}
+
+TEST(LaneQueueTest, CloseDrainsBothLanesThenReportsClosed) {
+  LaneQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(1, Priority::kInteractive).ok());
+  EXPECT_TRUE(q.TryPush(2, Priority::kBatch).ok());
+  q.Close();
+  EXPECT_EQ(q.TryPush(3).code(), StatusCode::kFailedPrecondition);
+
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.Pop(&v));  // closed and drained: no blocking
+}
+
+TEST(LaneQueueTest, CloseUnblocksWaitingConsumers) {
+  LaneQueue<int> q(1);
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&q, &woke] {
+      int v;
+      EXPECT_FALSE(q.Pop(&v));
+      woke.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(milliseconds(10));
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
 // ------------------------------------------------------------ histogram --
 
 TEST(LatencyHistogramTest, PercentilesTrackExactWithinBucketResolution) {
@@ -188,6 +298,46 @@ TEST(ServerMetricsTest, TableContainsCountersAndStages) {
   EXPECT_NE(table.find("queue wait"), std::string::npos);
   EXPECT_NE(table.find("end to end"), std::string::npos);
   EXPECT_NE(table.find("1.50"), std::string::npos);  // avg batch 3/2
+}
+
+TEST(ServerMetricsTest, SnapshotExportsCountersWithoutTableParsing) {
+  ServerMetrics m;
+  m.submitted.store(7);
+  m.completed.store(4);
+  m.rejected.store(2);
+  m.timed_out.store(1);
+  m.shed_pressure.store(2);
+  m.weight_reloads.store(3);
+  m.batches.store(2);
+  m.batched_images.store(4);
+  for (int i = 0; i < 100; ++i) m.queue_wait_ms.Record(2.0);
+  m.ForClass(Priority::kInteractive).submitted.store(5);
+  m.ForClass(Priority::kInteractive).completed_e2e_ms.Record(4.0);
+  m.ForClass(Priority::kBatch).shed.store(2);
+
+  const MetricsSnapshot s = m.Snapshot();
+  EXPECT_EQ(s.submitted, 7);
+  EXPECT_EQ(s.completed, 4);
+  EXPECT_EQ(s.rejected, 2);
+  EXPECT_EQ(s.timed_out, 1);
+  EXPECT_EQ(s.shed_pressure, 2);
+  EXPECT_EQ(s.shed_deadline, 0);
+  EXPECT_EQ(s.weight_reloads, 3);
+  EXPECT_DOUBLE_EQ(s.mean_batch, 2.0);
+  EXPECT_EQ(s.queue_wait.count, 100);
+  // Every p2.0 sample lands in one bucket; the interpolated percentiles
+  // stay within that bucket's bounds.
+  EXPECT_GT(s.queue_wait.p95_ms, 0.0);
+  EXPECT_EQ(s.interactive.submitted, 5);
+  EXPECT_EQ(s.interactive.completed_e2e.count, 1);
+  EXPECT_EQ(s.batch.shed, 2);
+
+  const std::string json = s.ToJson();
+  for (const char* key :
+       {"\"submitted\"", "\"shed_pressure\"", "\"queue_wait\"", "\"p99_ms\"",
+        "\"interactive\"", "\"batch\"", "\"weight_reloads\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
 }
 
 // -------------------------------------------------------------- batcher --
@@ -407,6 +557,175 @@ TEST(ServerTest, BackpressureRejectsWhenQueueFull) {
   EXPECT_EQ(m.submitted.load(),
             m.completed.load() + m.rejected.load() + m.timed_out.load());
   EXPECT_GE(m.rejected.load(), 1);
+}
+
+TEST(ServerTest, AdmissionShedsBatchClassBeforeInteractive) {
+  Server::Options opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 4;
+  opts.batch_queue_capacity = 4;
+  opts.max_batch_size = 1;
+  opts.max_linger = microseconds(0);
+  opts.admission.enabled = true;
+  opts.admission.shed_start = 0.0;  // shed pressure from the first queued item
+  auto server_or = Server::Create(opts, StandardFactory());
+  ASSERT_TRUE(server_or.ok());
+  std::unique_ptr<Server> server = std::move(server_or).value();
+
+  // A tight batch-class submission loop against a single worker that
+  // needs milliseconds per forward: the shed policy must fire while the
+  // batch lane still has free slots (depth-proportional, not lane-full).
+  Image img = RenderImages(1)[0];
+  Server::SubmitOptions batch_submit;
+  batch_submit.priority = Priority::kBatch;
+  std::vector<std::future<Server::Result>> accepted;
+  bool saw_shed = false;
+  for (int i = 0; i < 1000 && !saw_shed; ++i) {
+    auto fut = server->Submit(img, batch_submit);
+    if (fut.ok()) {
+      accepted.push_back(std::move(fut).value());
+    } else {
+      EXPECT_EQ(fut.status().code(), StatusCode::kResourceExhausted);
+      saw_shed = true;
+      // Shed while below lane capacity — the policy, not TryPush, fired.
+      EXPECT_LT(server->LaneDepth(Priority::kBatch),
+                server->LaneCapacity(Priority::kBatch));
+      // Batch work is shed strictly before interactive: an interactive
+      // request submitted at this exact pressure is still admitted.
+      auto interactive = server->Submit(img, Server::SubmitOptions{});
+      EXPECT_TRUE(interactive.ok()) << interactive.status().ToString();
+      if (interactive.ok()) accepted.push_back(std::move(interactive).value());
+    }
+  }
+  EXPECT_TRUE(saw_shed);
+  server->Shutdown();
+  for (auto& f : accepted) EXPECT_TRUE(f.get().ok());
+
+  const ServerMetrics& m = server->metrics();
+  EXPECT_GE(m.shed_pressure.load(), 1);
+  EXPECT_EQ(m.ForClass(Priority::kInteractive).shed.load(), 0);
+  // Sheds are a refinement of rejected, never a fourth invariant leg.
+  EXPECT_EQ(m.submitted.load(),
+            m.completed.load() + m.rejected.load() + m.timed_out.load());
+  EXPECT_LE(m.shed_pressure.load() + m.shed_deadline.load(),
+            m.rejected.load());
+}
+
+TEST(ServerTest, AdmissionRejectsDeadlinesDoomedByQueueWait) {
+  Server::Options opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 8;
+  opts.max_batch_size = 1;
+  opts.max_linger = microseconds(0);
+  opts.admission.enabled = true;
+  opts.admission.min_wait_samples = 8;
+  auto server_or = Server::Create(opts, StandardFactory());
+  ASSERT_TRUE(server_or.ok());
+  std::unique_ptr<Server> server = std::move(server_or).value();
+  Image img = RenderImages(1)[0];
+
+  // Warm the queue-wait histogram with one open burst: the later requests
+  // of the burst wait several forward-times in the queue, so p95 queue
+  // wait lands in the milliseconds.
+  std::vector<std::future<Server::Result>> warm;
+  for (int i = 0; i < 8; ++i) {
+    auto fut = server->Submit(img);
+    if (fut.ok()) warm.push_back(std::move(fut).value());
+  }
+  for (auto& f : warm) (void)f.get();
+
+  // Build a backlog, then ask for a microsecond-scale deadline budget:
+  // the estimated wait (p95 scaled by depth) dwarfs it, so admission must
+  // reject without ever queueing the request.
+  bool saw_deadline_shed = false;
+  std::vector<std::future<Server::Result>> accepted;
+  for (int round = 0; round < 50 && !saw_deadline_shed; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      auto fut = server->Submit(img);
+      if (fut.ok()) accepted.push_back(std::move(fut).value());
+    }
+    for (int i = 0; i < 20; ++i) {
+      auto fut = server->Submit(
+          img, Server::SubmitOptions{ServeClock::now() + microseconds(50),
+                                     Priority::kInteractive});
+      if (!fut.ok() && fut.status().code() == StatusCode::kDeadlineExceeded) {
+        saw_deadline_shed = true;
+        break;
+      }
+      if (fut.ok()) accepted.push_back(std::move(fut).value());
+    }
+  }
+  EXPECT_TRUE(saw_deadline_shed);
+  server->Shutdown();
+  for (auto& f : accepted) (void)f.get();
+
+  const ServerMetrics& m = server->metrics();
+  EXPECT_GE(m.shed_deadline.load(), 1);
+  EXPECT_EQ(m.submitted.load(),
+            m.completed.load() + m.rejected.load() + m.timed_out.load());
+}
+
+TEST(ServerTest, HotReloadSwapsWeightsWithoutDroppingRequests) {
+  // Stage seed-9 weights on disk; the server starts from seed 7.
+  const std::string path =
+      testing::TempDir() + "/thali_serve_reload.weights";
+  {
+    Detector donor = MakeDetector(/*seed=*/9);
+    THALI_CHECK_OK(SaveWeights(donor.network(), path));
+  }
+
+  Server::Options opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = 16;
+  opts.max_batch_size = 2;
+  opts.max_linger = microseconds(500);
+  auto server_or = Server::Create(opts, StandardFactory(/*seed=*/7));
+  ASSERT_TRUE(server_or.ok());
+  std::unique_ptr<Server> server = std::move(server_or).value();
+  EXPECT_EQ(server->weights_generation(), 0);
+
+  // Keep requests in flight across the swap; every future must resolve.
+  std::vector<Image> images = RenderImages(10);
+  std::vector<std::future<Server::Result>> futures;
+  for (int i = 0; i < 5; ++i) {
+    auto fut = server->Submit(Image(images[i]));
+    ASSERT_TRUE(fut.ok());
+    futures.push_back(std::move(fut).value());
+  }
+  THALI_CHECK_OK(server->ReloadWeights(path));
+  EXPECT_EQ(server->weights_generation(), 1);
+  for (int i = 5; i < 10; ++i) {
+    auto fut = server->Submit(Image(images[i]));
+    ASSERT_TRUE(fut.ok());
+    futures.push_back(std::move(fut).value());
+  }
+  for (auto& f : futures) {
+    Server::Result r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();  // zero dropped in-flight
+  }
+
+  // Both workers pass a batch boundary during the drain above or on the
+  // probe below, so the swap lands; keep probing until the counter shows
+  // at least one worker on the new weights.
+  Image probe = RenderImages(1, /*seed=*/77)[0];
+  std::vector<Detection> served;
+  for (int i = 0; i < 50; ++i) {
+    auto fut = server->Submit(Image(probe));
+    ASSERT_TRUE(fut.ok());
+    Server::Result r = fut->get();
+    ASSERT_TRUE(r.ok());
+    served = std::move(r).value();
+    if (server->metrics().weight_reloads.load() >= 1) break;
+  }
+  EXPECT_GE(server->metrics().weight_reloads.load(), 1);
+  server->Shutdown();
+  EXPECT_LE(server->metrics().weight_reloads.load(), opts.num_workers);
+
+  // The last probe ran on some worker; with both workers having crossed a
+  // batch boundary post-reload during the 10-request drain, it must match
+  // the seed-9 detector bitwise, proving the swap actually took effect.
+  Detector reference = MakeDetector(/*seed=*/9);
+  ExpectSameDetections(served, reference.Detect(probe));
 }
 
 // The ThreadSanitizer stress test the issue pins: >=4 producers, 2
