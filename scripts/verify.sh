@@ -27,10 +27,17 @@ echo "== net smoke: THL1 protocol + loopback end-to-end suite =="
 # and the socket-path ≡ in-process bitwise pin (tests/net).
 ctest --test-dir build --output-on-failure -j "${JOBS}" -L net_smoke
 
+echo "== prepost smoke: pre/post fast-path parity suite =="
+# Letterbox bitwise pin (scalar family), fused letterbox-quantize byte
+# contract, raw-decode and fast-NMS exact-equivalence pins, and the
+# Detect stability pin across THALI_NO_FASTPRE (tests/prepost).
+ctest --test-dir build --output-on-failure -j "${JOBS}" -L prepost_smoke
+
 echo "== int8 chained-edge gate: calibrated yolov4-thali must chain =="
 # End-to-end THALI_INT8=1 forward on the fused plan; the test fails if
-# the compiled plan reports zero chained edges or fewer than 30
-# quantized layers on yolov4-thali after calibration + replan.
+# the compiled plan reports zero chained edges, fewer than 49 quantized
+# layers, or a cold (fp32) network input on yolov4-thali after
+# calibration + replan.
 THALI_INT8=1 ./build/tests/int8/int8_test \
   --gtest_filter='Int8Test.ReplanAfterCalibrationChainsMajorityOfThali'
 

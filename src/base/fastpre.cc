@@ -1,0 +1,34 @@
+#include "base/fastpre.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace thali {
+
+namespace {
+std::atomic<int> g_fastpre_override{-1};
+}  // namespace
+
+bool FastPreEnabled() {
+  const int o = g_fastpre_override.load(std::memory_order_acquire);
+  if (o >= 0) return o == 1;
+  return !internal::NoFastPreEnvValueDisables(
+      std::getenv("THALI_NO_FASTPRE"));
+}
+
+namespace internal {
+
+void SetFastPreForTesting(int enabled) {
+  g_fastpre_override.store(enabled < 0 ? -1 : (enabled != 0),
+                           std::memory_order_release);
+}
+
+bool NoFastPreEnvValueDisables(const char* value) {
+  return value != nullptr && value[0] != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+}  // namespace internal
+
+}  // namespace thali

@@ -1,0 +1,32 @@
+#ifndef THALI_BASE_FASTPRE_H_
+#define THALI_BASE_FASTPRE_H_
+
+namespace thali {
+
+// False when THALI_NO_FASTPRE=1 (or a testing override) disables the
+// pre/post-processing fast paths: the table-driven / AVX2 letterbox
+// (image/image.h), the logit-space YOLO decode pre-filter
+// (nn/yolo_layer.cc) and the bucketed NMS (eval/detection.cc). With the
+// knob set every call runs the seed reference implementation, which is
+// what the parity tests pin the fast paths against.
+//
+// Read at call time (not latched): flipping the override mid-process
+// switches the very next letterbox/decode/NMS call, which is what the
+// equivalence tests rely on.
+bool FastPreEnabled();
+
+namespace internal {
+
+// Force the fast pre/post paths on (1) / off (0) or restore the
+// THALI_NO_FASTPRE environment default (-1).
+void SetFastPreForTesting(int enabled);
+
+// True when the given THALI_NO_FASTPRE value disables the fast paths
+// (any non-empty string except "0").
+bool NoFastPreEnvValueDisables(const char* value);
+
+}  // namespace internal
+
+}  // namespace thali
+
+#endif  // THALI_BASE_FASTPRE_H_

@@ -1,11 +1,15 @@
 #include "core/detector.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
+#include "base/fastpre.h"
 #include "base/thread_pool.h"
 #include "darknet/weights_io.h"
+#include "image/image_prepost.h"
 #include "nn/conv_layer.h"
+#include "tensor/gemm_int8.h"
 
 namespace thali {
 
@@ -35,6 +39,10 @@ Detector::Detector(std::unique_ptr<Network> net,
     : net_(std::move(net)), heads_(std::move(heads)), opts_(options) {
   THALI_CHECK(net_ != nullptr);
   THALI_CHECK(!heads_.empty()) << "network has no detection heads";
+  // The detector never reads head outputs directly — detections come
+  // from GetDetections — so it opts into the raw-output head decode
+  // (logit-space objectness pre-filter; see nn/yolo_layer.h).
+  net_->set_defer_head_activation(true);
 }
 
 std::vector<Detection> CollectDetections(
@@ -87,6 +95,53 @@ class ReentrancyGuard {
 
 }  // namespace
 
+Detector::SlotMapping Detector::LoadImageIntoSlot(const Image& image,
+                                                  int64_t b, bool fused_quant) {
+  const int nw = net_->input_width();
+  const int nh = net_->input_height();
+  const int64_t plane = static_cast<int64_t>(3) * nh * nw;
+  THALI_CHECK_EQ(image.channels(), 3);
+  SlotMapping m;
+  m.direct = image.width() == nw && image.height() == nh;
+  if (fused_quant) {
+    // Quantized input chain: emit the slot's u8 bytes directly in the
+    // plan's input domain. Same-size images go through the shared
+    // quantizer alone; others through the fused letterbox-quantize.
+    uint8_t* qdst = net_->quant_input() + b * plane;
+    const float inv_scale = 1.0f / net_->exec_plan().input_qscale;
+    const int32_t zp = net_->exec_plan().input_qzp;
+    if (m.direct) {
+      Int8QuantizeActivations(image.data(), plane, inv_scale, zp, qdst);
+    } else {
+      const LetterboxGeometry g =
+          LetterboxIntoQuantizedPlanes(image, nw, nh, inv_scale, zp, qdst);
+      m.scale = g.scale;
+      m.pad_x = g.pad_x;
+      m.pad_y = g.pad_y;
+    }
+    return m;
+  }
+  float* dst = input_staging_.data() + b * plane;
+  if (m.direct) {
+    std::copy(image.data(), image.data() + plane, dst);
+  } else if (FastPreEnabled()) {
+    // Table-driven letterbox straight into the staging slot — no
+    // intermediate Image allocation.
+    const LetterboxGeometry g = LetterboxIntoPlanes(image, nw, nh, dst);
+    m.scale = g.scale;
+    m.pad_x = g.pad_x;
+    m.pad_y = g.pad_y;
+  } else {
+    const Letterbox lb = LetterboxImage(image, nw, nh);
+    m.scale = lb.scale;
+    m.pad_x = lb.pad_x;
+    m.pad_y = lb.pad_y;
+    THALI_CHECK_EQ(lb.image.size(), plane);
+    std::copy(lb.image.data(), lb.image.data() + plane, dst);
+  }
+  return m;
+}
+
 std::vector<std::vector<Detection>> Detector::DetectBatch(
     std::span<const Image> images, float conf_threshold,
     float nms_threshold) {
@@ -99,48 +154,36 @@ std::vector<std::vector<Detection>> Detector::DetectBatch(
   // Re-plan buffers when the request size differs from the current batch.
   if (net_->batch() != n) THALI_CHECK_OK(net_->SetBatch(n));
 
+  const auto ms = [](auto d) {
+    return std::chrono::duration<double, std::milli>(d).count();
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+
   // Letterbox + load each image into its batch slot. Slots are disjoint
   // and letterboxing is a pure per-item function, so items parallelize
   // without changing any result.
-  struct Mapping {
-    bool direct = true;
-    float scale = 1.0f;
-    int pad_x = 0;
-    int pad_y = 0;
-  };
-  std::vector<Mapping> mappings(static_cast<size_t>(n));
+  std::vector<SlotMapping> mappings(static_cast<size_t>(n));
   if (!(input_staging_.shape() == net_->input_shape())) {
     input_staging_.Resize(net_->input_shape());
   }
-  Tensor& input = input_staging_;
-  const int64_t plane = static_cast<int64_t>(3) * nh * nw;
+  const bool fused_quant = net_->exec_plan().input_u8 && FastPreEnabled();
   ParallelFor(0, n, 1, [&](int64_t b0, int64_t b1, int) {
     for (int64_t b = b0; b < b1; ++b) {
-      const Image& image = images[static_cast<size_t>(b)];
-      Mapping& m = mappings[static_cast<size_t>(b)];
-      m.direct = image.width() == nw && image.height() == nh;
-      const Image* net_input = &image;
-      Letterbox lb;
-      if (!m.direct) {
-        lb = LetterboxImage(image, nw, nh);
-        m.scale = lb.scale;
-        m.pad_x = lb.pad_x;
-        m.pad_y = lb.pad_y;
-        net_input = &lb.image;
-      }
-      THALI_CHECK_EQ(net_input->size(), plane);
-      std::copy(net_input->data(), net_input->data() + plane,
-                input.data() + b * plane);
+      mappings[static_cast<size_t>(b)] =
+          LoadImageIntoSlot(images[static_cast<size_t>(b)], b, fused_quant);
     }
   });
+  if (fused_quant) net_->set_input_prequantized(true);
 
-  net_->Forward(input, /*train=*/false);
+  const auto t1 = std::chrono::steady_clock::now();
+  net_->Forward(input_staging_, /*train=*/false);
+  const auto t2 = std::chrono::steady_clock::now();
 
   std::vector<std::vector<Detection>> results(static_cast<size_t>(n));
   for (int b = 0; b < n; ++b) {
     std::vector<Detection> dets =
         CollectDetections(heads_, b, conf_threshold, nms_threshold, nw, nh);
-    const Mapping& m = mappings[static_cast<size_t>(b)];
+    const SlotMapping& m = mappings[static_cast<size_t>(b)];
     if (!m.direct) {
       // Map boxes from network frame back into image-normalized frame.
       const Image& image = images[static_cast<size_t>(b)];
@@ -155,6 +198,8 @@ std::vector<std::vector<Detection>> Detector::DetectBatch(
     }
     results[static_cast<size_t>(b)] = std::move(dets);
   }
+  const auto t3 = std::chrono::steady_clock::now();
+  stage_times_ = {ms(t1 - t0), ms(t2 - t1), ms(t3 - t2)};
   return results;
 }
 
@@ -167,20 +212,16 @@ void Detector::FuseBatchNorm() {
 }
 
 void Detector::ForwardImage(const Image& image) {
-  const int nw = net_->input_width();
-  const int nh = net_->input_height();
   if (net_->batch() != 1) THALI_CHECK_OK(net_->SetBatch(1));
   if (!(input_staging_.shape() == net_->input_shape())) {
     input_staging_.Resize(net_->input_shape());
   }
-  const Image* net_input = &image;
-  Letterbox lb;
-  if (image.width() != nw || image.height() != nh) {
-    lb = LetterboxImage(image, nw, nh);
-    net_input = &lb.image;
-  }
-  std::copy(net_input->data(), net_input->data() + net_input->size(),
-            input_staging_.data());
+  // Calibration forwards observe fp32 activations: the input chain is
+  // down while ranges are being collected (CalibrateInt8 replans after
+  // resetting them), so the fused-quantize route never applies here.
+  const bool fused_quant = net_->exec_plan().input_u8 && FastPreEnabled();
+  LoadImageIntoSlot(image, 0, fused_quant);
+  if (fused_quant) net_->set_input_prequantized(true);
   net_->Forward(input_staging_, /*train=*/false);
 }
 

@@ -64,14 +64,27 @@ class Detector {
       : net_(std::move(other.net_)),
         heads_(std::move(other.heads_)),
         opts_(other.opts_),
-        input_staging_(std::move(other.input_staging_)) {}
+        input_staging_(std::move(other.input_staging_)),
+        stage_times_(other.stage_times_) {}
   Detector& operator=(Detector&& other) noexcept {
     net_ = std::move(other.net_);
     heads_ = std::move(other.heads_);
     opts_ = other.opts_;
     input_staging_ = std::move(other.input_staging_);
+    stage_times_ = other.stage_times_;
     return *this;
   }
+
+  // Wall-clock stage breakdown of the most recent Detect/DetectBatch:
+  // preprocess (letterbox + staging), forward (network), postprocess
+  // (head decode + NMS + box remapping). For serving metrics and the
+  // pre/post bench; covered by the single-caller contract above.
+  struct StageTimes {
+    double preprocess_ms = 0.0;
+    double forward_ms = 0.0;
+    double postprocess_ms = 0.0;
+  };
+  const StageTimes& last_stage_times() const { return stage_times_; }
 
   // Runs detection on one image. Images whose size differs from the
   // network input are letterboxed; returned boxes are mapped back to the
@@ -135,6 +148,26 @@ class Detector {
   static Int8CalibrationOptions CalibrationOptionsFromEnv();
 
  private:
+  // Geometry of one letterboxed batch slot, for mapping boxes back into
+  // the source image frame.
+  struct SlotMapping {
+    bool direct = true;
+    float scale = 1.0f;
+    int pad_x = 0;
+    int pad_y = 0;
+  };
+
+  // Letterboxes `image` into batch slot `b`: the one shared load path
+  // for Detect/DetectBatch/calibration forwards. With `fused_quant` the
+  // slot is staged directly as u8 bytes in the plan's input domain
+  // (image/image_prepost.h fused letterbox-quantize) and the fp32
+  // staging slot is left untouched — a chained layer 0 never reads it.
+  // Otherwise the fast path writes the letterboxed planes straight into
+  // the staging tensor, and THALI_NO_FASTPRE=1 restores the seed
+  // Image-intermediate route bit for bit.
+  SlotMapping LoadImageIntoSlot(const Image& image, int64_t b,
+                                bool fused_quant);
+
   // Letterboxes one image into the staging tensor and runs a batch-1
   // forward pass (calibration passes).
   void ForwardImage(const Image& image);
@@ -149,6 +182,7 @@ class Detector {
   // allocate (and fault in) a multi-hundred-KB input tensor per request
   // batch; every slot is overwritten before use.
   Tensor input_staging_;
+  StageTimes stage_times_;
 };
 
 // Shared by the trainer, benches and Detector: runs the already-forwarded

@@ -1,7 +1,9 @@
 #include "eval/detection.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "base/fastpre.h"
 #include "base/string_util.h"
 
 namespace thali {
@@ -12,6 +14,11 @@ std::string Detection::ToString() const {
 }
 
 namespace {
+
+// Matches box.cc's kEps: the fast path reproduces Iou's arithmetic with
+// cached corners/areas, so the degenerate-union guard must be the same
+// constant.
+constexpr float kIouEps = 1e-9f;
 
 std::vector<Detection> NmsImpl(std::vector<Detection> dets,
                                float iou_threshold, bool class_aware) {
@@ -35,15 +42,130 @@ std::vector<Detection> NmsImpl(std::vector<Detection> dets,
   return kept;
 }
 
+// Fast NMS: same greedy algorithm, same kept set (pinned by the property
+// test in tests/prepost_test.cc), different bookkeeping:
+//
+//  - corners and areas are computed once per box, not once per IoU pair;
+//  - class-aware runs bucket the sorted indices per class (suppression
+//    never crosses classes, so the per-class greedy scans are
+//    independent — the reference's `continue` on class mismatch does the
+//    same walk with the mismatches inlined);
+//  - each bucket compacts its alive list every round (keep the
+//    highest-confidence survivor, filter the rest), so total pair work
+//    is sum(alive per round) instead of all-pairs — with heavy overlap
+//    (the common detector output) that terminates after a few rounds.
+//
+// The IoU arithmetic mirrors box.cc's Intersection/Union/Iou float for
+// float: the intersection is evaluated once and reused where the
+// reference calls the pure function twice, which cannot change the value.
+struct NmsScratch {
+  std::vector<float> left, right, top, bottom, area;
+  std::vector<int> bucket, alive, next;
+  std::vector<char> kept_mask;
+};
+
+void SuppressBucket(float iou_threshold, NmsScratch& s) {
+  s.alive = s.bucket;
+  while (!s.alive.empty()) {
+    const int i = s.alive.front();
+    s.kept_mask[static_cast<size_t>(i)] = 1;
+    s.next.clear();
+    for (size_t b = 1; b < s.alive.size(); ++b) {
+      const int j = s.alive[b];
+      const float iw =
+          std::min(s.right[i], s.right[j]) - std::max(s.left[i], s.left[j]);
+      const float ih =
+          std::min(s.bottom[i], s.bottom[j]) - std::max(s.top[i], s.top[j]);
+      const float inter = (iw <= 0 || ih <= 0) ? 0.0f : iw * ih;
+      const float u = s.area[i] + s.area[j] - inter;
+      const float iou = u <= kIouEps ? 0.0f : inter / u;
+      if (!(iou > iou_threshold)) s.next.push_back(j);
+    }
+    s.alive.swap(s.next);
+  }
+}
+
+std::vector<Detection> FastNmsImpl(std::vector<Detection> dets,
+                                   float iou_threshold, bool class_aware) {
+  std::stable_sort(dets.begin(), dets.end(),
+                   [](const Detection& a, const Detection& b) {
+                     return a.confidence > b.confidence;
+                   });
+  const size_t n = dets.size();
+  NmsScratch s;
+  s.left.resize(n);
+  s.right.resize(n);
+  s.top.resize(n);
+  s.bottom.resize(n);
+  s.area.resize(n);
+  s.kept_mask.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const Box& b = dets[i].box;
+    s.left[i] = b.Left();
+    s.right[i] = b.Right();
+    s.top[i] = b.Top();
+    s.bottom[i] = b.Bottom();
+    s.area[i] = b.Area();
+  }
+  if (class_aware) {
+    // Bucket the sorted indices by class, preserving confidence order
+    // inside each bucket. Class ids are few (dataset classes), so the
+    // linear id scan beats hashing.
+    std::vector<int> ids;
+    for (size_t i = 0; i < n; ++i) {
+      const int c = dets[i].class_id;
+      if (std::find(ids.begin(), ids.end(), c) == ids.end()) ids.push_back(c);
+    }
+    for (const int c : ids) {
+      s.bucket.clear();
+      for (size_t i = 0; i < n; ++i) {
+        if (dets[i].class_id == c) s.bucket.push_back(static_cast<int>(i));
+      }
+      SuppressBucket(iou_threshold, s);
+    }
+  } else {
+    s.bucket.resize(n);
+    for (size_t i = 0; i < n; ++i) s.bucket[i] = static_cast<int>(i);
+    SuppressBucket(iou_threshold, s);
+  }
+  std::vector<Detection> kept;
+  for (size_t i = 0; i < n; ++i) {
+    if (s.kept_mask[i]) kept.push_back(dets[i]);
+  }
+  return kept;
+}
+
+std::vector<Detection> NmsDispatch(std::vector<Detection> dets,
+                                   float iou_threshold, bool class_aware) {
+  if (FastPreEnabled()) {
+    return FastNmsImpl(std::move(dets), iou_threshold, class_aware);
+  }
+  return NmsImpl(std::move(dets), iou_threshold, class_aware);
+}
+
 }  // namespace
 
 std::vector<Detection> Nms(std::vector<Detection> dets, float iou_threshold) {
-  return NmsImpl(std::move(dets), iou_threshold, /*class_aware=*/true);
+  return NmsDispatch(std::move(dets), iou_threshold, /*class_aware=*/true);
 }
 
 std::vector<Detection> NmsClassAgnostic(std::vector<Detection> dets,
                                         float iou_threshold) {
-  return NmsImpl(std::move(dets), iou_threshold, /*class_aware=*/false);
+  return NmsDispatch(std::move(dets), iou_threshold, /*class_aware=*/false);
 }
+
+namespace internal {
+
+std::vector<Detection> NmsReference(std::vector<Detection> dets,
+                                    float iou_threshold, bool class_aware) {
+  return NmsImpl(std::move(dets), iou_threshold, class_aware);
+}
+
+std::vector<Detection> NmsFast(std::vector<Detection> dets,
+                               float iou_threshold, bool class_aware) {
+  return FastNmsImpl(std::move(dets), iou_threshold, class_aware);
+}
+
+}  // namespace internal
 
 }  // namespace thali

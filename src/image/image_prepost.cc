@@ -1,0 +1,231 @@
+#include "image/image_prepost.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "base/cpu_features.h"
+#include "base/logging.h"
+#include "image/image_prepost_impl.h"
+#include "tensor/gemm_int8.h"
+
+namespace thali {
+
+namespace {
+
+using prepost_detail::ResizeKernel;
+
+// Dispatch override for tests: 0 = auto, 1 = scalar, 2 = avx2.
+std::atomic<int> g_resize_override{0};
+
+// The seed Resize expression with the per-column indices/weights read
+// from tables instead of recomputed. The table entries hold the exact
+// floats the seed loop computes (same fx = x*sx derivation), and the
+// whole build runs -ffp-contract=off, so this is bitwise identical to
+// image.cc's reference loop.
+void ResizeRowScalar(const float* r0, const float* r1, float wy,
+                     const int32_t* ix0, const int32_t* ix1, const float* wx,
+                     int nw, float* dst) {
+  for (int x = 0; x < nw; ++x) {
+    const float w = wx[x];
+    const float v =
+        (1 - wy) * ((1 - w) * r0[ix0[x]] + w * r0[ix1[x]]) +
+        wy * ((1 - w) * r1[ix0[x]] + w * r1[ix1[x]]);
+    dst[x] = v;
+  }
+}
+
+const ResizeKernel kScalarResizeKernel = {
+    /*name=*/"scalar-resize",
+    /*row=*/&ResizeRowScalar,
+};
+
+const ResizeKernel* DetectResizeKernel() {
+  const ResizeKernel* avx2 = prepost_detail::Avx2ResizeKernel();
+  if (avx2 != nullptr && CpuInfo().avx2 && CpuInfo().fma) return avx2;
+  return &kScalarResizeKernel;
+}
+
+const ResizeKernel& SelectResizeKernel() {
+  switch (g_resize_override.load(std::memory_order_acquire)) {
+    case 1:
+      return kScalarResizeKernel;
+    case 2: {
+      const ResizeKernel* avx2 = prepost_detail::Avx2ResizeKernel();
+      if (avx2 != nullptr && CpuInfo().avx2 && CpuInfo().fma) return *avx2;
+      break;
+    }
+    default:
+      break;
+  }
+  static const ResizeKernel* const detected = DetectResizeKernel();
+  return *detected;
+}
+
+// Per-axis bilinear taps: for destination coordinate i, the two source
+// indices and the interpolation weight — the exact values the seed loop
+// derives per pixel (fx = i*s; i0 = (int)fx; i1 = min(i0+1, src_n-1);
+// w = fx - i0), computed once per geometry instead of per element.
+struct AxisTable {
+  std::vector<int32_t> i0, i1;
+  std::vector<float> w;
+};
+
+void BuildAxisTable(int src_n, int dst_n, AxisTable* t) {
+  const float s =
+      dst_n > 1 ? static_cast<float>(src_n - 1) / (dst_n - 1) : 0.0f;
+  t->i0.resize(static_cast<size_t>(dst_n));
+  t->i1.resize(static_cast<size_t>(dst_n));
+  t->w.resize(static_cast<size_t>(dst_n));
+  for (int i = 0; i < dst_n; ++i) {
+    const float f = i * s;
+    const int j = static_cast<int>(f);
+    t->i0[static_cast<size_t>(i)] = j;
+    t->i1[static_cast<size_t>(i)] = std::min(j + 1, src_n - 1);
+    t->w[static_cast<size_t>(i)] = f - j;
+  }
+}
+
+// Runs the row kernel for every (channel, row) of a resize of `src` to
+// (new_w, new_h). `dest(c, y)` returns the float row the kernel writes
+// (a staging row, or a scratch row the `post` hook consumes);
+// `post(c, y, row)` runs after the kernel finishes that row (the
+// quantized variant requantizes there; the plain variants pass a no-op).
+template <typename DestRow, typename PostRow>
+void ForEachResizedRow(const Image& src, int new_w, int new_h,
+                       const DestRow& dest, const PostRow& post) {
+  AxisTable xt, yt;
+  BuildAxisTable(src.width(), new_w, &xt);
+  BuildAxisTable(src.height(), new_h, &yt);
+  const ResizeKernel& kernel = SelectResizeKernel();
+  const int sw = src.width();
+  const int sh = src.height();
+  const float* base = src.data();
+  const int64_t splane = static_cast<int64_t>(sw) * sh;
+  for (int c = 0; c < src.channels(); ++c) {
+    const float* plane = base + c * splane;
+    for (int y = 0; y < new_h; ++y) {
+      const float* r0 = plane + static_cast<int64_t>(yt.i0[y]) * sw;
+      const float* r1 = plane + static_cast<int64_t>(yt.i1[y]) * sw;
+      float* dst_row = dest(c, y);
+      kernel.row(r0, r1, yt.w[y], xt.i0.data(), xt.i1.data(), xt.w.data(),
+                 new_w, dst_row);
+      post(c, y, dst_row);
+    }
+  }
+}
+
+void NoPost(int, int, const float*) {}
+
+constexpr float kPadGrey = 0.5f;
+
+}  // namespace
+
+LetterboxGeometry ComputeLetterboxGeometry(int src_w, int src_h, int target_w,
+                                           int target_h) {
+  LetterboxGeometry g;
+  g.scale = std::min(static_cast<float>(target_w) / src_w,
+                     static_cast<float>(target_h) / src_h);
+  g.new_w = std::max(1, static_cast<int>(src_w * g.scale));
+  g.new_h = std::max(1, static_cast<int>(src_h * g.scale));
+  g.pad_x = (target_w - g.new_w) / 2;
+  g.pad_y = (target_h - g.new_h) / 2;
+  return g;
+}
+
+void ResizeIntoPlanes(const Image& src, int new_w, int new_h, float* dst) {
+  THALI_CHECK(!src.empty());
+  const int64_t dplane = static_cast<int64_t>(new_w) * new_h;
+  ForEachResizedRow(
+      src, new_w, new_h,
+      [&](int c, int y) {
+        return dst + c * dplane + static_cast<int64_t>(y) * new_w;
+      },
+      NoPost);
+}
+
+LetterboxGeometry LetterboxIntoPlanes(const Image& src, int target_w,
+                                      int target_h, float* dst) {
+  THALI_CHECK(!src.empty());
+  const LetterboxGeometry g =
+      ComputeLetterboxGeometry(src.width(), src.height(), target_w, target_h);
+  const int64_t dplane = static_cast<int64_t>(target_w) * target_h;
+  // Pad bands first (only the bands — the resized interior is written
+  // exactly once by the row kernel, never pre-filled).
+  for (int c = 0; c < src.channels(); ++c) {
+    float* plane = dst + c * dplane;
+    std::fill(plane, plane + static_cast<int64_t>(g.pad_y) * target_w,
+              kPadGrey);
+    float* bottom = plane + static_cast<int64_t>(g.pad_y + g.new_h) * target_w;
+    std::fill(bottom, plane + dplane, kPadGrey);
+    for (int y = 0; y < g.new_h; ++y) {
+      float* row = plane + static_cast<int64_t>(g.pad_y + y) * target_w;
+      std::fill(row, row + g.pad_x, kPadGrey);
+      std::fill(row + g.pad_x + g.new_w, row + target_w, kPadGrey);
+    }
+  }
+  ForEachResizedRow(
+      src, g.new_w, g.new_h,
+      [&](int c, int y) {
+        return dst + c * dplane +
+               static_cast<int64_t>(g.pad_y + y) * target_w + g.pad_x;
+      },
+      NoPost);
+  return g;
+}
+
+LetterboxGeometry LetterboxIntoQuantizedPlanes(const Image& src, int target_w,
+                                               int target_h, float inv_scale,
+                                               int32_t zp, uint8_t* dst) {
+  THALI_CHECK(!src.empty());
+  const LetterboxGeometry g =
+      ComputeLetterboxGeometry(src.width(), src.height(), target_w, target_h);
+  const int64_t dplane = static_cast<int64_t>(target_w) * target_h;
+  // The pad byte is the quantized grey, through the one shared quantizer
+  // so it matches what quantizing an fp32 pad band would produce.
+  uint8_t pad_byte = 0;
+  Int8QuantizeActivations(&kPadGrey, 1, inv_scale, zp, &pad_byte);
+  for (int c = 0; c < src.channels(); ++c) {
+    uint8_t* plane = dst + c * dplane;
+    std::memset(plane, pad_byte,
+                static_cast<size_t>(g.pad_y) * static_cast<size_t>(target_w));
+    uint8_t* bottom =
+        plane + static_cast<int64_t>(g.pad_y + g.new_h) * target_w;
+    std::memset(bottom, pad_byte, static_cast<size_t>(plane + dplane - bottom));
+    for (int y = 0; y < g.new_h; ++y) {
+      uint8_t* row = plane + static_cast<int64_t>(g.pad_y + y) * target_w;
+      std::memset(row, pad_byte, static_cast<size_t>(g.pad_x));
+      std::memset(row + g.pad_x + g.new_w, pad_byte,
+                  static_cast<size_t>(target_w - g.pad_x - g.new_w));
+    }
+  }
+  // Resize one row at a time into a scratch row, then quantize it into
+  // place — the fp32 letterbox output never materializes as a whole.
+  std::vector<float> row_scratch(static_cast<size_t>(g.new_w));
+  ForEachResizedRow(
+      src, g.new_w, g.new_h, [&](int, int) { return row_scratch.data(); },
+      [&](int c, int y, const float* row) {
+        uint8_t* out = dst + c * dplane +
+                       static_cast<int64_t>(g.pad_y + y) * target_w + g.pad_x;
+        Int8QuantizeActivations(row, g.new_w, inv_scale, zp, out);
+      });
+  return g;
+}
+
+const char* ResizeKernelName() { return SelectResizeKernel().name; }
+
+namespace internal {
+
+void SetResizeKernelForTesting(const char* name) {
+  int value = 0;
+  if (name != nullptr) {
+    if (std::strcmp(name, "scalar") == 0) value = 1;
+    if (std::strcmp(name, "avx2") == 0) value = 2;
+  }
+  g_resize_override.store(value, std::memory_order_release);
+}
+
+}  // namespace internal
+
+}  // namespace thali

@@ -1,0 +1,71 @@
+#ifndef THALI_IMAGE_IMAGE_PREPOST_H_
+#define THALI_IMAGE_IMAGE_PREPOST_H_
+
+#include <cstdint>
+
+#include "image/image.h"
+
+namespace thali {
+
+// Pre-processing fast path: table-driven bilinear letterbox writing
+// straight into a consumer-owned CHW buffer (the detector's staging
+// tensor), plus a fused letterbox+quantize variant for int8 plans whose
+// first conv consumes u8 network input.
+//
+// Runtime dispatch mirrors the PR-3 kernel families (tensor/act_kernels):
+// one portable scalar family plus an AVX2 gather+FMA family in its own
+// -mavx2 TU, selected once per process from CpuInfo(). The scalar family
+// evaluates the seed expression of image.cc's Resize operation for
+// operation — same index/weight derivation, same 4-tap sum order — so
+// its output is bitwise identical to the reference (the parity tests pin
+// this). The AVX2 family reassociates the taps into lerp FMAs and is
+// covered by a small per-element tolerance instead.
+
+// Geometry of a letterbox: the same arithmetic as image.cc's
+// LetterboxImage, exposed so callers can remap boxes without holding the
+// resized Image.
+struct LetterboxGeometry {
+  float scale = 1.0f;  // src pixels -> canvas pixels
+  int new_w = 1;       // resized region size inside the canvas
+  int new_h = 1;
+  int pad_x = 0;       // left padding in canvas pixels
+  int pad_y = 0;       // top padding in canvas pixels
+};
+
+LetterboxGeometry ComputeLetterboxGeometry(int src_w, int src_h, int target_w,
+                                           int target_h);
+
+// Bilinear-resizes every channel plane of `src` into `dst`, which must
+// hold src.channels() * new_h * new_w floats (CHW). No allocation beyond
+// the per-call weight/index tables.
+void ResizeIntoPlanes(const Image& src, int new_w, int new_h, float* dst);
+
+// Letterboxes `src` into `dst`, which must hold
+// src.channels() * target_h * target_w floats (CHW): aspect-preserving
+// resize centered on a 0.5-grey canvas, touching pad bands exactly once
+// (never the full canvas). Returns the geometry for box remapping.
+LetterboxGeometry LetterboxIntoPlanes(const Image& src, int target_w,
+                                      int target_h, float* dst);
+
+// Fused letterbox + quantize: as LetterboxIntoPlanes, but every element
+// is emitted in the 7-bit unsigned domain of tensor/gemm_int8.h,
+// u = clamp(rne(v * inv_scale) + zp, 0, 127), via the shared
+// Int8QuantizeActivations so the bytes are exactly what quantizing the
+// fp32 letterbox output would have produced (per kernel family). `dst`
+// holds src.channels() * target_h * target_w bytes.
+LetterboxGeometry LetterboxIntoQuantizedPlanes(const Image& src, int target_w,
+                                               int target_h, float inv_scale,
+                                               int32_t zp, uint8_t* dst);
+
+// Name of the dispatched resize kernel family (for logs/reports).
+const char* ResizeKernelName();
+
+namespace internal {
+// Force dispatch to "scalar" or "avx2" (ignored when unavailable);
+// nullptr restores automatic detection.
+void SetResizeKernelForTesting(const char* name);
+}  // namespace internal
+
+}  // namespace thali
+
+#endif  // THALI_IMAGE_IMAGE_PREPOST_H_

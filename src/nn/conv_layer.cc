@@ -102,9 +102,9 @@ int64_t ConvLayer::WorkspaceSize() const {
       return WinogradWorkspaceFloats(in_c_, opts_.filters, in_shape_.dim(2),
                                      in_shape_.dim(3));
     case ConvAlgo::kQuantInt8: {
-      // The int8 path's byte scratch, and enough for the fp32 Winograd
-      // forward it falls back to before calibration (or under
-      // THALI_NO_PACK).
+      // The int8 path's byte scratch, and enough for the fp32 forward it
+      // falls back to before calibration (or under THALI_NO_PACK):
+      // Winograd at stride 1, the im2col panel at stride 2.
       const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
       const int64_t int8_floats =
           (Int8ConvWorkspaceBytes(opts_.filters, out_h_ * out_w_, k,
@@ -112,10 +112,12 @@ int64_t ConvLayer::WorkspaceSize() const {
                                       in_shape_.dim(3)) +
            3) /
           4;
-      return std::max(int8_floats,
-                      WinogradWorkspaceFloats(in_c_, opts_.filters,
-                                              in_shape_.dim(2),
-                                              in_shape_.dim(3)));
+      const int64_t fallback_floats =
+          opts_.stride == 1
+              ? WinogradWorkspaceFloats(in_c_, opts_.filters,
+                                        in_shape_.dim(2), in_shape_.dim(3))
+              : k * out_h_ * out_w_;
+      return std::max(int8_floats, fallback_floats);
     }
     case ConvAlgo::kQuantInt8Direct1x1: {
       // With CNHW on both sides the whole batch is one GEMM over a
@@ -192,9 +194,9 @@ void ConvLayer::PrepackWeights() {
                           plan().conv_algo == ConvAlgo::kQuantInt8Direct1x1;
   if (quant_algo) {
     // Quantize the fp32 weights per output channel. The fp32 pack below
-    // (Winograd for 3x3, plain panels for 1x1) is kept too: Forward
-    // falls back to it until the layer has a calibrated activation
-    // range (and under THALI_NO_PACK).
+    // (Winograd for stride-1 3x3, plain panels for 1x1 and the strided
+    // prefix) is kept too: Forward falls back to it until the layer has
+    // a calibrated activation range (and under THALI_NO_PACK).
     const int64_t m = opts_.filters;
     const int64_t k = in_c_ * opts_.ksize * opts_.ksize;
     const Shape qshape({m, Int8PackedK(k)});
@@ -218,7 +220,7 @@ void ConvLayer::PrepackWeights() {
     wino_packed_ = Tensor();
   }
   if (plan().conv_algo == ConvAlgo::kWinograd ||
-      plan().conv_algo == ConvAlgo::kQuantInt8) {
+      (plan().conv_algo == ConvAlgo::kQuantInt8 && opts_.stride == 1)) {
     // Winograd plans always hold U = G w G^T (the GEMM A matrices); the
     // prepacked panel copy exists only while the packed driver is on —
     // THALI_NO_PACK runs the 16 GEMMs through the reference entry point
@@ -303,8 +305,13 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
           << "conv " << index()
           << ": chained int8 plan with an inactive quantized path — "
              "ReplanInference was skipped after a calibration change";
-      algo = algo == ConvAlgo::kQuantInt8 ? ConvAlgo::kWinograd
-                                          : ConvAlgo::kDirect1x1;
+      if (algo == ConvAlgo::kQuantInt8) {
+        // Stride-1 3x3 falls back to Winograd; the strided prefix convs
+        // have no Winograd form and fall back to the im2col reference.
+        algo = opts_.stride == 1 ? ConvAlgo::kWinograd : ConvAlgo::kIm2col;
+      } else {
+        algo = ConvAlgo::kDirect1x1;
+      }
     }
   }
   const bool cnhw_in = plan().in_layout == ActLayout::kCNHW;
@@ -336,12 +343,20 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
   // mish epilogue (fused plans only) runs the same fast kernel the
   // separate pass would, so packed and unpacked runs still agree.
   const bool use_packed = inference() && GemmPackingEnabled();
-  if (algo == ConvAlgo::kWinograd || algo == ConvAlgo::kQuantInt8) {
+  if (algo == ConvAlgo::kWinograd ||
+      (algo == ConvAlgo::kQuantInt8 && opts_.stride == 1)) {
     // FoldBatchNorm and weight loading invalidate the transformed (and
     // quantized) weights too; re-derive lazily like the packed panels.
     if (packed_dirty_ || u_.size() == 0 ||
         (use_packed && wino_packed_.size() == 0) ||
         (plan().conv_algo == ConvAlgo::kQuantInt8 && qweights_.empty())) {
+      PrepackWeights();
+    }
+  } else if (algo == ConvAlgo::kQuantInt8) {
+    // Strided quantized conv: no Winograd state; the packed fp32 panels
+    // back the im2col fallback.
+    if (packed_dirty_ || qweights_.empty() ||
+        (use_packed && packed_weights_.size() == 0)) {
       PrepackWeights();
     }
   } else if (use_packed && (packed_dirty_ || packed_weights_.size() == 0)) {
@@ -430,8 +445,14 @@ void ConvLayer::Forward(const Tensor& input, Network& net, bool train) {
       epi.out_inv_scale = 1.0f / plan().out_qscale;
       epi.out_zp = plan().out_qzp;
     }
+    // A chained layer 0 reads the quantized NETWORK INPUT (filled by
+    // Network::Forward or staged by the detector's fused
+    // letterbox-quantize); every other chained conv reads its producer's
+    // u8 activation block.
     const uint8_t* qsrc =
-        chained_in ? net.quant_act(index() - 1) : nullptr;
+        !chained_in ? nullptr
+                    : (index() == 0 ? net.quant_input()
+                                    : net.quant_act(index() - 1));
     uint8_t* qdst = u8_out ? net.quant_act(index()) : nullptr;
     THALI_CHECK(int8_ws_.valid) << "conv " << index()
                                 << ": int8 sections not planned";

@@ -315,6 +315,12 @@ ExecPlan CompileExecPlan(const Network& net, bool fuse, bool arena_enabled,
         lp.conv_algo = int8 && !forced[static_cast<size_t>(i)]
                            ? ConvAlgo::kQuantInt8
                            : ConvAlgo::kWinograd;
+      } else if (o.ksize == 3 && o.stride == 2 && o.pad == 1 && int8 &&
+                 !forced[static_cast<size_t>(i)]) {
+        // Strided 3x3 (the thali downsampling prefix, convs 0-1): no
+        // Winograd form exists, but the u8 im2col already walks any
+        // stride, so int8 takes it; fp32 plans stay on im2col.
+        lp.conv_algo = ConvAlgo::kQuantInt8;
       } else {
         lp.conv_algo = ConvAlgo::kIm2col;
       }
@@ -605,6 +611,24 @@ ExecPlan CompileExecPlan(const Network& net, bool fuse, bool arena_enabled,
         const int r = find(ins[0]);
         lp.in_qscale = cscale[static_cast<size_t>(r)];
         lp.in_qzp = czp[static_cast<size_t>(r)];
+      }
+      // Layer-0 chaining: the network input is an edge InputsOf cannot
+      // express (layer 0 has no producer layer). When layer 0 is a
+      // quantized conv, the input becomes a u8 edge whose domain is
+      // layer 0's calibrated activation range — by definition the
+      // observed range of the net input itself. Network::Forward (or
+      // the detector's fused letterbox-quantize) supplies the bytes.
+      if (n > 0 && qconv[0] && net.layer(0).ReadsPreviousOutput()) {
+        LayerPlan& lp0 = plan.layers[0];
+        const auto& cv0 = static_cast<const ConvLayer&>(net.layer(0));
+        lp0.in_dtype = DType::kU8;
+        Int8RangeToScaleZp(cv0.activation_range_min(),
+                           cv0.activation_range_max(), &lp0.in_qscale,
+                           &lp0.in_qzp);
+        plan.input_u8 = true;
+        plan.input_qscale = lp0.in_qscale;
+        plan.input_qzp = lp0.in_qzp;
+        ++plan.chained_edges;
       }
       for (int j = 0; j < n; ++j) {
         for (int s : InputsOf(net, j)) {

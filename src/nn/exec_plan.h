@@ -68,12 +68,13 @@ const char* ActLayoutName(ActLayout layout);
 //               reference (transforms re-associate the 3x3 dot
 //               products); covered by the documented fused-plan
 //               tolerance (see tensor/winograd.h).
-//  kQuantInt8 — per-channel symmetric int8 (tensor/gemm_int8.h) for the
-//               same 3x3/stride-1/pad-1 geometry, selected only when the
-//               network was finalized with THALI_INT8 enabled and the
-//               layer is not NCHW-pinned (detection-head feeders stay
-//               fp32). Forward falls back to kWinograd at runtime until
-//               the layer has a calibrated activation range.
+//  kQuantInt8 — per-channel symmetric int8 (tensor/gemm_int8.h) for
+//               3x3/pad-1 at stride 1 or 2 (the u8 im2col walks any
+//               stride), selected only when the network was finalized
+//               with THALI_INT8 enabled and the layer is not NCHW-pinned
+//               (detection-head feeders stay fp32). Forward falls back
+//               to kWinograd (stride 1) or kIm2col (stride 2) at runtime
+//               until the layer has a calibrated activation range.
 //  kQuantInt8Direct1x1 — int8 variant of kDirect1x1 (1x1/stride-1/
 //               pad-0): the quantized channel planes ARE the GEMM B
 //               matrix, so the path quantizes (or chains) and packs
@@ -187,6 +188,16 @@ struct ExecPlan {
   int chained_edges = 0;
   int dequant_edges = 0;
   int quantized_layers = 0;
+
+  // Layer-0 chaining: when layer 0 is a quantized conv, the NETWORK
+  // INPUT itself becomes a u8 edge in this domain (derived from layer
+  // 0's calibrated input range, which IS the net input's observed
+  // range). Network::Forward quantizes the fp32 input once — or the
+  // detector's fused letterbox→quantize stages the bytes directly — and
+  // layer 0 consumes them like any chained conv.
+  bool input_u8 = false;
+  float input_qscale = 1.0f;
+  int32_t input_qzp = 0;
 
   // Per-layer table of the compiler's decisions (layouts, conv
   // algorithm, fast activations, elided copies, dtypes).

@@ -6,6 +6,7 @@
 
 #include "base/logging.h"
 #include "base/thread_pool.h"
+#include "tensor/gemm_int8.h"
 
 namespace thali {
 
@@ -140,6 +141,14 @@ void Network::PlanBuffers() {
           qbufs_[static_cast<size_t>(lp.quant_root)].raw() + lp.quant_offset;
     }
   }
+  // Quantized network input when the chain reaches layer 0; Forward (or
+  // the detector's fused letterbox-quantize) fills it each call.
+  if (eplan_.input_u8) {
+    qinput_.Resize(DType::kU8, input_shape());
+  } else {
+    qinput_.Clear();
+  }
+  input_prequantized_ = false;
   // Plan-derived layer state (conv int8 workspace sections) recomputes
   // once here instead of per Forward.
   for (auto& layer : layers_) layer->OnPlanUpdated();
@@ -208,6 +217,19 @@ const Tensor& Network::Forward(const Tensor& input, bool train) {
   THALI_CHECK(input.shape() == input_shape())
       << "input " << input.shape().ToString() << " vs net "
       << input_shape().ToString();
+  if (eplan_.input_u8) {
+    // Layer 0 consumes quantized input bytes. Either the caller staged
+    // them already (the detector's fused letterbox-quantize, armed
+    // one-shot via set_input_prequantized) or we quantize the fp32
+    // input here with the plan's input domain — the same shared
+    // quantizer, so both routes produce identical bytes.
+    if (!input_prequantized_) {
+      Int8QuantizeActivations(input.data(), input.size(),
+                              1.0f / eplan_.input_qscale, eplan_.input_qzp,
+                              qinput_.raw());
+    }
+    input_prequantized_ = false;
+  }
   const Tensor* x = &input;
   for (auto& layer : layers_) {
     layer->Forward(*x, *this, train);

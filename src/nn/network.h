@@ -103,6 +103,18 @@ class Network {
   CalibPhase calib_phase() const { return calib_phase_; }
   void set_calib_phase(CalibPhase phase) { calib_phase_ = phase; }
 
+  // Opt-in for the decode fast path (base/fastpre.h): when set on an
+  // inference network, YOLO heads skip their Forward sigmoid loops and
+  // leave output_ holding RAW logits; GetDetections then pre-filters in
+  // logit space and activates only surviving cells (bitwise identical
+  // detections). Only owners that never read head outputs directly
+  // (Detector) should set this — raw Network users keep the seed
+  // sigmoided outputs.
+  bool defer_head_activation() const { return defer_head_activation_; }
+  void set_defer_head_activation(bool defer) {
+    defer_head_activation_ = defer;
+  }
+
   // The activation-arena plan computed at Finalize/SetBatch. For
   // kTraining networks the plan is computed for reporting only
   // (enabled=false); for kInference it reflects the live layout unless
@@ -138,6 +150,18 @@ class Network {
   // THALI_INT8=0 and unchained plans are untouched).
   uint8_t* quant_act(int i) {
     return qact_.empty() ? nullptr : qact_[static_cast<size_t>(i)];
+  }
+
+  // Base of the quantized NETWORK INPUT tensor, or nullptr when the plan
+  // does not chain layer 0 (plan.input_u8 == false). When the chain
+  // reaches layer 0, Forward fills this by quantizing the fp32 input
+  // with the plan's input domain — unless the caller already staged the
+  // bytes (the detector's fused letterbox→quantize path) and armed
+  // set_input_prequantized, in which case the staged bytes are consumed
+  // as-is (one-shot; the flag clears on every Forward).
+  uint8_t* quant_input() { return qinput_.empty() ? nullptr : qinput_.raw(); }
+  void set_input_prequantized(bool prequantized) {
+    input_prequantized_ = prequantized;
   }
   // Scratch floats available per slot.
   int64_t workspace_size() const { return workspace_floats_; }
@@ -176,6 +200,8 @@ class Network {
   // THALI_INT8, sampled once at Finalize (opt-in, so the default is off).
   bool int8_enabled_ = false;
   CalibPhase calib_phase_ = CalibPhase::kOff;
+  bool defer_head_activation_ = false;
+  bool input_prequantized_ = false;
   bool finalized_ = false;
   std::vector<std::unique_ptr<Layer>> layers_;
   // One im2col scratch tensor per parallel strand (distinct allocations,
@@ -189,6 +215,9 @@ class Network {
   // per-layer base pointers (both empty without chains).
   std::vector<DTypeBuffer> qbufs_;
   std::vector<uint8_t*> qact_;
+  // Quantized network-input bytes when the chain reaches layer 0
+  // (plan.input_u8); empty otherwise.
+  DTypeBuffer qinput_;
   ExecPlan eplan_;
 };
 

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "base/fastpre.h"
 #include "nn/network.h"
+#include "tensor/act_kernels.h"
 #include "tensor/ops.h"
 
 namespace thali {
@@ -42,8 +45,17 @@ int64_t YoloLayer::Entry(int64_t b, int64_t n, int64_t attr, int64_t y,
   return ((b * c + chan) * gh + y) * gw + x;
 }
 
-void YoloLayer::Forward(const Tensor& input, Network&, bool) {
+void YoloLayer::Forward(const Tensor& input, Network& net, bool train) {
   std::copy(input.data(), input.data() + input.size(), output_.data());
+  // Fast decode path: leave the raw values in place and let
+  // GetDetections pre-filter in logit space, sigmoiding only survivors.
+  // Opt-in via the network flag because the raw output is observable to
+  // anyone reading output() directly; only owners that never do (the
+  // detector) set it. Training forwards always activate — ComputeLoss
+  // reads the sigmoided planes.
+  raw_output_ =
+      !train && inference() && net.defer_head_activation() && FastPreEnabled();
+  if (raw_output_) return;
   const int64_t batch = out_shape_.dim(0);
   const int64_t gh = out_shape_.dim(2);
   const int64_t gw = out_shape_.dim(3);
@@ -250,8 +262,75 @@ YoloLayer::LossStats YoloLayer::ComputeLoss(const TruthBatch& truths,
   return stats;
 }
 
+std::vector<Detection> YoloLayer::DecodeRaw(int b, float conf_thresh,
+                                            int net_w, int net_h) const {
+  std::vector<Detection> dets;
+  const int64_t gh = out_shape_.dim(2);
+  const int64_t gw = out_shape_.dim(3);
+  const int64_t spatial = gh * gw;
+  const float s = opts_.scale_x_y;
+  const int64_t n_anchors = static_cast<int64_t>(opts_.mask.size());
+
+  // Conservative raw-logit threshold. Sigmoid is strictly monotone, so
+  // obj >= conf_thresh implies t_obj >= logit(conf_thresh); the 1e-3
+  // margin absorbs the float rounding of logit(). Survivors re-check the
+  // exact sigmoid-domain test below, so the pre-filter can only ever be
+  // conservative — the kept set is bitwise identical to the reference.
+  float raw_thresh;
+  if (!(conf_thresh > 0.0f)) {
+    // Also covers NaN thresholds: collect everything, exactly like the
+    // reference's never-true `obj < conf_thresh` skip.
+    raw_thresh = -std::numeric_limits<float>::infinity();
+  } else if (conf_thresh >= 1.0f) {
+    // float Sigmoid rounds to exactly 1.0f for raw values above ~17, so
+    // saturated cells can still pass the exact `obj < 1.0f` check.
+    raw_thresh = 15.0f;
+  } else {
+    raw_thresh = std::log(conf_thresh / (1.0f - conf_thresh)) - 1e-3f;
+  }
+
+  std::vector<int32_t> hits(static_cast<size_t>(spatial));
+  for (int64_t n = 0; n < n_anchors; ++n) {
+    const float* obj_plane = output_.data() + Entry(b, n, 4, 0, 0);
+    const int64_t m = CollectAtLeast(obj_plane, spatial, raw_thresh,
+                                     hits.data());
+    const auto& anchor = opts_.anchors[static_cast<size_t>(
+        opts_.mask[static_cast<size_t>(n)])];
+    for (int64_t h = 0; h < m; ++h) {
+      const int64_t i = hits[static_cast<size_t>(h)];
+      const int64_t y = i / gw;
+      const int64_t x = i - y * gw;
+      const float obj = Sigmoid(obj_plane[i]);
+      if (obj < conf_thresh) continue;
+      // Exact seed expressions on the raw values: each activated value
+      // is computed with the same expression Forward stores, then fed
+      // through the same PredBox arithmetic — identical bits.
+      const float vx =
+          Sigmoid(output_[Entry(b, n, 0, y, x)]) * s - 0.5f * (s - 1.0f);
+      const float vy =
+          Sigmoid(output_[Entry(b, n, 1, y, x)]) * s - 0.5f * (s - 1.0f);
+      Box box;
+      box.x = (static_cast<float>(x) + vx) / gw;
+      box.y = (static_cast<float>(y) + vy) / gh;
+      box.w = anchor.first * std::exp(output_[Entry(b, n, 2, y, x)]) / net_w;
+      box.h = anchor.second * std::exp(output_[Entry(b, n, 3, y, x)]) / net_h;
+      for (int c = 0; c < opts_.classes; ++c) {
+        const float conf = obj * Sigmoid(output_[Entry(b, n, 5 + c, y, x)]);
+        if (conf < conf_thresh) continue;
+        Detection d;
+        d.box = box;
+        d.class_id = c;
+        d.confidence = conf;
+        dets.push_back(d);
+      }
+    }
+  }
+  return dets;
+}
+
 std::vector<Detection> YoloLayer::GetDetections(int b, float conf_thresh,
                                                 int net_w, int net_h) const {
+  if (raw_output_) return DecodeRaw(b, conf_thresh, net_w, net_h);
   std::vector<Detection> dets;
   const int64_t gh = out_shape_.dim(2);
   const int64_t gw = out_shape_.dim(3);

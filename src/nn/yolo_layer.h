@@ -81,6 +81,15 @@ class YoloLayer : public Layer, public DetectionHead {
   int64_t Entry(int64_t b, int64_t n, int64_t attr, int64_t y,
                 int64_t x) const;
 
+  // Decode for the raw-logit fast path: a SIMD objectness pre-filter in
+  // logit space (sigmoid is monotone, so thresholding raw t_obj against
+  // a conservative logit(conf_thresh) cannot drop a detection the
+  // reference keeps), then exact seed-expression decode of only the
+  // surviving cells — bitwise identical detections, cost proportional
+  // to detections instead of grid cells.
+  std::vector<Detection> DecodeRaw(int b, float conf_thresh, int net_w,
+                                   int net_h) const;
+
   // Decodes the predicted box at an anchor slot/cell from output_.
   Box PredBox(int64_t b, int64_t n, int64_t y, int64_t x, int net_w,
               int net_h) const;
@@ -93,6 +102,11 @@ class YoloLayer : public Layer, public DetectionHead {
                   LossStats& stats);
 
   Options opts_;
+  // Latched by Forward: true when output_ was left holding the RAW head
+  // values (inference nets whose owner opted in via
+  // Network::set_defer_head_activation and the fast pre/post path is
+  // enabled). GetDetections then routes through DecodeRaw.
+  bool raw_output_ = false;
 };
 
 }  // namespace thali

@@ -136,6 +136,9 @@ MetricsSnapshot ServerMetrics::Snapshot() const {
   s.mean_batch = MeanBatchSize();
   s.queue_wait = SnapshotHistogram(queue_wait_ms);
   s.e2e = SnapshotHistogram(e2e_ms);
+  s.preprocess = SnapshotHistogram(preprocess_ms);
+  s.forward = SnapshotHistogram(forward_ms);
+  s.postprocess = SnapshotHistogram(postprocess_ms);
   s.interactive = SnapshotClass(ForClass(Priority::kInteractive));
   s.batch = SnapshotClass(ForClass(Priority::kBatch));
   return s;
@@ -156,6 +159,9 @@ std::string MetricsSnapshot::ToJson() const {
       static_cast<long long>(batched_images), mean_batch);
   json += HistJson("queue_wait", queue_wait) + ", ";
   json += HistJson("e2e", e2e) + ", ";
+  json += HistJson("preprocess", preprocess) + ", ";
+  json += HistJson("forward", forward) + ", ";
+  json += HistJson("postprocess", postprocess) + ", ";
   json += ClassJson("interactive", interactive) + ", ";
   json += ClassJson("batch", batch);
   json += "}";
@@ -179,7 +185,11 @@ std::string ServerMetrics::ToString() const {
   const struct {
     const char* name;
     const HistogramSnapshot* h;
-  } stages[] = {{"queue wait", &s.queue_wait}, {"end to end", &s.e2e}};
+  } stages[] = {{"queue wait", &s.queue_wait},
+                {"preprocess", &s.preprocess},
+                {"forward", &s.forward},
+                {"postprocess", &s.postprocess},
+                {"end to end", &s.e2e}};
   for (const auto& st : stages) {
     latency.AddRow({st.name,
                     StrFormat("%lld", static_cast<long long>(st.h->count)),

@@ -85,6 +85,12 @@ struct MetricsSnapshot {
   double mean_batch = 0.0;
   HistogramSnapshot queue_wait;
   HistogramSnapshot e2e;
+  // Per-executed-batch stage breakdown from the worker's detector
+  // (Detector::last_stage_times): letterbox+staging, network forward,
+  // head decode + NMS + box remapping.
+  HistogramSnapshot preprocess;
+  HistogramSnapshot forward;
+  HistogramSnapshot postprocess;
   ClassSnapshot interactive;
   ClassSnapshot batch;
 
@@ -120,6 +126,12 @@ struct ServerMetrics {
 
   LatencyHistogram queue_wait_ms;  // submit -> picked into a batch
   LatencyHistogram e2e_ms;         // submit -> future completed
+  // One sample per executed batch, recorded by the worker from the
+  // detector's stage breakdown (so forward + pre/post sum to the
+  // in-detector portion of e2e).
+  LatencyHistogram preprocess_ms;   // letterbox + input staging
+  LatencyHistogram forward_ms;      // network forward
+  LatencyHistogram postprocess_ms;  // decode + NMS + box remapping
 
   std::array<PerClass, 2> per_class;  // indexed by Priority
 

@@ -237,6 +237,11 @@ void Server::WorkerLoop(Detector* detector) {
         detector->DetectBatch(images);
     THALI_CHECK_EQ(results.size(), batch.size());
 
+    const Detector::StageTimes& stages = detector->last_stage_times();
+    metrics_.preprocess_ms.Record(stages.preprocess_ms);
+    metrics_.forward_ms.Record(stages.forward_ms);
+    metrics_.postprocess_ms.Record(stages.postprocess_ms);
+
     const ServeClock::time_point done = ServeClock::now();
     for (size_t i = 0; i < batch.size(); ++i) {
       const double e2e = ToMs(done - batch[i]->submit_time);

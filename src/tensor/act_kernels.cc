@@ -20,6 +20,7 @@ const ActKernel kScalarActKernel = {
     /*leaky=*/&act_detail::LeakyScalar,
     /*relu=*/&act_detail::ReluScalar,
     /*mish=*/&act_detail::MishScalar,
+    /*collect=*/&act_detail::CollectAtLeastScalar,
 };
 
 const ActKernel* DetectActKernel() {
@@ -49,6 +50,11 @@ const ActKernel& SelectActKernel() {
 void FastLeakyInPlace(float* x, int64_t n) { SelectActKernel().leaky(x, n); }
 void FastReluInPlace(float* x, int64_t n) { SelectActKernel().relu(x, n); }
 void FastMishInPlace(float* x, int64_t n) { SelectActKernel().mish(x, n); }
+
+int64_t CollectAtLeast(const float* x, int64_t n, float threshold,
+                       int32_t* out) {
+  return SelectActKernel().collect(x, n, threshold, out);
+}
 
 const char* ActKernelName() { return SelectActKernel().name; }
 

@@ -35,6 +35,16 @@ void FastLeakyInPlace(float* x, int64_t n);
 void FastReluInPlace(float* x, int64_t n);
 void FastMishInPlace(float* x, int64_t n);
 
+// Writes the indices i in [0, n) with !(x[i] < threshold) to `out`
+// (which must hold n int32s) and returns how many were written. This is
+// the exact negation of the YOLO decode's `if (obj < thresh) continue`
+// skip test (NaNs are collected, matching the reference), so filtering
+// raw logits against a conservative threshold before decoding cannot
+// change the decoded set. Comparisons are exact; the scalar and AVX2
+// families return identical results.
+int64_t CollectAtLeast(const float* x, int64_t n, float threshold,
+                       int32_t* out);
+
 // Name of the dispatched activation kernel family (for logs/reports).
 const char* ActKernelName();
 

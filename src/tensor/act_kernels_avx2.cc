@@ -60,11 +60,36 @@ void MishAvx2(float* x, int64_t n) {
   act_detail::MishScalar(x + i, n - i);
 }
 
+int64_t CollectAtLeastAvx2(const float* x, int64_t n, float threshold,
+                           int32_t* out) {
+  // _CMP_NLT_UQ is the bit-exact vector form of !(x < threshold):
+  // not-less-than, unordered (NaN) compares true, same as the scalar
+  // body, so both families collect the same indices.
+  const __m256 thr = _mm256_set1_ps(threshold);
+  int64_t m = 0;
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_cmp_ps(v, thr, _CMP_NLT_UQ)));
+    while (mask != 0) {
+      const int lane = __builtin_ctz(mask);
+      out[m++] = static_cast<int32_t>(i + lane);
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (!(x[i] < threshold)) out[m++] = static_cast<int32_t>(i);
+  }
+  return m;
+}
+
 const ActKernel kAvx2ActKernel = {
     /*name=*/"avx2-act",
     /*leaky=*/&LeakyAvx2,
     /*relu=*/&ReluAvx2,
     /*mish=*/&MishAvx2,
+    /*collect=*/&CollectAtLeastAvx2,
 };
 
 }  // namespace

@@ -80,12 +80,28 @@ inline void MishScalar(float* x, int64_t n) {
   for (int64_t i = 0; i < n; ++i) x[i] = FastMish(x[i]);
 }
 
+// Index compaction for the YOLO decode pre-filter. The predicate is
+// !(x[i] < threshold) — the negation of the reference decode's skip
+// test — so NaN elements are collected exactly like the reference's
+// `if (obj < thresh) continue` keeps them. Comparisons are exact, so
+// the scalar and AVX2 bodies are trivially identical.
+inline int64_t CollectAtLeastScalar(const float* x, int64_t n,
+                                    float threshold, int32_t* out) {
+  int64_t m = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (!(x[i] < threshold)) out[m++] = static_cast<int32_t>(i);
+  }
+  return m;
+}
+
 // One activation kernel family (see GemmKernel for the pattern).
 struct ActKernel {
   const char* name;
   void (*leaky)(float* x, int64_t n);
   void (*relu)(float* x, int64_t n);
   void (*mish)(float* x, int64_t n);
+  int64_t (*collect)(const float* x, int64_t n, float threshold,
+                     int32_t* out);
 };
 
 }  // namespace act_detail

@@ -358,7 +358,7 @@ TEST_F(Int8Test, PlanSelectsInt8OnlyForEligibleUnpinnedConvs) {
   const Network& net = *built.net;
   ASSERT_TRUE(net.int8_enabled());
   ASSERT_TRUE(net.exec_plan().fused);
-  int quantized_3x3 = 0, quantized_1x1 = 0, head_feeders = 0;
+  int quantized_3x3 = 0, quantized_1x1 = 0, quantized_s2 = 0, head_feeders = 0;
   for (int i = 0; i < net.num_layers(); ++i) {
     if (std::string_view(net.layer(i).kind()) != "convolutional") continue;
     const auto& conv = static_cast<const ConvLayer&>(net.layer(i));
@@ -382,6 +382,12 @@ TEST_F(Int8Test, PlanSelectsInt8OnlyForEligibleUnpinnedConvs) {
       EXPECT_EQ(lp.conv_algo, ConvAlgo::kQuantInt8Direct1x1) << "layer " << i;
       ++quantized_1x1;
       if (lp.out_layout == ActLayout::kNCHW) ++head_feeders;
+    } else if (o.ksize == 3 && o.stride == 2 && o.pad == 1) {
+      // Downsampling stem convs: the u8 im2col walks any stride, so
+      // these quantize too (they demote to plain im2col — no Winograd
+      // form at stride 2 — when int8 is inactive at runtime).
+      EXPECT_EQ(lp.conv_algo, ConvAlgo::kQuantInt8) << "layer " << i;
+      ++quantized_s2;
     } else {
       EXPECT_NE(lp.conv_algo, ConvAlgo::kQuantInt8) << "layer " << i;
       EXPECT_NE(lp.conv_algo, ConvAlgo::kQuantInt8Direct1x1) << "layer " << i;
@@ -389,10 +395,12 @@ TEST_F(Int8Test, PlanSelectsInt8OnlyForEligibleUnpinnedConvs) {
   }
   EXPECT_EQ(quantized_3x3, 13);  // every 3x3/s1/p1 conv of the model
   EXPECT_EQ(quantized_1x1, 10);  // every 1x1 conv, head feeders included
+  EXPECT_EQ(quantized_s2, 2);    // the stride-2 stem convs 0-1
   EXPECT_EQ(head_feeders, 3);    // one per detection head
 
   // Before calibration no dtype chain exists: every edge is fp32.
   EXPECT_EQ(net.exec_plan().chained_edges, 0);
+  EXPECT_FALSE(net.exec_plan().input_u8);
   for (const LayerPlan& lp : net.exec_plan().layers) {
     EXPECT_EQ(lp.out_dtype, DType::kF32);
     EXPECT_EQ(lp.in_dtype, DType::kF32);
@@ -516,13 +524,25 @@ TEST_F(Int8Test, ReplanAfterCalibrationChainsMajorityOfThali) {
   ASSERT_GT(FoldAndCalibrate(*int8.net, input), 0);
 
   const ExecPlan& plan = int8.net->exec_plan();
-  // The tentpole acceptance floor: most of the 52 thali layers run
-  // quantized once chains are up (23 quantized convs plus the u8
-  // passthroughs between them), with real chained edges and the head
-  // feeders' outputs as dequant edges.
-  EXPECT_GE(plan.quantized_layers, 30) << "of " << int8.net->num_layers();
+  // The tentpole acceptance floor: with the stride-2 stem convs
+  // quantized and the network input chained as a u8 domain, 49 of the
+  // 52 thali layers run quantized (25 quantized convs plus the u8
+  // passthroughs between them; only the three yolo heads stay fp32),
+  // with real chained edges and the head feeders' outputs as dequant
+  // edges.
+  EXPECT_GE(plan.quantized_layers, 49) << "of " << int8.net->num_layers();
   EXPECT_GT(plan.chained_edges, 0);
   EXPECT_GE(plan.dequant_edges, 3);  // one per yolo head at minimum
+  // The input itself quantizes: layer 0 reads u8 bytes staged by
+  // Network::Forward (or the detector's fused letterbox-quantize) in
+  // conv 0's calibrated activation domain.
+  EXPECT_TRUE(plan.input_u8);
+  EXPECT_GT(plan.input_qscale, 0.0f);
+  EXPECT_GE(plan.input_qzp, 0);
+  EXPECT_LE(plan.input_qzp, 127);
+  EXPECT_EQ(plan.layers[0].in_dtype, DType::kU8);
+  EXPECT_EQ(plan.layers[0].in_qscale, plan.input_qscale);
+  EXPECT_EQ(plan.layers[0].in_qzp, plan.input_qzp);
   int chained_convs = 0;
   for (int i = 0; i < int8.net->num_layers(); ++i) {
     const LayerPlan& lp = plan.layers[static_cast<size_t>(i)];
